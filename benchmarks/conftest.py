@@ -1,0 +1,39 @@
+"""Shared fixtures for the benchmark suite.
+
+The fault campaign is the expensive artifact several benches consume
+(Table I, the Section IV progression, the set-algebra claim).  It runs
+once per session and is cached here; the bench that owns it
+(``test_bench_table1_coverage``) times the full run, the others time
+their own analysis on the cached result.
+
+Set ``REPRO_CAMPAIGN_SAMPLE=<n>`` to run the campaign on a random
+*n*-fault sample (coarser percentages, much faster smoke runs).
+"""
+
+from __future__ import annotations
+
+import os
+import random
+
+import pytest
+
+_campaign_cache = {}
+
+
+def get_campaign_report():
+    """Run (or fetch) the full three-tier fault campaign."""
+    if "report" not in _campaign_cache:
+        from repro.dft.coverage import build_fault_universe, run_paper_campaign
+
+        universe = build_fault_universe()
+        sample = os.environ.get("REPRO_CAMPAIGN_SAMPLE")
+        if sample:
+            n = min(int(sample), len(universe))
+            universe = random.Random(2016).sample(universe, n)
+        _campaign_cache["report"] = run_paper_campaign(universe)
+    return _campaign_cache["report"]
+
+
+@pytest.fixture(scope="session")
+def campaign_report():
+    return get_campaign_report()

@@ -1,0 +1,65 @@
+"""Bench: the Section III performance argument for CP-BIST.
+
+"Any faults in this second path or faults in the amplifier in the
+charge pump, result in the node V_p drifting towards V_DD or GND.  This
+pushes one of the current sources to linear region and as a result
+causes increased jitter in the recovered clock, which can degrade the
+interconnect performance."
+
+Quantified: V_p drift -> recovered-clock jitter -> BER penalty, and the
+CP-BIST window (150 mV) placed where the penalty starts to matter.
+"""
+
+import pytest
+
+from repro.channel import ChannelConfig, ber_with_cp_fault
+from repro.synchronizer import jitter_from_vp_drift
+
+
+def test_bench_vp_drift_to_jitter_to_ber(benchmark):
+    def sweep():
+        cfg = ChannelConfig()
+        rows = []
+        for vp_mv in (0, 50, 100, 150, 300, 500):
+            est = jitter_from_vp_drift(vp_mv * 1e-3)
+            margin = ber_with_cp_fault(cfg, 2.5e9, vp_drift=vp_mv * 1e-3)
+            rows.append((vp_mv, est.jitter_rms, margin.ber,
+                         margin.meets(1e-12)))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    # jitter grows monotonically with the drift
+    jits = [r[1] for r in rows]
+    assert all(a <= b for a, b in zip(jits, jits[1:]))
+    # inside the CP-BIST window (<= 150 mV) the link still meets 1e-12
+    by_mv = {r[0]: r for r in rows}
+    assert by_mv[0][3] and by_mv[100][3] and by_mv[150][3]
+    # far outside it, the BER target is gone -- the fault matters
+    assert not by_mv[500][3]
+
+    print("\n[Section III] V_p drift -> recovered-clock jitter -> BER")
+    print(f"  {'drift':>7}  {'jitter rms':>11}  {'BER':>10}  meets 1e-12")
+    for vp_mv, jit, ber, ok in rows:
+        print(f"  {vp_mv:5d}mV  {jit * 1e12:9.2f}ps  {ber:10.2e}  "
+              f"{'yes' if ok else 'NO'}")
+    print("  -> the 150 mV CP-BIST window sits just inside the point "
+          "where the jitter penalty becomes a BER failure")
+
+
+def test_bench_equalization_ber_comparison(benchmark):
+    """BER view of the equalization premise: the raw channel cannot
+    carry 2.5 Gbps at any realistic noise level."""
+    from repro.channel import eye_of_channel, link_margin
+
+    def measure():
+        cfg = ChannelConfig()
+        eq = link_margin(eye_of_channel(cfg, 2.5e9, equalized=True))
+        raw = link_margin(eye_of_channel(cfg, 2.5e9, equalized=False))
+        return eq, raw
+
+    eq, raw = benchmark.pedantic(measure, rounds=1, iterations=1)
+    assert eq.meets(1e-12)
+    assert raw.ber == 0.5   # closed eye: coin flip
+    print(f"\n[Section II] BER at 2.5 Gbps: equalized {eq.ber:.2e}, "
+          f"raw {raw.ber:.0e} (closed eye)")

@@ -1,0 +1,71 @@
+"""Bench: the Section I claim — "The fault sets covered by the scan test
+and BIST are intersecting but not subsets of each other, which means to
+achieve 94.8% coverage both tests are required."
+"""
+
+import pytest
+
+from benchmarks.conftest import get_campaign_report
+
+
+def test_bench_scan_bist_set_algebra(benchmark, campaign_report):
+    result = campaign_report.result
+
+    def analyse():
+        scan = result.detected_by("scan")
+        bist = result.detected_by("bist")
+        return scan, bist
+
+    scan, bist = benchmark.pedantic(analyse, rounds=1, iterations=1)
+
+    both = scan & bist
+    scan_only = scan - bist
+    bist_only = bist - scan
+
+    # intersecting but not nested
+    assert both, "scan and BIST share no faults"
+    assert scan_only, "BIST would subsume scan"
+    assert bist_only, "scan would subsume BIST"
+    # and therefore both are required for the total
+    assert result.sets_intersect_not_nested("scan", "bist")
+
+    # dropping either tier loses real coverage
+    full = result.cumulative_coverage("bist")
+    dc_set = result.detected_by("dc")
+    without_bist = len(dc_set | scan) / result.total
+    without_scan = len(dc_set | bist) / result.total
+    assert without_bist < full
+    assert without_scan < full
+
+    print("\n[Section I/IV] scan vs BIST fault-set algebra")
+    print(f"  detected by scan           : {len(scan)}")
+    print(f"  detected by BIST           : {len(bist)}")
+    print(f"  by both                    : {len(both)}")
+    print(f"  scan only                  : {len(scan_only)}")
+    print(f"  BIST only                  : {len(bist_only)}")
+    print(f"  coverage without BIST      : {without_bist * 100:.1f}%")
+    print(f"  coverage without scan      : {without_scan * 100:.1f}%")
+    print(f"  full flow                  : {full * 100:.1f}%")
+
+
+def test_bench_masked_fault_example(benchmark):
+    """The paper's concrete example: the CP current-source D-S short is
+    masked in scan (source used as a switch) and caught by BIST."""
+    from repro.dft.bist import BISTTest
+    from repro.dft.dc_test import DCTest
+    from repro.dft.scan_test import ScanTest
+    from repro.faults import FaultKind, StructuralFault
+
+    def run():
+        dc = DCTest()
+        scan = ScanTest(retention_link=dc._retention_link,
+                        retention_receiver=dc._retention_receiver)
+        bist = BISTTest(retention_receiver=dc._retention_receiver)
+        f = StructuralFault("cp_wk_MSRC", FaultKind.DRAIN_SOURCE_SHORT,
+                            "cp", "cp_weak_src")
+        return scan.detect(f), bist.detect(f)
+
+    scan_hit, bist_hit = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert not scan_hit    # masked: the source is used as a switch
+    assert bist_hit        # at-speed pump current is grossly wrong
+    print("\n[Section III] CP source D-S short: scan masked, BIST catches")

@@ -1,0 +1,35 @@
+"""Bench: regenerate Table II — circuit and control input overhead.
+
+The DFT inventory is derived from the constructs this implementation
+actually instantiates (probe flops, comparators, clamps, the lock
+detector...).  The paper-normalised counts must match Table II exactly.
+"""
+
+import pytest
+
+from repro.dft.overhead import (
+    PAPER_TABLE2,
+    dft_inventory,
+    format_table2,
+    table2_rows,
+    total_flop_overhead_bits,
+)
+
+
+def test_bench_table2_overhead(benchmark):
+    rows = benchmark.pedantic(table2_rows, rounds=3, iterations=1)
+
+    assert len(rows) == len(PAPER_TABLE2)
+    for entity, ours, paper in rows:
+        assert ours == paper, f"{entity}: {ours} != {paper}"
+
+    inv = {i.entity: i for i in dft_inventory()}
+    # the differential implementation pays 2 extra probe flops
+    assert inv["Flip-flop"].as_built == 7
+    assert total_flop_overhead_bits() == 11
+
+    print("\n[Table II] DFT overhead")
+    print(format_table2())
+    print("\nprovenance:")
+    for item in dft_inventory():
+        print(f"  {item.entity:<30} {item.provenance}")

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Channel design-space exploration for the capacitively coupled link.
+
+Answers the system-designer questions the paper's introduction raises:
+how long a wire can this transmitter drive, at what rate, and how much
+does the feed-forward equalizer buy?  Sweeps wire length and data rate,
+tabulating worst-case eye openings with and without equalization, and
+prints the resulting "rate x length" feasibility map.
+
+Run:  python examples/channel_exploration.py
+"""
+
+import numpy as np
+
+from repro.channel import (
+    ChannelConfig,
+    GLOBAL_MIN,
+    GLOBAL_WIDE,
+    channel_transfer,
+    dominant_pole,
+    eye_of_channel,
+)
+from repro.core.report import render_table
+
+
+def eye_mv(cfg, rate, equalized):
+    eye = eye_of_channel(cfg, rate, equalized=equalized, phase_points=32)
+    return eye.best_opening * 1e3
+
+
+def main() -> None:
+    print("Channel exploration: 130 nm-class global wiring, 1.2 V drive\n")
+
+    # 1 -- the problem: the wire's pole collapses with length
+    rows = []
+    for mm in (2, 5, 10, 15, 20):
+        cfg = ChannelConfig(length_m=mm * 1e-3)
+        rows.append((f"{mm} mm",
+                     f"{dominant_pole(cfg) / 1e6:7.1f} MHz",
+                     f"{cfg.line.elmore_delay * 1e9:5.2f} ns",
+                     f"{cfg.dc_swing() * 1e3:5.1f} mV"))
+    print(render_table(("wire length", "channel pole", "Elmore delay",
+                        "DC swing"), rows,
+                       title="Unequalized channel vs length"))
+
+    # 2 -- what the FFE buys: eye opening map
+    print("\nWorst-case eye opening [mV] (equalized / raw), "
+          "'-' = closed eye")
+    rates = (1.0e9, 2.5e9, 4.0e9)
+    header = ["length"] + [f"{r / 1e9:.1f} Gbps" for r in rates]
+    rows = []
+    for mm in (5, 10, 15):
+        cfg = ChannelConfig(length_m=mm * 1e-3)
+        cells = []
+        for rate in rates:
+            eq = eye_mv(cfg, rate, True)
+            raw = eye_mv(cfg, rate, False)
+            cells.append(f"{eq:5.1f} / {raw:5.1f}"
+                         if raw > 0 else f"{eq:5.1f} /   -  "
+                         if eq > 0 else "  -   /   -  ")
+        rows.append([f"{mm} mm"] + cells)
+    print(render_table(header, rows))
+
+    # 3 -- the paper's operating point in detail
+    cfg = ChannelConfig()
+    freqs = np.logspace(6, 10.3, 120)
+    eq = channel_transfer(cfg, freqs, equalized=True)
+    raw = channel_transfer(cfg, freqs, equalized=False)
+    f_nyq = 2.5e9 / 2
+    print("\nAt the paper's point (10 mm, 2.5 Gbps):")
+    print(f"  gain at Nyquist, raw       : "
+          f"{20 * np.log10(raw.gain_at(f_nyq)):6.1f} dB")
+    print(f"  gain at Nyquist, equalized : "
+          f"{20 * np.log10(eq.gain_at(f_nyq)):6.1f} dB")
+    print(f"  equalizer peaking          : {eq.peaking_db():6.1f} dB")
+
+    # 4 -- wire-class trade-off
+    rows = []
+    for wire in (GLOBAL_MIN, GLOBAL_WIDE):
+        cfg = ChannelConfig(wire=wire)
+        rows.append((wire.name,
+                     f"{eye_mv(cfg, 2.5e9, True):6.1f} mV",
+                     f"{eye_mv(cfg, 2.5e9, False):6.1f} mV"))
+    print()
+    print(render_table(("wire class", "eye (eq)", "eye (raw)"), rows,
+                       title="Wire-class comparison at 10 mm / 2.5 Gbps"))
+
+
+if __name__ == "__main__":
+    main()

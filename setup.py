@@ -1,0 +1,22 @@
+"""Legacy setup shim.
+
+The execution environment has no network and no ``wheel`` package, so PEP 660
+editable installs (which require building a wheel) fail.  This setup.py lets
+``pip install -e .`` fall back to the legacy ``setup.py develop`` path.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Testable design of repeaterless low-swing on-chip interconnect "
+        "(DATE 2016) - full reproduction"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=["numpy>=1.21", "scipy>=1.7", "networkx>=2.6"],
+    entry_points={"console_scripts": ["repro=repro.cli:main"]},
+)

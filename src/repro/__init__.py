@@ -1,0 +1,34 @@
+"""Reproduction of "Testable Design of Repeaterless Low Swing On-Chip
+Interconnect" (K. Naveen and D. K. Sharma, DATE 2016).
+
+The package is organised as substrates (``analog``, ``channel``,
+``digital``, ``scan``), the paper's circuits (``circuits``, ``link``,
+``synchronizer``), the fault machinery (``faults``) and the paper's
+contribution (``dft``), tied together by the public API in ``core``.
+
+The top-level convenience exports (:class:`LinkConfig`,
+:class:`TestableLink`) are resolved lazily so that the substrate
+subpackages can be imported without pulling in the whole stack.
+"""
+
+__version__ = "1.0.0"
+
+_LAZY = {
+    "LinkConfig": ("repro.core.config", "LinkConfig"),
+    "TestableLink": ("repro.core.testable_link", "TestableLink"),
+}
+
+__all__ = ["LinkConfig", "TestableLink", "__version__"]
+
+
+def __getattr__(name):
+    try:
+        module_name, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(f"module 'repro' has no attribute {name!r}") from None
+    import importlib
+
+    module = importlib.import_module(module_name)
+    value = getattr(module, attr)
+    globals()[name] = value
+    return value

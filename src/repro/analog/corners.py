@@ -1,0 +1,135 @@
+"""Process-corner machinery for the analog substrate.
+
+The paper argues its DC-test comparators tolerate manufacturing
+variation ("The input transistor sizes are 0.5u/0.5u and 0.8u/0.5u,
+which is sufficient to overcome any mismatch due to the manufacturing
+process").  This module makes that claim checkable: a
+:class:`ProcessCorner` rewrites every MOSFET in a netlist to shifted
+V_T / transconductance parameters (SS, TT, FF and the skewed SF/FS
+corners), so any test bench can be re-run across corners.
+
+Supply and temperature-like variation is modelled through the V_T shift
+and KP scale; that is the level of fidelity the simplified EKV model
+supports, and it is exactly the axis the comparator-offset argument
+lives on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from .mosfet import MOSFET, MOSParams
+from .netlist import Circuit
+
+
+@dataclass(frozen=True)
+class ProcessCorner:
+    """A global process corner: per-polarity V_T shift and KP scale."""
+
+    name: str
+    dvt_n: float = 0.0        # added to NMOS V_T0 [V]
+    dvt_p: float = 0.0        # added to PMOS V_T0 [V]
+    kp_scale_n: float = 1.0
+    kp_scale_p: float = 1.0
+
+    def apply_to_params(self, params: MOSParams) -> MOSParams:
+        if params.polarity == "n":
+            return params.corner(dvt=self.dvt_n, kp_scale=self.kp_scale_n)
+        return params.corner(dvt=self.dvt_p, kp_scale=self.kp_scale_p)
+
+    def apply(self, circuit: Circuit) -> Circuit:
+        """Return a corner-shifted **clone** of *circuit*."""
+        dup = circuit.clone(name=f"{circuit.name}@{self.name}")
+        for dev in dup.elements_of_type(MOSFET):
+            dev.params = self.apply_to_params(dev.params)
+        return dup
+
+
+#: the standard five-corner set (shifts typical of a 130 nm process)
+TT = ProcessCorner("TT")
+SS = ProcessCorner("SS", dvt_n=+0.05, dvt_p=+0.05,
+                   kp_scale_n=0.85, kp_scale_p=0.85)
+FF = ProcessCorner("FF", dvt_n=-0.05, dvt_p=-0.05,
+                   kp_scale_n=1.15, kp_scale_p=1.15)
+SF = ProcessCorner("SF", dvt_n=+0.05, dvt_p=-0.05,
+                   kp_scale_n=0.85, kp_scale_p=1.15)
+FS = ProcessCorner("FS", dvt_n=-0.05, dvt_p=+0.05,
+                   kp_scale_n=1.15, kp_scale_p=0.85)
+
+ALL_CORNERS = (TT, SS, FF, SF, FS)
+CORNERS_BY_NAME = {c.name: c for c in ALL_CORNERS}
+
+
+def get_corner(name: str) -> ProcessCorner:
+    """Look up a corner by name ('TT', 'SS', 'FF', 'SF', 'FS')."""
+    try:
+        return CORNERS_BY_NAME[name.upper()]
+    except KeyError:
+        raise KeyError(f"unknown corner {name!r}; "
+                       f"choices: {sorted(CORNERS_BY_NAME)}") from None
+
+
+def sweep_corners(circuit_factory: Callable[[], Circuit],
+                  evaluate: Callable[[Circuit], object],
+                  corners: Iterable[ProcessCorner] = ALL_CORNERS
+                  ) -> Dict[str, object]:
+    """Evaluate a bench across corners.
+
+    *circuit_factory* builds a fresh TT netlist; *evaluate* runs the
+    measurement and returns any comparable result.  Returns
+    ``{corner name: result}``.
+    """
+    out: Dict[str, object] = {}
+    for corner in corners:
+        circuit = corner.apply(circuit_factory())
+        out[corner.name] = evaluate(circuit)
+    return out
+
+
+@dataclass
+class MismatchSpec:
+    """Local (within-die) mismatch: per-device random V_T offsets.
+
+    The comparator-offset argument is about *mismatch*, not just global
+    corners: the programmed 15 mV offset must exceed the random offset
+    of the input pair.  ``sigma_vt`` is the V_T standard deviation of a
+    minimum device; Pelgrom scaling (sigma ~ 1/sqrt(WL)) is applied per
+    device.
+    """
+
+    sigma_vt: float = 5e-3          # for the 0.5u x 0.5u reference device
+    reference_area: float = 0.25e-12
+
+    def sigma_for(self, device: MOSFET) -> float:
+        import math
+
+        area = device.w * device.l
+        return self.sigma_vt * math.sqrt(self.reference_area / area)
+
+    def apply(self, circuit: Circuit, seed: int = 0,
+              only: Optional[Callable[[MOSFET], bool]] = None) -> Circuit:
+        """Clone *circuit* with random per-device V_T shifts."""
+        import random
+
+        rng = random.Random(seed)
+        dup = circuit.clone(name=f"{circuit.name}@mm{seed}")
+        for dev in dup.elements_of_type(MOSFET):
+            if only is not None and not only(dev):
+                continue
+            shift = rng.gauss(0.0, self.sigma_for(dev))
+            dev.params = dev.params.corner(dvt=shift)
+        return dup
+
+
+def monte_carlo(circuit_factory: Callable[[], Circuit],
+                evaluate: Callable[[Circuit], object],
+                runs: int = 20, seed: int = 2016,
+                spec: Optional[MismatchSpec] = None) -> List[object]:
+    """Monte-Carlo mismatch sweep: *runs* evaluations with random V_T."""
+    spec = spec or MismatchSpec()
+    out = []
+    for k in range(runs):
+        circuit = spec.apply(circuit_factory(), seed=seed + k)
+        out.append(evaluate(circuit))
+    return out

@@ -1,0 +1,167 @@
+"""DC operating-point analysis (Newton-Raphson with homotopy fallbacks).
+
+The solver runs plain damped Newton first; if that fails to converge it
+retries with gmin stepping (a continuation on the shunt conductance added
+to every node) and finally with source stepping (ramping all independent
+sources from zero).  Small analog cells such as the paper's comparators
+converge in a handful of iterations; pathological faulted circuits (opens
+leaving nodes nearly floating) are exactly what the fallbacks are for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from .devices import CurrentSource, VoltageSource
+from .netlist import Circuit
+from .solver import SolverError, assemble, build_index, node_voltages, solve_linear
+
+MAX_NEWTON_ITER = 200
+VOLTAGE_TOL = 1e-9
+MAX_STEP = 0.5  # volts of damping per Newton update
+
+
+@dataclass
+class OperatingPoint:
+    """Result of a DC analysis."""
+
+    voltages: Dict[str, float]
+    converged: bool
+    iterations: int
+    x: np.ndarray = field(repr=False, default=None)
+    node_index: Dict[str, int] = field(repr=False, default_factory=dict)
+
+    def __getitem__(self, node: str) -> float:
+        return self.voltages[node]
+
+    def v(self, node: str) -> float:
+        """Voltage of *node* (0.0 for ground)."""
+        if node in ("0", "gnd", "GND", "vss", "VSS"):
+            return 0.0
+        return self.voltages[node]
+
+    def vdiff(self, p: str, n: str) -> float:
+        """Differential voltage V(p) - V(n)."""
+        return self.v(p) - self.v(n)
+
+
+def _newton(circuit: Circuit, node_index, n_total, x0, gmin: float,
+            source_scale: float = 1.0,
+            max_iter: int = MAX_NEWTON_ITER):
+    """Damped Newton iteration; returns (x, converged, iterations)."""
+    x = x0.copy()
+    scaled = _scale_sources(circuit, source_scale)
+    try:
+        for it in range(1, max_iter + 1):
+            A, b = assemble(circuit, node_index, n_total, x, "dc", gmin=gmin)
+            try:
+                x_new = solve_linear(A, b)
+            except SolverError:
+                return x, False, it
+            dx = x_new - x
+            n_nodes = len(node_index)
+            dv = dx[:n_nodes]
+            step = float(np.max(np.abs(dv))) if n_nodes else 0.0
+            if step > MAX_STEP:
+                x = x + dx * (MAX_STEP / step)
+            else:
+                x = x_new
+            if step < VOLTAGE_TOL:
+                return x, True, it
+        return x, False, max_iter
+    finally:
+        _restore_sources(scaled)
+
+
+def _scale_sources(circuit: Circuit, scale: float):
+    """Temporarily scale all independent sources; returns restore info."""
+    if scale == 1.0:
+        return []
+    saved = []
+    for elem in circuit:
+        if isinstance(elem, VoltageSource):
+            saved.append((elem, "voltage", elem.voltage))
+            elem.voltage *= scale
+        elif isinstance(elem, CurrentSource):
+            saved.append((elem, "current", elem.current))
+            elem.current *= scale
+    return saved
+
+
+def _restore_sources(saved) -> None:
+    for elem, attr, value in saved:
+        setattr(elem, attr, value)
+
+
+def dc_operating_point(circuit: Circuit,
+                       x0: Optional[np.ndarray] = None,
+                       gmin: float = 1e-12) -> OperatingPoint:
+    """Compute the DC operating point of *circuit*.
+
+    Tries plain Newton, then gmin stepping, then source stepping.  The
+    returned :class:`OperatingPoint` reports ``converged=False`` rather
+    than raising, because faulted circuits legitimately fail sometimes and
+    the fault campaign treats non-convergence as an observable.
+    """
+    node_index, n_nodes, n_total = build_index(circuit)
+    if x0 is None or len(x0) != n_total:
+        x0 = np.zeros(n_total)
+
+    # 1. plain Newton from the supplied guess
+    x, ok, its = _newton(circuit, node_index, n_total, x0, gmin)
+    total_its = its
+    if not ok:
+        # 2. gmin stepping: solve with heavy shunt, tighten geometrically
+        x_g = np.zeros(n_total)
+        ok_g = True
+        for g in (1e-2, 1e-3, 1e-4, 1e-6, 1e-8, 1e-10, gmin):
+            x_g, ok_g, its = _newton(circuit, node_index, n_total, x_g, g)
+            total_its += its
+            if not ok_g:
+                break
+        if ok_g:
+            x, ok = x_g, True
+    if not ok:
+        # 3. source stepping from a quiescent circuit
+        x_s = np.zeros(n_total)
+        ok_s = True
+        for scale in (0.1, 0.25, 0.5, 0.75, 0.9, 1.0):
+            x_s, ok_s, its = _newton(circuit, node_index, n_total, x_s,
+                                     gmin, source_scale=scale)
+            total_its += its
+            if not ok_s:
+                break
+        if ok_s:
+            x, ok = x_s, True
+
+    return OperatingPoint(voltages=node_voltages(circuit, node_index, x),
+                          converged=ok, iterations=total_its, x=x,
+                          node_index=node_index)
+
+
+def dc_sweep(circuit: Circuit, source_name: str,
+             values) -> Dict[float, OperatingPoint]:
+    """Sweep the value of voltage source *source_name* over *values*.
+
+    Each point warm-starts from the previous solution, which makes sweeps
+    across comparator thresholds robust.
+    """
+    src = circuit[source_name]
+    if not isinstance(src, VoltageSource):
+        raise SolverError(f"{source_name!r} is not a voltage source")
+    original = src.voltage
+    results: Dict[float, OperatingPoint] = {}
+    x_guess = None
+    try:
+        for v in values:
+            src.voltage = float(v)
+            op = dc_operating_point(circuit, x0=x_guess)
+            results[float(v)] = op
+            if op.converged:
+                x_guess = op.x
+    finally:
+        src.voltage = original
+    return results

@@ -1,0 +1,167 @@
+"""Waveform measurement utilities for transient results.
+
+The standard post-processing vocabulary of a circuit bench — edges,
+rise/fall time, propagation delay, overshoot, settling, period/duty —
+implemented over :class:`~repro.analog.transient.TransientResult`
+waveforms (or any ``(time, values)`` pair).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+class MeasureError(Exception):
+    """Raised when a measurement's precondition fails (no edge, etc.)."""
+
+
+def _as_arrays(time, values) -> Tuple[np.ndarray, np.ndarray]:
+    t = np.asarray(time, dtype=float)
+    v = np.asarray(values, dtype=float)
+    if t.shape != v.shape:
+        raise MeasureError("time and values must have the same shape")
+    if len(t) < 2:
+        raise MeasureError("need at least two samples")
+    return t, v
+
+
+def crossings(time, values, level: float,
+              direction: str = "both") -> List[float]:
+    """Interpolated times where the waveform crosses *level*.
+
+    *direction*: ``'rise'``, ``'fall'`` or ``'both'``.
+    """
+    t, v = _as_arrays(time, values)
+    below = v[:-1] < level
+    above = v[1:] >= level
+    rise_idx = np.nonzero(below & above)[0]
+    fall_idx = np.nonzero(~below & ~above)[0]
+    # ~below = v[:-1] >= level ; ~above = v[1:] < level
+    out: List[Tuple[float, str]] = []
+    for i in rise_idx:
+        frac = (level - v[i]) / (v[i + 1] - v[i])
+        out.append((t[i] + frac * (t[i + 1] - t[i]), "rise"))
+    for i in fall_idx:
+        frac = (level - v[i]) / (v[i + 1] - v[i])
+        out.append((t[i] + frac * (t[i + 1] - t[i]), "fall"))
+    out.sort()
+    if direction == "both":
+        return [x for x, _ in out]
+    return [x for x, d in out if d == direction]
+
+
+def rise_time(time, values, lo_frac: float = 0.1,
+              hi_frac: float = 0.9) -> float:
+    """10-90% (by default) rise time of the first full rising edge."""
+    t, v = _as_arrays(time, values)
+    v0, v1 = float(v.min()), float(v.max())
+    if v1 - v0 < 1e-12:
+        raise MeasureError("waveform is flat")
+    lo = v0 + lo_frac * (v1 - v0)
+    hi = v0 + hi_frac * (v1 - v0)
+    t_lo = crossings(t, v, lo, "rise")
+    t_hi = crossings(t, v, hi, "rise")
+    for a in t_lo:
+        later = [b for b in t_hi if b > a]
+        if later:
+            return later[0] - a
+    raise MeasureError("no complete rising edge found")
+
+
+def fall_time(time, values, hi_frac: float = 0.9,
+              lo_frac: float = 0.1) -> float:
+    """90-10% fall time of the first full falling edge."""
+    t, v = _as_arrays(time, values)
+    return rise_time(t, -v, 1 - hi_frac, 1 - lo_frac)
+
+
+def propagation_delay(time, v_in, v_out, level_in: float,
+                      level_out: float,
+                      edge_in: str = "rise",
+                      edge_out: str = "rise") -> float:
+    """Delay from the first *edge_in* crossing of the input to the next
+    *edge_out* crossing of the output."""
+    t_in = crossings(time, v_in, level_in, edge_in)
+    if not t_in:
+        raise MeasureError("input never crosses its level")
+    t_out = [x for x in crossings(time, v_out, level_out, edge_out)
+             if x > t_in[0]]
+    if not t_out:
+        raise MeasureError("output never crosses its level after the "
+                           "input edge")
+    return t_out[0] - t_in[0]
+
+
+def overshoot(time, values, final_value: Optional[float] = None) -> float:
+    """Peak overshoot beyond the final value, as a fraction of the step."""
+    t, v = _as_arrays(time, values)
+    vf = float(v[-1]) if final_value is None else final_value
+    v0 = float(v[0])
+    step = vf - v0
+    if abs(step) < 1e-12:
+        raise MeasureError("no step to measure overshoot against")
+    peak = float(v.max()) if step > 0 else float(v.min())
+    return max(0.0, (peak - vf) / step if step > 0 else (vf - peak) / -step)
+
+
+def settling_time(time, values, tolerance: float = 0.02,
+                  final_value: Optional[float] = None) -> float:
+    """Time after which the waveform stays within +-tol of final value."""
+    t, v = _as_arrays(time, values)
+    vf = float(v[-1]) if final_value is None else final_value
+    band = tolerance * max(abs(vf), 1e-12)
+    outside = np.nonzero(np.abs(v - vf) > band)[0]
+    if len(outside) == 0:
+        return 0.0
+    last = outside[-1]
+    if last + 1 >= len(t):
+        raise MeasureError("waveform never settles inside the band")
+    return float(t[last + 1] - t[0])
+
+
+def period_and_duty(time, values,
+                    level: Optional[float] = None) -> Tuple[float, float]:
+    """Average period and duty cycle of a periodic waveform."""
+    t, v = _as_arrays(time, values)
+    lvl = 0.5 * (float(v.min()) + float(v.max())) if level is None else level
+    rises = crossings(t, v, lvl, "rise")
+    falls = crossings(t, v, lvl, "fall")
+    if len(rises) < 2:
+        raise MeasureError("fewer than two rising edges")
+    periods = np.diff(rises)
+    period = float(np.mean(periods))
+    # duty from the high intervals between each rise and the next fall
+    highs = []
+    for r in rises[:-1]:
+        nxt = [f for f in falls if f > r]
+        if nxt:
+            highs.append(nxt[0] - r)
+    if not highs:
+        raise MeasureError("no complete high phase found")
+    return period, float(np.mean(highs)) / period
+
+
+@dataclass
+class EdgeSummary:
+    """Summary of all edges of a digital-ish waveform."""
+
+    n_rising: int
+    n_falling: int
+    first_edge: Optional[float]
+    mean_period: Optional[float]
+
+
+def summarize_edges(time, values, level: float = 0.6) -> EdgeSummary:
+    """Count and summarise all threshold crossings of a waveform."""
+    rises = crossings(time, values, level, "rise")
+    falls = crossings(time, values, level, "fall")
+    edges = sorted(rises + falls)
+    period = None
+    if len(rises) >= 2:
+        period = float(np.mean(np.diff(rises)))
+    return EdgeSummary(n_rising=len(rises), n_falling=len(falls),
+                       first_edge=edges[0] if edges else None,
+                       mean_period=period)

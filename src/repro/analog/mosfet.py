@@ -1,0 +1,179 @@
+"""Smooth long-channel MOSFET model for the MNA engine.
+
+The model is a simplified EKV formulation: a single smooth expression that
+interpolates between weak inversion (exponential) and strong inversion
+(square law), is symmetric under drain/source exchange, and includes
+first-order channel-length modulation.  It is *not* a BSIM replacement —
+the reproduction only needs the gross topological behaviour of faulted
+circuits (branches starving, nodes collapsing to rails, comparators
+tripping), which this model captures while converging robustly in Newton
+iteration.
+
+Drain current (NMOS, all voltages bulk-referenced)::
+
+    v_p  = (v_g - V_T0) / n                    (pinch-off voltage)
+    i_f  = ln^2(1 + exp((v_p - v_s) / (2 phi_t)))   (forward current)
+    i_r  = ln^2(1 + exp((v_p - v_d) / (2 phi_t)))   (reverse current)
+    I_D  = 2 n K (W/L) phi_t^2 (i_f - i_r) * (1 + lambda |v_ds|)
+
+PMOS mirrors the NMOS expression with all voltages negated.
+
+Parameter defaults approximate a 130 nm-class CMOS process at 1.2 V
+(the paper's UMC 130 nm technology): |V_T0| ~ 0.35 V, KP_n ~ 280 uA/V^2,
+KP_p ~ 70 uA/V^2.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+from .devices import Element, StampContext
+
+PHI_T = 0.02585  # thermal voltage at ~300 K
+
+
+@dataclass(frozen=True)
+class MOSParams:
+    """Process parameters for the simplified EKV model."""
+
+    polarity: str          # 'n' or 'p'
+    vt0: float             # zero-bias threshold voltage magnitude [V]
+    kp: float              # transconductance parameter mu*Cox [A/V^2]
+    slope_n: float = 1.3   # subthreshold slope factor
+    lam: float = 0.15      # channel-length modulation [1/V]
+
+    def corner(self, dvt: float = 0.0, kp_scale: float = 1.0) -> "MOSParams":
+        """Return a shifted-corner copy (dvt adds to |V_T0|)."""
+        return replace(self, vt0=self.vt0 + dvt, kp=self.kp * kp_scale)
+
+
+#: typical 130 nm-class NMOS / PMOS parameters
+NMOS_130 = MOSParams(polarity="n", vt0=0.35, kp=280e-6)
+PMOS_130 = MOSParams(polarity="p", vt0=0.35, kp=70e-6)
+
+#: slow / fast corners used by the robustness benches
+NMOS_130_SS = NMOS_130.corner(dvt=+0.05, kp_scale=0.85)
+NMOS_130_FF = NMOS_130.corner(dvt=-0.05, kp_scale=1.15)
+PMOS_130_SS = PMOS_130.corner(dvt=+0.05, kp_scale=0.85)
+PMOS_130_FF = PMOS_130.corner(dvt=-0.05, kp_scale=1.15)
+
+
+def _softln(v: float) -> float:
+    """Numerically safe ln(1 + exp(v))."""
+    if v > 40.0:
+        return v
+    if v < -40.0:
+        return math.exp(v)  # ~0 but keeps derivatives finite
+    return math.log1p(math.exp(v))
+
+
+def _dsoftln(v: float) -> float:
+    """Derivative of :func:`_softln` (the logistic function)."""
+    if v > 40.0:
+        return 1.0
+    if v < -40.0:
+        return math.exp(v)
+    e = math.exp(-v)
+    return 1.0 / (1.0 + e)
+
+
+class MOSFET(Element):
+    """Four-terminal MOSFET (d, g, s, b) with the simplified EKV model."""
+
+    def __init__(self, name: str, d: str, g: str, s: str, b: str,
+                 w: float, l: float, params: MOSParams):
+        if w <= 0 or l <= 0:
+            raise ValueError(f"mosfet {name}: W and L must be > 0")
+        super().__init__(name, {"d": d, "g": g, "s": s, "b": b})
+        self.w = w
+        self.l = l
+        self.params = params
+
+    # ------------------------------------------------------------------
+    @property
+    def is_nmos(self) -> bool:
+        return self.params.polarity == "n"
+
+    def ids(self, vg: float, vd: float, vs: float, vb: float = 0.0):
+        """Drain current and small-signal derivatives.
+
+        Returns ``(i_d, gm, gds, gmb_s)`` where ``i_d`` flows d -> s for
+        NMOS (s -> d for PMOS reported as negative ``i_d``), ``gm`` is
+        d(i_d)/d(vg), ``gds`` d(i_d)/d(vd) and ``gmb_s`` d(i_d)/d(vs).
+        """
+        p = self.params
+        sign = 1.0 if self.is_nmos else -1.0
+        # bulk-referenced voltages, polarity-normalised
+        vgb = sign * (vg - vb)
+        vdb = sign * (vd - vb)
+        vsb = sign * (vs - vb)
+
+        n = p.slope_n
+        beta = 2.0 * n * p.kp * (self.w / self.l) * PHI_T * PHI_T
+        vp = (vgb - p.vt0) / n
+
+        af = (vp - vsb) / (2.0 * PHI_T)
+        ar = (vp - vdb) / (2.0 * PHI_T)
+        lf = _softln(af)
+        lr = _softln(ar)
+        i_f = lf * lf
+        i_r = lr * lr
+
+        vds = vdb - vsb
+        clm = 1.0 + p.lam * abs(vds)
+        i_core = beta * (i_f - i_r)
+        i_d = i_core * clm
+
+        # derivatives of i_f and i_r
+        dlf = 2.0 * lf * _dsoftln(af) / (2.0 * PHI_T)
+        dlr = 2.0 * lr * _dsoftln(ar) / (2.0 * PHI_T)
+        # wrt vp (through both terms), vs, vd
+        di_dvp = beta * (dlf - dlr)
+        di_dvs = -beta * dlf
+        di_dvd = beta * dlr
+
+        dclm_dvds = p.lam * (1.0 if vds >= 0 else -1.0)
+
+        gm = di_dvp * (1.0 / n) * clm
+        gds = di_dvd * clm + i_core * dclm_dvds
+        gms = di_dvs * clm - i_core * dclm_dvds
+
+        # map back to un-normalised terminal voltages: d/d(vg) etc.
+        # vgb = sign*(vg-vb) => d(vgb)/d(vg) = sign; current reported for
+        # the physical direction: I(d->s) = sign * i_d_normalised
+        i_phys = sign * i_d
+        gm_phys = gm          # sign*sign = 1
+        gds_phys = gds
+        gms_phys = gms
+        return i_phys, gm_phys, gds_phys, gms_phys
+
+    # ------------------------------------------------------------------
+    def stamp(self, ctx: StampContext) -> None:
+        td, tg, ts, tb = (self.terminals[k] for k in ("d", "g", "s", "b"))
+        d, g, s, b = ctx.idx(td), ctx.idx(tg), ctx.idx(ts), ctx.idx(tb)
+
+        xref = ctx.xop if ctx.mode == "ac" else None
+        vg = ctx.v(tg, xref)
+        vd = ctx.v(td, xref)
+        vs = ctx.v(ts, xref)
+        vb = ctx.v(tb, xref)
+
+        i_d, gm, gds, gms = self.ids(vg, vd, vs, vb)
+        # keep the Jacobian invertible for cut-off devices
+        gds = gds if abs(gds) > 1e-12 else 1e-12
+
+        if ctx.mode == "ac":
+            ctx.add_transconductance(d, s, g, b, gm)
+            ctx.add_conductance(d, s, gds)
+            return
+
+        # Newton linearisation:  i(v) ~ i0 + gm dVg + gds dVd + gms dVs
+        # stamp as VCCS elements plus the residual current source.
+        ctx.add_transconductance(d, s, g, b, gm)
+        # gds: conductance between d and s is only correct when gms=-gds-gm;
+        # for the general case stamp each control separately.
+        ctx.add_transconductance(d, s, d, b, gds)
+        ctx.add_transconductance(d, s, s, b, gms)
+        i_lin = gm * (vg - vb) + gds * (vd - vb) + gms * (vs - vb)
+        ctx.add_current(d, s, i_d - i_lin)

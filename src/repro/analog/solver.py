@@ -1,0 +1,67 @@
+"""Shared MNA assembly used by the DC, transient, and AC analyses."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from .devices import StampContext
+from .netlist import Circuit, is_ground
+
+
+class SolverError(Exception):
+    """Raised when an analysis fails to converge or is ill-posed."""
+
+
+def build_index(circuit: Circuit) -> Tuple[Dict[str, int], int, int]:
+    """Assign matrix indices to nodes and auxiliary branch currents.
+
+    Returns ``(node_index, n_nodes, n_total)``; element ``aux_base``
+    attributes are set as a side effect.
+    """
+    nodes = circuit.nodes()
+    node_index = {name: i for i, name in enumerate(nodes)}
+    n_nodes = len(nodes)
+    aux = n_nodes
+    for elem in circuit:
+        if elem.num_aux:
+            elem.aux_base = aux
+            aux += elem.num_aux
+    return node_index, n_nodes, aux
+
+
+def assemble(circuit: Circuit, node_index: Dict[str, int], n_total: int,
+             x: np.ndarray, mode: str, *, dt: float = 0.0, xprev=None,
+             xop=None, omega: float = 0.0, method: str = "be",
+             time: float = 0.0, gmin: float = 1e-12,
+             dtype=float) -> Tuple[np.ndarray, np.ndarray]:
+    """Assemble the MNA system ``A @ x_new = b`` linearised at *x*."""
+    A = np.zeros((n_total, n_total), dtype=dtype)
+    b = np.zeros(n_total, dtype=dtype)
+    ctx = StampContext(A, b, x, node_index, mode, dt=dt, xprev=xprev,
+                       xop=xop, omega=omega, method=method, time=time)
+    for elem in circuit:
+        elem.stamp(ctx)
+    # gmin from every node to ground keeps floating subnets solvable
+    n_nodes = len(node_index)
+    for i in range(n_nodes):
+        A[i, i] += gmin
+    return A, b
+
+
+def solve_linear(A: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Solve the assembled system, raising :class:`SolverError` if singular."""
+    try:
+        return np.linalg.solve(A, b)
+    except np.linalg.LinAlgError as exc:
+        raise SolverError(f"singular MNA matrix: {exc}") from exc
+
+
+def node_voltages(circuit: Circuit, node_index: Dict[str, int],
+                  x: np.ndarray) -> Dict[str, float]:
+    """Extract a node-name -> voltage mapping from solution vector *x*."""
+    out = {"0": 0.0}
+    for name, i in node_index.items():
+        out[name] = float(np.real(x[i]))
+    return out

@@ -1,0 +1,204 @@
+"""SPICE-format netlist export and (subset) import.
+
+A reproduction library is far more useful when its netlists can be
+inspected, diffed, and cross-checked against a real simulator.  This
+module writes :class:`~repro.analog.netlist.Circuit` objects as
+SPICE-compatible decks and parses the same subset back:
+
+* ``R`` / ``C`` two-terminal elements,
+* ``V`` / ``I`` independent DC sources,
+* ``M`` MOSFETs (d g s b, ``.model`` cards with our EKV parameters
+  encoded as LEVEL=1-style VTO/KP),
+* ``E`` voltage-controlled voltage sources,
+* comments and ``.end``.
+
+The writer is lossless for these element types (round-trip tested); the
+parser deliberately rejects anything it does not understand rather than
+guessing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, TextIO, Tuple
+
+from .devices import (
+    Capacitor,
+    CurrentSource,
+    Resistor,
+    VoltageControlledVoltageSource,
+    VoltageSource,
+)
+from .mosfet import MOSFET, MOSParams
+from .netlist import Circuit
+
+
+class SpiceFormatError(Exception):
+    """Raised on decks the subset parser cannot represent."""
+
+
+# ----------------------------------------------------------------------
+# writing
+# ----------------------------------------------------------------------
+def _fmt(value: float) -> str:
+    """Engineering-ish float formatting without locale surprises."""
+    return f"{value:.6g}"
+
+
+def _model_name(params: MOSParams) -> str:
+    pol = "nmos" if params.polarity == "n" else "pmos"
+    return f"{pol}_vt{int(round(params.vt0 * 1000))}" \
+           f"_kp{int(round(params.kp * 1e6))}"
+
+
+def write_spice(circuit: Circuit, title: Optional[str] = None) -> str:
+    """Render *circuit* as a SPICE deck string."""
+    lines: List[str] = [f"* {title or circuit.name}"]
+    models: Dict[str, MOSParams] = {}
+
+    for elem in circuit.elements:
+        t = elem.terminals
+        if isinstance(elem, Resistor):
+            lines.append(f"R{elem.name} {t['p']} {t['n']} "
+                         f"{_fmt(elem.resistance)}")
+        elif isinstance(elem, Capacitor):
+            lines.append(f"C{elem.name} {t['p']} {t['n']} "
+                         f"{_fmt(elem.capacitance)}")
+        elif isinstance(elem, VoltageSource):
+            lines.append(f"V{elem.name} {t['p']} {t['n']} DC "
+                         f"{_fmt(elem.voltage)}")
+        elif isinstance(elem, CurrentSource):
+            lines.append(f"I{elem.name} {t['p']} {t['n']} DC "
+                         f"{_fmt(elem.current)}")
+        elif isinstance(elem, VoltageControlledVoltageSource):
+            lines.append(f"E{elem.name} {t['p']} {t['n']} {t['cp']} "
+                         f"{t['cn']} {_fmt(elem.gain)}")
+        elif isinstance(elem, MOSFET):
+            model = _model_name(elem.params)
+            models[model] = elem.params
+            lines.append(
+                f"M{elem.name} {t['d']} {t['g']} {t['s']} {t['b']} "
+                f"{model} W={_fmt(elem.w)} L={_fmt(elem.l)}")
+        else:
+            lines.append(f"* (unexported element {elem.name} of type "
+                         f"{type(elem).__name__})")
+
+    for model, params in sorted(models.items()):
+        kind = "NMOS" if params.polarity == "n" else "PMOS"
+        lines.append(
+            f".model {model} {kind} (VTO={_fmt(params.vt0)} "
+            f"KP={_fmt(params.kp)} LAMBDA={_fmt(params.lam)} "
+            f"N={_fmt(params.slope_n)})")
+    lines.append(".end")
+    return "\n".join(lines) + "\n"
+
+
+def save_spice(circuit: Circuit, path: str,
+               title: Optional[str] = None) -> None:
+    """Write the deck to *path*."""
+    with open(path, "w") as fh:
+        fh.write(write_spice(circuit, title=title))
+
+
+# ----------------------------------------------------------------------
+# parsing (the same subset back)
+# ----------------------------------------------------------------------
+def _parse_value(token: str) -> float:
+    """Parse a SPICE number with optional engineering suffix."""
+    token = token.strip().lower()
+    suffixes = (("meg", 1e6), ("t", 1e12), ("g", 1e9), ("k", 1e3),
+                ("m", 1e-3), ("u", 1e-6), ("n", 1e-9), ("p", 1e-12),
+                ("f", 1e-15))
+    for suf, mult in suffixes:
+        if token.endswith(suf):
+            return float(token[: -len(suf)]) * mult
+    return float(token)
+
+
+def _parse_model_card(line: str) -> Tuple[str, MOSParams]:
+    # .model <name> NMOS|PMOS (KEY=VAL ...)
+    body = line[len(".model"):].strip()
+    name, rest = body.split(None, 1)
+    kind, rest = rest.split(None, 1)
+    rest = rest.strip().lstrip("(").rstrip(")")
+    fields: Dict[str, float] = {}
+    for pair in rest.split():
+        if "=" not in pair:
+            raise SpiceFormatError(f"bad model field {pair!r}")
+        key, val = pair.split("=", 1)
+        fields[key.upper()] = _parse_value(val)
+    params = MOSParams(
+        polarity="n" if kind.upper() == "NMOS" else "p",
+        vt0=fields.get("VTO", 0.35),
+        kp=fields.get("KP", 280e-6),
+        lam=fields.get("LAMBDA", 0.15),
+        slope_n=fields.get("N", 1.3),
+    )
+    return name, params
+
+
+def read_spice(text: str, name: str = "imported") -> Circuit:
+    """Parse a deck produced by :func:`write_spice` (or compatible)."""
+    circuit = Circuit(name)
+    pending_mosfets: List[Tuple[str, List[str], Dict[str, str]]] = []
+    models: Dict[str, MOSParams] = {}
+
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line or line.startswith("*"):
+            continue
+        lower = line.lower()
+        if lower == ".end":
+            break
+        if lower.startswith(".model"):
+            model_name, params = _parse_model_card(line)
+            models[model_name] = params
+            continue
+        if lower.startswith("."):
+            raise SpiceFormatError(f"unsupported card: {line!r}")
+
+        tokens = line.split()
+        kind = tokens[0][0].upper()
+        elem_name = tokens[0][1:]
+        if kind == "R":
+            circuit.add_resistor(tokens[1], tokens[2],
+                                 _parse_value(tokens[3]), name=elem_name)
+        elif kind == "C":
+            circuit.add_capacitor(tokens[1], tokens[2],
+                                  _parse_value(tokens[3]), name=elem_name)
+        elif kind == "V":
+            value = tokens[4] if tokens[3].upper() == "DC" else tokens[3]
+            circuit.add_vsource(tokens[1], tokens[2],
+                                _parse_value(value), name=elem_name)
+        elif kind == "I":
+            value = tokens[4] if tokens[3].upper() == "DC" else tokens[3]
+            circuit.add_isource(tokens[1], tokens[2],
+                                _parse_value(value), name=elem_name)
+        elif kind == "E":
+            circuit.add_vcvs(tokens[1], tokens[2], tokens[3], tokens[4],
+                             _parse_value(tokens[5]), name=elem_name)
+        elif kind == "M":
+            geometry = {}
+            for tok in tokens[6:]:
+                key, val = tok.split("=", 1)
+                geometry[key.upper()] = _parse_value(val)
+            pending_mosfets.append(
+                (elem_name, tokens[1:6],
+                 {"W": geometry.get("W", 0.5e-6),
+                  "L": geometry.get("L", 0.5e-6)}))
+        else:
+            raise SpiceFormatError(f"unsupported element: {line!r}")
+
+    # MOSFETs resolve after all .model cards are read
+    for elem_name, (d, g, s, b, model), geo in pending_mosfets:
+        if model not in models:
+            raise SpiceFormatError(f"MOSFET {elem_name} references "
+                                   f"unknown model {model!r}")
+        circuit.add(MOSFET(elem_name, d, g, s, b, geo["W"], geo["L"],
+                           models[model]))
+    return circuit
+
+
+def load_spice(path: str, name: Optional[str] = None) -> Circuit:
+    """Read a SPICE deck from *path* (the :func:`read_spice` subset)."""
+    with open(path) as fh:
+        return read_spice(fh.read(), name=name or path)

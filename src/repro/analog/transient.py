@@ -1,0 +1,202 @@
+"""Fixed-step transient analysis on top of the MNA engine.
+
+Each time step solves the nonlinear companion-model system by Newton
+iteration, warm-started from the previous time point.  Sources may carry a
+``waveform`` callable (``t -> value``) for stimulus.  The step size is fixed
+(the circuits here are driven by known clocks, so adaptive stepping buys
+little) but the integrator falls back to step halving when Newton stalls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .dc import MAX_STEP, VOLTAGE_TOL, dc_operating_point
+from .netlist import Circuit, is_ground
+from .solver import SolverError, assemble, build_index, solve_linear
+
+MAX_NEWTON_ITER = 80
+
+
+@dataclass
+class TransientResult:
+    """Time-domain waveforms from :func:`transient`.
+
+    ``time`` is the sample vector; ``waves`` maps node name -> voltage
+    array aligned with ``time``.
+    """
+
+    time: np.ndarray
+    waves: Dict[str, np.ndarray]
+    converged: bool = True
+
+    def v(self, node: str) -> np.ndarray:
+        if is_ground(node):
+            return np.zeros_like(self.time)
+        return self.waves[node]
+
+    def vdiff(self, p: str, n: str) -> np.ndarray:
+        return self.v(p) - self.v(n)
+
+    def at(self, node: str, t: float) -> float:
+        """Linearly interpolated voltage of *node* at time *t*."""
+        return float(np.interp(t, self.time, self.v(node)))
+
+    def final(self, node: str) -> float:
+        return float(self.v(node)[-1])
+
+
+def _newton_step(circuit, node_index, n_total, x_guess, xprev, dt, t,
+                 method: str):
+    x = x_guess.copy()
+    for _ in range(MAX_NEWTON_ITER):
+        A, b = assemble(circuit, node_index, n_total, x, "tran",
+                        dt=dt, xprev=xprev, method=method, time=t)
+        try:
+            x_new = solve_linear(A, b)
+        except SolverError:
+            return x, False
+        dx = x_new - x
+        n_nodes = len(node_index)
+        step = float(np.max(np.abs(dx[:n_nodes]))) if n_nodes else 0.0
+        if step > MAX_STEP:
+            x = x + dx * (MAX_STEP / step)
+        else:
+            x = x_new
+        if step < VOLTAGE_TOL * 100:  # transient tolerance can be looser
+            return x, True
+    return x, False
+
+
+def transient(circuit: Circuit, t_stop: float, dt: float,
+              probes: Optional[Sequence[str]] = None,
+              method: str = "be",
+              x0: Optional[np.ndarray] = None) -> TransientResult:
+    """Integrate *circuit* from 0 to *t_stop* with step *dt*.
+
+    Parameters
+    ----------
+    probes:
+        Node names to record; default records every node.
+    method:
+        ``'be'`` (robust default) or ``'trap'``.
+    x0:
+        Initial solution vector; default is the DC operating point at t=0.
+    """
+    node_index, n_nodes, n_total = build_index(circuit)
+    if x0 is None:
+        op = dc_operating_point(circuit)
+        x = op.x if op.x is not None and len(op.x) == n_total else np.zeros(n_total)
+    else:
+        x = x0.copy()
+
+    from .devices import Capacitor
+
+    caps = circuit.elements_of_type(Capacitor)
+    for cap in caps:
+        cap.begin_transient()
+
+    def cap_voltage(cap, xv):
+        vp = 0.0 if is_ground(cap.terminals["p"]) else xv[node_index[cap.terminals["p"]]]
+        vn = 0.0 if is_ground(cap.terminals["n"]) else xv[node_index[cap.terminals["n"]]]
+        return float(vp - vn)
+
+    record = list(probes) if probes is not None else circuit.nodes()
+    idx_of = {p: node_index[p] for p in record if not is_ground(p)}
+
+    n_steps = max(1, int(round(t_stop / dt)))
+    times = np.empty(n_steps + 1)
+    data = {p: np.empty(n_steps + 1) for p in record}
+    times[0] = 0.0
+    for p in record:
+        data[p][0] = 0.0 if is_ground(p) else float(x[idx_of[p]])
+
+    all_converged = True
+    t = 0.0
+    for k in range(1, n_steps + 1):
+        t_next = k * dt
+        x_new, ok = _newton_step(circuit, node_index, n_total, x, x, dt,
+                                 t_next, method)
+        if not ok:
+            # halve the step twice before giving up on this interval
+            x_half = x
+            sub_ok = True
+            for j in (1, 2):
+                x_half, sub_ok = _newton_step(circuit, node_index, n_total,
+                                              x_half, x_half, dt / 2,
+                                              t + j * dt / 2, method)
+                if not sub_ok:
+                    break
+            if sub_ok:
+                x_new, ok = x_half, True
+        if not ok:
+            all_converged = False
+        if method == "trap":
+            for cap in caps:
+                cap.accept_step(cap_voltage(cap, x_new))
+        x = x_new
+        t = t_next
+        times[k] = t
+        for p in record:
+            data[p][k] = 0.0 if is_ground(p) else float(x[idx_of[p]])
+
+    return TransientResult(time=times, waves=data, converged=all_converged)
+
+
+# ----------------------------------------------------------------------
+# stimulus helpers
+# ----------------------------------------------------------------------
+def step_waveform(v0: float, v1: float, t_step: float,
+                  t_rise: float = 10e-12) -> Callable[[float], float]:
+    """Voltage step from *v0* to *v1* at *t_step* with linear rise."""
+
+    def wf(t: float) -> float:
+        if t <= t_step:
+            return v0
+        if t >= t_step + t_rise:
+            return v1
+        return v0 + (v1 - v0) * (t - t_step) / t_rise
+
+    return wf
+
+
+def clock_waveform(period: float, v_low: float = 0.0, v_high: float = 1.2,
+                   t_rise: float = 10e-12,
+                   duty: float = 0.5) -> Callable[[float], float]:
+    """Square clock with linear edges."""
+
+    def wf(t: float) -> float:
+        ph = t % period
+        t_high = duty * period
+        if ph < t_rise:
+            return v_low + (v_high - v_low) * ph / t_rise
+        if ph < t_high:
+            return v_high
+        if ph < t_high + t_rise:
+            return v_high - (v_high - v_low) * (ph - t_high) / t_rise
+        return v_low
+
+    return wf
+
+
+def bit_waveform(bits: Sequence[int], bit_time: float, v_low: float = 0.0,
+                 v_high: float = 1.2,
+                 t_rise: float = 10e-12) -> Callable[[float], float]:
+    """NRZ waveform for a bit sequence (holds last bit afterwards)."""
+    levels = [v_high if b else v_low for b in bits]
+
+    def wf(t: float) -> float:
+        i = int(t // bit_time)
+        if i >= len(levels):
+            return levels[-1]
+        target = levels[i]
+        prev = levels[i - 1] if i > 0 else levels[0]
+        dt_in = t - i * bit_time
+        if dt_in < t_rise and target != prev:
+            return prev + (target - prev) * dt_in / t_rise
+        return target
+
+    return wf

@@ -1,0 +1,69 @@
+"""On-chip interconnect channel models (the paper's 10 mm RC wire).
+
+Distributed RC line (exact two-port + ladder synthesis for MNA
+co-simulation), 130 nm-class wire presets, frequency-domain channel
+transfer with/without the capacitive FFE, and worst-case eye analysis.
+"""
+
+from .ber import (
+    LinkMargin,
+    ber_with_cp_fault,
+    link_margin,
+    q_function,
+)
+from .power import (
+    EnergyComparison,
+    EnergyReport,
+    compare_energy,
+    crossover_rate,
+    low_swing_link_energy,
+    repeated_link_energy,
+)
+from .differential import (
+    DifferentialChannel,
+    DifferentialLevels,
+    degrade_arm,
+)
+from .eye import (
+    EyeResult,
+    equalization_gain,
+    eye_center,
+    eye_from_pulse,
+    eye_of_channel,
+)
+from .rc_line import (
+    RCLine,
+    abcd_chain,
+    abcd_series,
+    abcd_shunt,
+    abcd_to_transfer,
+)
+from .sparams import (
+    ChannelConfig,
+    ChannelResponse,
+    channel_transfer,
+    dominant_pole,
+    pulse_response,
+)
+from .wire_models import (
+    GLOBAL_MIN,
+    GLOBAL_WIDE,
+    INTERMEDIATE,
+    PRESETS,
+    WireModel,
+    get_wire_model,
+)
+
+__all__ = [
+    "LinkMargin", "ber_with_cp_fault", "link_margin", "q_function",
+    "EnergyComparison", "EnergyReport", "compare_energy",
+    "crossover_rate", "low_swing_link_energy", "repeated_link_energy",
+    "DifferentialChannel", "DifferentialLevels", "degrade_arm",
+    "EyeResult", "equalization_gain", "eye_center", "eye_from_pulse",
+    "eye_of_channel",
+    "RCLine", "abcd_chain", "abcd_series", "abcd_shunt", "abcd_to_transfer",
+    "ChannelConfig", "ChannelResponse", "channel_transfer", "dominant_pole",
+    "pulse_response",
+    "GLOBAL_MIN", "GLOBAL_WIDE", "INTERMEDIATE", "PRESETS", "WireModel",
+    "get_wire_model",
+]

@@ -1,0 +1,148 @@
+"""Distributed RC transmission line: ladder synthesis and exact two-port.
+
+Two complementary views of the same wire:
+
+* :meth:`RCLine.build_ladder` emits an N-section RC ladder into an
+  :class:`repro.analog.Circuit` so the line can be co-simulated with
+  transistor-level transmitter/receiver cells (DC fault tests do this).
+* :meth:`RCLine.abcd` returns the *exact* distributed-line ABCD matrix
+  ``[[cosh(gl), Zc sinh(gl)], [sinh(gl)/Zc, cosh(gl)]]`` with
+  ``g = sqrt(j w R C)`` per metre, used by the frequency-domain channel
+  analysis (fast and free of discretisation error).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from ..analog import Circuit
+from .wire_models import WireModel
+
+
+@dataclass(frozen=True)
+class RCLine:
+    """A length of distributed RC on-chip wire."""
+
+    wire: WireModel
+    length_m: float
+
+    @property
+    def total_r(self) -> float:
+        """Total series resistance [ohm]."""
+        return self.wire.total_r(self.length_m)
+
+    @property
+    def total_c(self) -> float:
+        """Total shunt capacitance [F]."""
+        return self.wire.total_c(self.length_m)
+
+    @property
+    def elmore_delay(self) -> float:
+        """Elmore delay 0.5*R*C of the unloaded line [s]."""
+        return self.wire.elmore_delay(self.length_m)
+
+    # ------------------------------------------------------------------
+    # ladder synthesis (for MNA co-simulation)
+    # ------------------------------------------------------------------
+    def build_ladder(self, circuit: Circuit, node_in: str, node_out: str,
+                     sections: int = 10, prefix: str = "line") -> None:
+        """Emit an N-section RC ladder between *node_in* and *node_out*.
+
+        Uses the symmetric "RC-RC" segmentation: each section is a series
+        R followed by a shunt C; ten sections keep the ladder within a few
+        percent of the exact distributed response at the frequencies of
+        interest (error ~ 1/N^2).
+        """
+        if sections < 1:
+            raise ValueError("sections must be >= 1")
+        r_sec = self.total_r / sections
+        c_sec = self.total_c / sections
+        prev = node_in
+        for i in range(sections):
+            nxt = node_out if i == sections - 1 else f"{prefix}_n{i + 1}"
+            circuit.add_resistor(prev, nxt, r_sec, name=f"{prefix}_R{i + 1}")
+            circuit.add_capacitor(nxt, "0", c_sec, name=f"{prefix}_C{i + 1}")
+            prev = nxt
+
+    # ------------------------------------------------------------------
+    # exact frequency-domain two-port
+    # ------------------------------------------------------------------
+    def abcd(self, freqs: np.ndarray) -> np.ndarray:
+        """Exact ABCD parameters at each frequency.
+
+        Returns an array of shape ``(len(freqs), 2, 2)`` (complex).
+        """
+        freqs = np.asarray(freqs, dtype=float)
+        s = 2j * np.pi * freqs
+        r = self.wire.r_per_m
+        c = self.wire.c_per_m
+        gamma = np.sqrt(s * r * c)          # propagation constant per metre
+        gl = gamma * self.length_m
+        out = np.empty((len(freqs), 2, 2), dtype=complex)
+        cosh = np.cosh(gl)
+        sinh = np.sinh(gl)
+        out[:, 0, 0] = cosh
+        out[:, 1, 1] = cosh
+        # B = Zc sinh(gl) -> total R as gl -> 0; C = sinh(gl)/Zc -> s C_tot.
+        # Evaluate via series-safe forms to stay finite (and warning-free)
+        # at and near DC.
+        small = np.abs(gl) < 1e-6
+        with np.errstate(divide="ignore", invalid="ignore"):
+            zc = np.sqrt(r / np.where(s == 0, 1.0, s * c))
+            b = np.where(small, self.total_r, zc * sinh)
+            cc = np.where(small, s * self.total_c, sinh / np.where(zc == 0, 1.0, zc))
+        out[:, 0, 1] = b
+        out[:, 1, 0] = cc
+        return out
+
+
+# ----------------------------------------------------------------------
+# generic ABCD building blocks for channel chains
+# ----------------------------------------------------------------------
+def abcd_series(z: np.ndarray) -> np.ndarray:
+    """ABCD of a series impedance *z* (per-frequency array)."""
+    z = np.asarray(z, dtype=complex)
+    out = np.zeros((len(z), 2, 2), dtype=complex)
+    out[:, 0, 0] = 1.0
+    out[:, 0, 1] = z
+    out[:, 1, 1] = 1.0
+    return out
+
+
+def abcd_shunt(y: np.ndarray) -> np.ndarray:
+    """ABCD of a shunt admittance *y* (per-frequency array)."""
+    y = np.asarray(y, dtype=complex)
+    out = np.zeros((len(y), 2, 2), dtype=complex)
+    out[:, 0, 0] = 1.0
+    out[:, 1, 0] = y
+    out[:, 1, 1] = 1.0
+    return out
+
+
+def abcd_chain(*stages: np.ndarray) -> np.ndarray:
+    """Cascade ABCD stages (matrix product in order of signal flow)."""
+    if not stages:
+        raise ValueError("need at least one stage")
+    acc = stages[0]
+    for st in stages[1:]:
+        acc = np.einsum("fij,fjk->fik", acc, st)
+    return acc
+
+
+def abcd_to_transfer(abcd: np.ndarray, z_source: np.ndarray,
+                     z_load: np.ndarray) -> np.ndarray:
+    """Voltage transfer V_load / V_source of an ABCD chain.
+
+    ``H = Z_L / (A Z_L + B + Z_S (C Z_L + D))`` for a source with series
+    impedance ``Z_S`` driving the chain terminated in ``Z_L``.
+    """
+    a = abcd[:, 0, 0]
+    b = abcd[:, 0, 1]
+    c = abcd[:, 1, 0]
+    d = abcd[:, 1, 1]
+    zs = np.asarray(z_source, dtype=complex)
+    zl = np.asarray(z_load, dtype=complex)
+    return zl / (a * zl + b + zs * (c * zl + d))

@@ -1,0 +1,157 @@
+"""Frequency-domain channel analysis of the capacitively coupled link.
+
+Models the paper's signal path (Fig 3 + Fig 4): a rail-to-rail data
+driver, the series coupling capacitance of the feed-forward equalizer in
+shunt with the weak (high-impedance) driver, the distributed RC wire, and
+the matched resistive termination at the receiver.  The coupling capacitor
+forms a high-pass path that compensates the wire's low-pass roll-off; the
+weak driver provides the DC path that fixes the static low-swing levels
+(60 mV design swing -> +-30 mV per comparator input).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .rc_line import (
+    RCLine,
+    abcd_chain,
+    abcd_series,
+    abcd_to_transfer,
+)
+from .wire_models import GLOBAL_MIN, WireModel
+
+
+@dataclass
+class ChannelConfig:
+    """Electrical configuration of one arm of the differential link.
+
+    Defaults reproduce the paper's operating point: 1.2 V supply,
+    10 mm global wire, 60 mV design swing (DC attenuation ~ 1/20 per
+    rail-to-rail volt of drive).
+    """
+
+    wire: WireModel = GLOBAL_MIN
+    length_m: float = 10e-3
+    vdd: float = 1.2
+    #: driver (inverter) output resistance [ohm]
+    r_driver: float = 500.0
+    #: total series coupling capacitance of the FFE [F]
+    c_couple: float = 250e-15
+    #: weak shunt driver modelled as a large series resistance [ohm]
+    r_weak: float = 20e3
+    #: receiver termination resistance [ohm]
+    r_term: float = 1.1e3
+    #: receiver input capacitance [F]
+    c_term: float = 20e-15
+
+    @property
+    def line(self) -> RCLine:
+        return RCLine(self.wire, self.length_m)
+
+    def dc_attenuation(self) -> float:
+        """Static divider ratio from driver swing to line swing."""
+        r_series = self.r_driver + self.r_weak + self.line.total_r
+        return self.r_term / (r_series + self.r_term)
+
+    def dc_swing(self) -> float:
+        """Static received swing for rail-to-rail drive [V]."""
+        return self.vdd * self.dc_attenuation()
+
+
+@dataclass
+class ChannelResponse:
+    """Computed frequency response of the configured channel."""
+
+    freqs: np.ndarray
+    h: np.ndarray
+    config: ChannelConfig
+
+    def magnitude_db(self) -> np.ndarray:
+        return 20.0 * np.log10(np.maximum(np.abs(self.h), 1e-30))
+
+    def gain_at(self, f: float) -> float:
+        """|H| interpolated at frequency *f*."""
+        return float(np.interp(f, self.freqs, np.abs(self.h)))
+
+    def peaking_db(self) -> float:
+        """Max |H| relative to the DC gain, in dB (equalizer boost)."""
+        mag = np.abs(self.h)
+        return float(20.0 * np.log10(mag.max() / max(mag[0], 1e-30)))
+
+
+def channel_transfer(config: ChannelConfig, freqs: np.ndarray,
+                     equalized: bool = True) -> ChannelResponse:
+    """Voltage transfer of one arm from driver output to termination.
+
+    With ``equalized=False`` the coupling capacitor is removed and the
+    drive goes only through the weak (resistive) path — the unequalized
+    baseline the paper's transmitter [7] is compared against.
+    """
+    freqs = np.asarray(freqs, dtype=float)
+    s = 2j * np.pi * freqs
+
+    # series TX element: weak driver R in parallel with the coupling cap
+    zw = np.full_like(s, config.r_weak, dtype=complex)
+    if equalized:
+        # R_w || 1/(sC): compute as zw / (1 + s C zw), finite at DC
+        z_tx = zw / (1.0 + s * config.c_couple * zw)
+    else:
+        z_tx = zw
+
+    # load: termination R in parallel with receiver input C
+    yl = 1.0 / config.r_term + s * config.c_term
+    zl = 1.0 / yl
+
+    chain = abcd_chain(abcd_series(z_tx), config.line.abcd(freqs))
+    zs = np.full_like(s, config.r_driver, dtype=complex)
+    h = abcd_to_transfer(chain, zs, zl)
+    return ChannelResponse(freqs=freqs, h=h, config=config)
+
+
+def pulse_response(config: ChannelConfig, bit_time: float,
+                   equalized: bool = True, n_fft: int = 4096,
+                   span_bits: int = 64) -> Tuple[np.ndarray, np.ndarray]:
+    """Received single-bit pulse response via frequency-domain synthesis.
+
+    Returns ``(t, v)``: the response at the termination to one isolated
+    ``bit_time``-wide pulse of amplitude ``vdd`` at the driver.
+    The time span covers *span_bits* bit periods.
+    """
+    t_span = span_bits * bit_time
+    dt = t_span / n_fft
+    freqs = np.fft.rfftfreq(n_fft, dt)
+    resp = channel_transfer(config, freqs, equalized=equalized)
+
+    # spectrum of a single rectangular pulse of width bit_time
+    s = 2j * np.pi * freqs
+    with np.errstate(divide="ignore", invalid="ignore"):
+        pulse_spec = np.where(
+            freqs == 0, bit_time,
+            (1.0 - np.exp(-s * bit_time)) / s,
+        )
+    spec = resp.h * pulse_spec * config.vdd
+    v = np.fft.irfft(spec, n=n_fft) / dt
+    t = np.arange(n_fft) * dt
+    return t, v
+
+
+def dominant_pole(config: ChannelConfig,
+                  f_lo: float = 1e4, f_hi: float = 1e12,
+                  points: int = 400) -> float:
+    """-3 dB frequency of the unequalized channel [Hz]."""
+    freqs = np.logspace(np.log10(f_lo), np.log10(f_hi), points)
+    resp = channel_transfer(config, freqs, equalized=False)
+    mag = np.abs(resp.h)
+    target = mag[0] / np.sqrt(2.0)
+    below = np.nonzero(mag < target)[0]
+    if len(below) == 0:
+        return float(f_hi)
+    i = below[0]
+    if i == 0:
+        return float(freqs[0])
+    return float(np.interp(target, [mag[i], mag[i - 1]],
+                           [freqs[i], freqs[i - 1]]))

@@ -1,0 +1,86 @@
+"""Per-unit-length electrical models of 130 nm-class on-chip wiring.
+
+The paper's link runs over a long (~10 mm) RC-dominant differential
+on-chip interconnect in UMC 130 nm.  Exact UMC wire parasitics are PDK
+data we cannot ship, so the presets below use widely published
+130 nm-generation interconnect numbers (ITRS-era global / intermediate
+copper wiring with low-k dielectric):
+
+* minimum-pitch **global** wire: ~107 ohm/mm, ~192 fF/mm
+* wide global wire (2x width):   ~54 ohm/mm,  ~210 fF/mm
+* **intermediate** layer wire:   ~310 ohm/mm, ~170 fF/mm
+
+Only the RC product (and hence the bandwidth/latency scale) matters for
+the reproduction; the testability results are insensitive to +-50% here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class WireModel:
+    """Per-unit-length wire parasitics.
+
+    Attributes
+    ----------
+    name:
+        Preset label used in reports.
+    r_per_m:
+        Series resistance [ohm/m].
+    c_per_m:
+        Total (ground + coupling) capacitance [F/m].
+    """
+
+    name: str
+    r_per_m: float
+    c_per_m: float
+
+    def total_r(self, length_m: float) -> float:
+        """Total series resistance of *length_m* metres of wire [ohm]."""
+        return self.r_per_m * length_m
+
+    def total_c(self, length_m: float) -> float:
+        """Total capacitance of *length_m* metres of wire [F]."""
+        return self.c_per_m * length_m
+
+    def elmore_delay(self, length_m: float) -> float:
+        """Elmore delay of the unbuffered distributed line: 0.5 * R * C."""
+        return 0.5 * self.total_r(length_m) * self.total_c(length_m)
+
+    def rc_bandwidth(self, length_m: float) -> float:
+        """First-pole estimate of the line bandwidth [Hz].
+
+        For a distributed RC line the dominant pole sits near
+        ``1 / (2 pi * 0.5 R C)``; this is the scale at which the
+        feed-forward equalizer must boost the signal.
+        """
+        import math
+
+        tau = self.elmore_delay(length_m)
+        if tau <= 0:
+            return float("inf")
+        return 1.0 / (2.0 * math.pi * tau)
+
+
+#: minimum-pitch global-layer wire (the paper's long-link scenario)
+GLOBAL_MIN = WireModel("global_min", r_per_m=107e3, c_per_m=192e-12)
+
+#: doubled-width global wire (lower R, slightly higher C)
+GLOBAL_WIDE = WireModel("global_wide", r_per_m=54e3, c_per_m=210e-12)
+
+#: intermediate-layer wire (shorter links)
+INTERMEDIATE = WireModel("intermediate", r_per_m=310e3, c_per_m=170e-12)
+
+PRESETS = {w.name: w for w in (GLOBAL_MIN, GLOBAL_WIDE, INTERMEDIATE)}
+
+
+def get_wire_model(name: str) -> WireModel:
+    """Look up a preset by name, raising ``KeyError`` with choices listed."""
+    try:
+        return PRESETS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown wire model {name!r}; choices: {sorted(PRESETS)}"
+        ) from None

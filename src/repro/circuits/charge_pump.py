@@ -1,0 +1,249 @@
+"""Charge pumps of Fig 8: weak and strong pumps, balancing path, amplifier.
+
+Mission structure (per pump):
+
+* PMOS current **source** (gate at ``vbp``) stacked with a PMOS **switch**
+  (gate at ``up_b``) charging the control voltage ``V_c``;
+* NMOS **switch** (gate at ``dn``) stacked with an NMOS current **sink**
+  (gate at ``vbn``) discharging ``V_c``;
+* a **charge-balancing path**: complementary switches park the source /
+  sink intermediate nodes on ``V_p`` while the main switches are off, and
+  a unity-feedback amplifier drives ``V_p`` to track ``V_c`` so switching
+  transfers no stray charge.
+
+The loop-filter capacitor integrates the pump current into ``V_c`` which
+tunes the VCDL (fine loop); the *strong* pump (``up_st`` / ``dn_st``)
+resets ``V_c`` into the window on a coarse correction request.
+
+Scan-mode conversion (Section II-B): asserting ``S_en`` ties ``vbp`` to
+GND and ``vbn`` to VDD, turning both current sources into plain switches —
+the pump becomes a combinational cell with inputs UP/DN and output
+``V_c`` (logic 1 / logic 0 / contention).  The two clamp switches are DFT
+circuitry (grey in the figure).
+
+The scan test exercises only the main path; the balancing path and the
+amplifier are invisible to it (the paper: "the charge balancing path ...
+is not tested").  Those faults make ``V_p`` drift toward a rail and are
+caught by the CP-BIST window comparator (Fig 9).  A drain-source short in
+a current-source transistor is masked in scan mode (the source is used as
+a switch anyway) and shows up in BIST as uncontrolled pump current.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..analog import Capacitor, Circuit, dc_operating_point
+from ..analog.mosfet import MOSFET
+from .comparator import build_offset_comparator
+
+#: loop filter capacitance on V_c
+C_LOOP = 1.6e-12
+#: parasitic/balancing capacitance on V_p
+C_BAL = 0.4e-12
+#: mission bias points for the current source/sink
+VBP_MISSION = 0.80
+VBN_MISSION = 0.40
+
+
+@dataclass
+class PumpDevices:
+    """The four stacked devices of one pump."""
+
+    src: MOSFET     # PMOS current source
+    sw_up: MOSFET   # PMOS switch (gate = up_b)
+    sw_dn: MOSFET   # NMOS switch (gate = dn)
+    snk: MOSFET     # NMOS current sink
+
+    def all(self) -> List[MOSFET]:
+        return [self.src, self.sw_up, self.sw_dn, self.snk]
+
+
+@dataclass
+class ChargePumpPorts:
+    """Node names and device inventory of the built charge-pump block."""
+
+    vc: str
+    vp: str
+    vbp: str
+    vbn: str
+    weak: PumpDevices
+    strong: PumpDevices
+    balance_devices: List[MOSFET]
+    amp_devices: List[MOSFET]
+    loop_cap: Capacitor
+    bal_cap: Capacitor
+
+    @property
+    def mission_devices(self) -> List[MOSFET]:
+        return (self.weak.all() + self.strong.all() + self.balance_devices
+                + self.amp_devices)
+
+    @property
+    def mission_caps(self) -> List[Capacitor]:
+        return [self.loop_cap, self.bal_cap]
+
+
+def _build_pump(circuit: Circuit, prefix: str, up_b: str, dn: str,
+                vc: str, vbp: str, vbn: str, vdd: str, vss: str,
+                w_scale: float, role: str) -> PumpDevices:
+    """One source-switch-switch-sink pump stack."""
+    n_a = f"{prefix}_a"
+    n_b = f"{prefix}_b"
+    src = circuit.add_pmos(n_a, vbp, vdd, w=1.0e-6 * w_scale, l=1.0e-6,
+                           name=f"{prefix}_MSRC")
+    sw_up = circuit.add_pmos(vc, up_b, n_a, b=vdd, w=1.0e-6 * w_scale,
+                             l=0.5e-6, name=f"{prefix}_MSWU")
+    sw_dn = circuit.add_nmos(vc, dn, n_b, w=0.5e-6 * w_scale, l=0.5e-6,
+                             name=f"{prefix}_MSWD")
+    snk = circuit.add_nmos(n_b, vbn, vss, w=0.5e-6 * w_scale, l=1.0e-6,
+                           name=f"{prefix}_MSNK")
+    devices = PumpDevices(src=src, sw_up=sw_up, sw_dn=sw_dn, snk=snk)
+    for dev, sub in ((src, "src"), (sw_up, "sw"), (sw_dn, "sw"), (snk, "snk")):
+        dev.role = f"{role}_{sub}"
+    return devices
+
+
+def build_charge_pump(circuit: Circuit, prefix: str,
+                      up_b: str, dn: str, up_st_b: str, dn_st: str,
+                      up: str, dn_b: str,
+                      vc: Optional[str] = None,
+                      vdd: str = "vdd", vss: str = "0",
+                      scan_en: Optional[str] = None) -> ChargePumpPorts:
+    """Emit the full Fig 8 charge-pump block into *circuit*.
+
+    Control nets (all externally driven, active level in the name):
+    ``up_b``/``dn`` switch the weak pump, ``up_st_b``/``dn_st`` the strong
+    pump, and ``up``/``dn_b`` the complementary balancing switches.
+    ``scan_en``, when given, adds the DFT clamp switches that tie the bias
+    nodes to the rails (the scan-mode combinational conversion).
+    """
+    vc = vc or f"{prefix}_vc"
+    vp = f"{prefix}_vp"
+    vbp = f"{prefix}_vbp"
+    vbn = f"{prefix}_vbn"
+
+    # mission bias dividers (vbp = vbn = 0.6 V: ~5-10 uA weak pump)
+    circuit.add_resistor(vdd, vbp, 12e3, name=f"{prefix}_RBP1")
+    circuit.add_resistor(vbp, vss, 12e3, name=f"{prefix}_RBP2")
+    circuit.add_resistor(vdd, vbn, 12e3, name=f"{prefix}_RBN1")
+    circuit.add_resistor(vbn, vss, 12e3, name=f"{prefix}_RBN2")
+
+    weak = _build_pump(circuit, f"{prefix}_wk", up_b, dn, vc, vbp, vbn,
+                       vdd, vss, w_scale=1.0, role="cp_weak")
+    strong = _build_pump(circuit, f"{prefix}_st", up_st_b, dn_st, vc, vbp,
+                         vbn, vdd, vss, w_scale=8.0, role="cp_strong")
+
+    # balancing path: complementary switches park the weak pump's
+    # intermediate nodes on V_p while the main switches are off
+    bal_p = circuit.add_pmos(vp, up, f"{prefix}_wk_a", b=vdd, w=1.0e-6,
+                             l=0.5e-6, name=f"{prefix}_MBALP")
+    bal_n = circuit.add_nmos(vp, dn_b, f"{prefix}_wk_b", w=0.5e-6, l=0.5e-6,
+                             name=f"{prefix}_MBALN")
+    bal_p.role = "cp_balance"
+    bal_n.role = "cp_balance"
+
+    # unity-feedback amplifier driving V_p to track V_c.  The OTA's
+    # n_out1 node falls when its first input rises, so feeding V_p back
+    # into the first input closes a negative feedback loop and the pair
+    # balance forces V_p ~= V_c.
+    amp = build_offset_comparator(circuit, f"{prefix}_amp", vp, vc,
+                                  f"{prefix}_amp_out", vdd=vdd, vss=vss,
+                                  w_wide=0.5e-6,     # matched pair: no offset
+                                  r_bias_top=130e3, r_bias_bot=110e3,
+                                  with_inverter=False)
+    # upsize the buffer for input range and gain: tracking error stays
+    # within ~55 mV over the V_c window (inside the 150 mV BIST window)
+    circuit[f"{prefix}_amp_MINP"].w = 4.0e-6
+    circuit[f"{prefix}_amp_MINN"].w = 4.0e-6
+    circuit[f"{prefix}_amp_MT"].w = 1.0e-6
+    # the buffer drives V_p directly from the OTA output node
+    circuit.add_resistor(amp.out_analog, vp, 5e3, name=f"{prefix}_RAMP")
+    for dev in amp.devices:
+        dev.role = "cp_amp"
+
+    loop_cap = circuit.add_capacitor(vc, vss, C_LOOP, name=f"{prefix}_CVC")
+    bal_cap = circuit.add_capacitor(vp, vss, C_BAL, name=f"{prefix}_CVP")
+    loop_cap.role = "cp_filter"
+    bal_cap.role = "cp_balance"
+
+    if scan_en is not None:
+        circuit.add_switch(vbp, vss, scan_en, r_on=10.0,
+                           name=f"{prefix}_SCLAMP_P")
+        circuit.add_switch(vbn, vdd, scan_en, r_on=10.0,
+                           name=f"{prefix}_SCLAMP_N")
+
+    return ChargePumpPorts(vc=vc, vp=vp, vbp=vbp, vbn=vbn, weak=weak,
+                           strong=strong, balance_devices=[bal_p, bal_n],
+                           amp_devices=amp.devices, loop_cap=loop_cap,
+                           bal_cap=bal_cap)
+
+
+# ----------------------------------------------------------------------
+# standalone DUT helpers used by the scan test and BIST
+# ----------------------------------------------------------------------
+@dataclass
+class ChargePumpDUT:
+    """A self-contained charge-pump test bench."""
+
+    circuit: Circuit
+    ports: ChargePumpPorts
+    vdd: float = 1.2
+
+    def set_controls(self, up: int, dn: int, up_st: int = 0,
+                     dn_st: int = 0) -> None:
+        """Drive the control nets from logic levels."""
+        v = self.vdd
+        self.circuit["VUP"].voltage = v if up else 0.0
+        self.circuit["VUPB"].voltage = 0.0 if up else v
+        self.circuit["VDN"].voltage = v if dn else 0.0
+        self.circuit["VDNB"].voltage = 0.0 if dn else v
+        self.circuit["VUPSTB"].voltage = 0.0 if up_st else v
+        self.circuit["VDNST"].voltage = v if dn_st else 0.0
+
+    def set_scan(self, enabled: bool) -> None:
+        self.circuit["VSEN"].voltage = self.vdd if enabled else 0.0
+
+    def solve(self):
+        return dc_operating_point(self.circuit)
+
+
+def build_charge_pump_dut(vdd: float = 1.2,
+                          hold_vc: Optional[float] = None) -> ChargePumpDUT:
+    """Standalone charge-pump bench with all controls as sources.
+
+    ``hold_vc`` adds a voltage source pinning V_c (used to measure pump
+    current through its auxiliary branch variable).
+    """
+    c = Circuit("cp_dut")
+    c.add_vsource("vdd", "0", vdd, name="VDD")
+    for name, net, v0 in (("VUP", "up", 0.0), ("VUPB", "up_b", vdd),
+                          ("VDN", "dn", 0.0), ("VDNB", "dn_b", vdd),
+                          ("VUPSTB", "up_st_b", vdd), ("VDNST", "dn_st", 0.0),
+                          ("VSEN", "sen", 0.0)):
+        c.add_vsource(net, "0", v0, name=name)
+    ports = build_charge_pump(c, "cp", up_b="up_b", dn="dn",
+                              up_st_b="up_st_b", dn_st="dn_st",
+                              up="up", dn_b="dn_b", vdd="vdd", vss="0",
+                              scan_en="sen")
+    if hold_vc is not None:
+        c.add_vsource(ports.vc, "0", hold_vc, name="VHOLD")
+    return ChargePumpDUT(circuit=c, ports=ports, vdd=vdd)
+
+
+def pump_current(dut: ChargePumpDUT, up: int, dn: int) -> float:
+    """Net current pushed into the pinned V_c node (positive = charging).
+
+    Requires the DUT built with ``hold_vc``; reads the hold source's
+    branch current from the MNA solution.
+    """
+    hold = dut.circuit["VHOLD"]
+    dut.set_controls(up=up, dn=dn)
+    op = dut.solve()
+    if not op.converged:
+        raise RuntimeError("pump current measurement did not converge")
+    # the hold source's auxiliary variable is the current flowing from
+    # its positive terminal through the source; current INTO the node
+    # from the pump is the negative of that.
+    return float(op.x[hold.aux_base])

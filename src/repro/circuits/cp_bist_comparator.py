@@ -1,0 +1,65 @@
+"""CP-BIST window comparator of Fig 9 (150 mV window on V_p vs V_c).
+
+A thin specialisation of the Fig 6 window comparator: the same two-offset
+structure with the offset programmed to 150 mV (larger input-pair ratio
+in strong inversion — see :mod:`repro.circuits.window_comparator`).
+
+Once the link has locked, a high output flags a charge-pump fault that
+the scan test could not see: anything in the balancing path or the
+amplifier that lets ``V_p`` drift away from ``V_c`` pushes a pump current
+source into its linear region and degrades the recovered-clock jitter
+(Section III).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analog import Circuit, dc_operating_point
+from .window_comparator import (
+    WindowComparatorPorts,
+    build_window_comparator,
+)
+
+#: nominal programmed window of the Fig 9 comparator
+BIST_WINDOW_MV = 150.0
+
+
+def build_cp_bist_comparator(circuit: Circuit, prefix: str, vc: str,
+                             vp: str, out_hi: str, out_lo: str,
+                             vdd: str = "vdd",
+                             vss: str = "0") -> WindowComparatorPorts:
+    """Emit the Fig 9 comparator watching ``V_p`` against ``V_c``."""
+    ports = build_window_comparator(circuit, prefix, vp, vc, out_hi,
+                                    out_lo, vdd=vdd, vss=vss, wide=True)
+    for dev in ports.devices:
+        dev.role = "dft_cp_bist"
+    return ports
+
+
+@dataclass
+class CPBistVerdict:
+    """Digitised CP-BIST observation."""
+
+    hi: int
+    lo: int
+
+    @property
+    def fault_flag(self) -> bool:
+        """Either output high after lock indicates a charge-pump fault."""
+        return bool(self.hi or self.lo)
+
+
+def evaluate_cp_bist(v_c: float, v_p: float, vdd: float = 1.2) -> CPBistVerdict:
+    """Standalone evaluation of the Fig 9 comparator at given voltages."""
+    c = Circuit("cp_bist_dut")
+    c.add_vsource("vdd", "0", vdd, name="VDD")
+    c.add_vsource("vc", "0", v_c, name="VC")
+    c.add_vsource("vp", "0", v_p, name="VP")
+    build_cp_bist_comparator(c, "bist", "vc", "vp", "hi", "lo")
+    op = dc_operating_point(c)
+    if not op.converged:
+        raise RuntimeError("CP-BIST comparator DUT did not converge")
+    half = vdd / 2
+    return CPBistVerdict(hi=1 if op.v("hi") > half else 0,
+                         lo=1 if op.v("lo") > half else 0)

@@ -1,0 +1,92 @@
+"""Alexander (bang-bang) phase detector of Fig 7, gate level, with scan.
+
+The Alexander PD takes three samples of the received data — the centre of
+bit *n*, the edge between bits *n* and *n+1*, and the centre of bit *n+1*
+— and decides:
+
+* ``UP = centre_n XOR edge``   (edge sample agrees with the *next* bit:
+  the clock samples late -> speed up);
+* ``DN = edge XOR centre_n1`` (edge sample agrees with the *previous*
+  bit: the clock samples early -> slow down).
+
+Sampling flip-flops run on the recovered sampling clock ``phi_d`` (centre
+samples) and its complement (edge sample, retimed into ``phi_d``).  All
+four flip-flops are scan cells belonging to **Scan chain A**; the retimed
+centre sample is also the link's data output into the clock-domain
+crossing stage.
+
+At the scan frequency the link is effectively sampled late in a long,
+settled bit, so the PD constantly asserts UP; enabling the transmitter's
+half-cycle test latch shifts the data half a bit and flips the verdict to
+DN — the two-pass test of Section II-A.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..digital.sequential import ScanDFF
+from ..digital.simulator import LogicCircuit
+
+#: clock-domain labels used by the receiver's sampling flops
+CLK_SAMPLE = "phi_d"        # centre-of-eye sampling clock
+CLK_SAMPLE_B = "phi_d_b"    # complement: edge sampling clock
+
+
+@dataclass
+class PhaseDetectorPorts:
+    """Nets and scan cells of the built phase detector."""
+
+    data_in: str
+    up: str
+    dn: str
+    retimed: str            # centre sample, the data-path output
+    scan_cells: List[ScanDFF]
+
+
+def build_alexander_pd(circuit: LogicCircuit, prefix: str, data_in: str,
+                       scan_in: str, scan_enable: str) -> PhaseDetectorPorts:
+    """Emit the PD into a :class:`LogicCircuit` as chained scan cells.
+
+    The four flip-flops are created as scan cells wired serially from
+    *scan_in*; callers (the Scan chain A builder) adopt them in order.
+    """
+    q_center = f"{prefix}_center"        # centre sample of bit n+1
+    q_center_prev = f"{prefix}_center_p"  # centre sample of bit n
+    q_edge_raw = f"{prefix}_edge_raw"    # edge sample (phi_d_b domain)
+    q_edge = f"{prefix}_edge"            # edge sample retimed into phi_d
+
+    cells = []
+    cells.append(circuit.add_scan_dff(
+        data_in, q_center, scan_in=scan_in, scan_enable=scan_enable,
+        clock=CLK_SAMPLE, name=f"{prefix}_ff_center"))
+    cells.append(circuit.add_scan_dff(
+        q_center, q_center_prev, scan_in=q_center, scan_enable=scan_enable,
+        clock=CLK_SAMPLE, name=f"{prefix}_ff_center_p"))
+    cells.append(circuit.add_scan_dff(
+        data_in, q_edge_raw, scan_in=q_center_prev,
+        scan_enable=scan_enable, clock=CLK_SAMPLE_B,
+        name=f"{prefix}_ff_edge"))
+    cells.append(circuit.add_scan_dff(
+        q_edge_raw, q_edge, scan_in=q_edge_raw, scan_enable=scan_enable,
+        clock=CLK_SAMPLE, name=f"{prefix}_ff_edge_rt"))
+
+    up = f"{prefix}_up"
+    dn = f"{prefix}_dn"
+    circuit.add_gate("xor", [q_center_prev, q_edge], up,
+                     name=f"{prefix}_xor_up")
+    circuit.add_gate("xor", [q_edge, q_center], dn, name=f"{prefix}_xor_dn")
+
+    return PhaseDetectorPorts(data_in=data_in, up=up, dn=dn,
+                              retimed=q_center, scan_cells=cells)
+
+
+def pd_decision(center_prev: int, edge: int, center: int) -> tuple:
+    """Reference Alexander decision table -> ``(up, dn)``.
+
+    Used by the behavioural receiver and by tests as the golden model.
+    """
+    up = center_prev ^ edge
+    dn = edge ^ center
+    return up, dn

@@ -1,0 +1,99 @@
+"""Receiver termination of Fig 4 with its DC-test circuitry.
+
+Each arm of the differential line terminates through a transmission-gate
+resistor into a common bias node; a resistive divider generates that bias
+("the bias generated at the receiver").  The test additions (grey in the
+paper's figure) are:
+
+* two offset comparators (Fig 5, +-15 mV programmed offset) across the
+  differential arms — the DC-test observables;
+* a window comparator (Fig 6) comparing the receiver bias with a second,
+  reference divider in the clock-recovery circuit — clocked at the
+  100 MHz scan frequency to catch *dynamic* mismatch faults (e.g. a
+  drain-open in one transmission-gate device) that leave the static
+  levels legal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from ..analog import Circuit
+from ..analog.mosfet import MOSFET
+from .comparator import ComparatorPorts, build_offset_comparator
+from .stdcells import build_bias_divider, build_transmission_gate
+from .window_comparator import WindowComparatorPorts, build_window_comparator
+
+
+@dataclass
+class TerminationPorts:
+    """Node names and devices of the built termination."""
+
+    rx_p: str
+    rx_n: str
+    vcm: str                 # receiver bias (TG mid node)
+    vcm_ref: str             # reference bias from the clock-recovery side
+    cmp_pos_out: str         # offset comparator, +offset polarity
+    cmp_neg_out: str         # offset comparator, -offset polarity
+    win_hi: str
+    win_lo: str
+    mission_devices: List[MOSFET] = field(default_factory=list)
+    dft_devices: List[MOSFET] = field(default_factory=list)
+
+
+def build_termination(circuit: Circuit, prefix: str, rx_p: str, rx_n: str,
+                      vdd: str = "vdd", vss: str = "0",
+                      with_test_circuits: bool = True) -> TerminationPorts:
+    """Emit the Fig 4 termination (and optionally its DC-test circuits)."""
+    vcm = f"{prefix}_vcm"
+    vcm_ref = f"{prefix}_vcm_ref"
+
+    # receiver bias divider and the reference divider in the clock
+    # recovery circuit (both 60k/60k to mid-rail)
+    build_bias_divider(circuit, f"{prefix}_bias", vcm, vdd=vdd, vss=vss)
+    build_bias_divider(circuit, f"{prefix}_ref", vcm_ref, vdd=vdd, vss=vss)
+
+    # transmission-gate termination resistors, always on.  Sized (with
+    # the weak-driver current) for ~8 kOhm per arm: the arm RC settles
+    # within a scan half-period, and the toggle test's bias glitches
+    # clear the window-comparator threshold for single-device opens.
+    tg_p = build_transmission_gate(circuit, f"{prefix}_tgp", rx_p, vcm,
+                                   ctrl=vdd, ctrl_b=vss,
+                                   wn=2.0e-6, wp=4.0e-6)
+    tg_n = build_transmission_gate(circuit, f"{prefix}_tgn", rx_n, vcm,
+                                   ctrl=vdd, ctrl_b=vss,
+                                   wn=2.0e-6, wp=4.0e-6)
+    mission: List[MOSFET] = []
+    for dev in tg_p.devices + tg_n.devices:
+        dev.role = "termination_tg"
+        mission.append(dev)
+
+    cmp_pos_out = f"{prefix}_cmp_pos"
+    cmp_neg_out = f"{prefix}_cmp_neg"
+    win_hi = f"{prefix}_win_hi"
+    win_lo = f"{prefix}_win_lo"
+    dft: List[MOSFET] = []
+    if with_test_circuits:
+        # each comparator senses one arm against the bias: the healthy
+        # input is the paper's ~30 mV, so a fault that collapses either
+        # arm's deviation (weak driver, series cap, termination) drops
+        # the input below the ~15 mV programmed offset and flips the
+        # output.  Polarities are mirrored so both arms use the same
+        # decision threshold relative to their healthy excursion.
+        cp = build_offset_comparator(circuit, f"{prefix}_cpp", rx_p, vcm,
+                                     cmp_pos_out, vdd=vdd, vss=vss,
+                                     offset_polarity=+1)
+        cn = build_offset_comparator(circuit, f"{prefix}_cpn", rx_n, vcm,
+                                     cmp_neg_out, vdd=vdd, vss=vss,
+                                     offset_polarity=-1)
+        win = build_window_comparator(circuit, f"{prefix}_win", vcm, vcm_ref,
+                                      win_hi, win_lo, vdd=vdd, vss=vss)
+        for dev in cp.devices + cn.devices + win.devices:
+            dev.role = "dft_comparator"
+            dft.append(dev)
+
+    return TerminationPorts(rx_p=rx_p, rx_n=rx_n, vcm=vcm, vcm_ref=vcm_ref,
+                            cmp_pos_out=cmp_pos_out, cmp_neg_out=cmp_neg_out,
+                            win_hi=win_hi, win_lo=win_lo,
+                            mission_devices=mission, dft_devices=dft)

@@ -1,0 +1,140 @@
+"""Voltage-controlled delay line: current-starved inverter chain.
+
+The fine correction loop tunes the sampling-clock phase through this
+VCDL: the integrated phase-detector output ``V_c`` gates the NMOS starve
+devices (and, through a PMOS mirror, the pull-up starve devices), so a
+higher ``V_c`` means more starve current and *less* delay.  The VCDL is
+designed so its tuning range across the window-comparator span exceeds
+one DLL phase step (Section II) — that property is asserted by tests and
+reproduced as an ablation bench.
+
+Faults here do not disturb any static observables of the DC or scan
+tests; they kill or skew the delay, which the lock-detector BIST sees as
+a failure to lock (or a phase far from eye centre).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from ..analog import Circuit, dc_operating_point, step_waveform, transient
+from ..analog.mosfet import MOSFET
+
+
+@dataclass
+class VCDLPorts:
+    """Node names and devices of a built VCDL."""
+
+    clk_in: str
+    clk_out: str
+    vctl: str          # control voltage (V_c from the charge pump)
+    mission_devices: List[MOSFET] = field(default_factory=list)
+
+
+def build_vcdl(circuit: Circuit, prefix: str, clk_in: str, clk_out: str,
+               vctl: str, stages: int = 2, vdd: str = "vdd",
+               vss: str = "0") -> VCDLPorts:
+    """Emit a *stages*-stage current-starved VCDL into *circuit*.
+
+    The tuning range must exceed one DLL phase step only *slightly*
+    (Section II), so the full control swing is first **compressed** by a
+    resistive level-shift network — ``v_g = ~0.55 V_c + 0.33`` — before
+    it reaches the starve gates.  Bounding the range on the control side
+    keeps the signal path free of parallel (redundancy-introducing)
+    devices: every starve transistor remains essential, so its opens
+    kill the clock path, matching the fault behaviour of the canonical
+    current-starved cell.  Resistors are not fault sites in Table I's
+    model.
+    """
+    if stages < 1:
+        raise ValueError("VCDL needs at least one stage")
+
+    # control-compression network: vg = 0.47*Vc + 0.37 (Thevenin of the
+    # three resistors below), mapping the 0.45..0.75 V window onto the
+    # starve gates' sensitive 0.58..0.72 V range
+    n_vg = f"{prefix}_vg"
+    circuit.add_resistor(vctl, n_vg, 7e3, name=f"{prefix}_RCV")
+    circuit.add_resistor(vdd, n_vg, 15.3e3, name=f"{prefix}_RCB1")
+    circuit.add_resistor(n_vg, vss, 21e3, name=f"{prefix}_RCB2")
+
+    # PMOS mirror translating the NMOS starve current to the pull-up side
+    n_mirror = f"{prefix}_pm"
+    m_bn = circuit.add_nmos(n_mirror, n_vg, vss, w=4.0e-6, l=0.5e-6,
+                            name=f"{prefix}_MBN")
+    m_bp = circuit.add_pmos(n_mirror, n_mirror, vdd, w=8.0e-6, l=0.5e-6,
+                            name=f"{prefix}_MBP")
+    devices = [m_bn, m_bp]
+    for d in devices:
+        d.role = "vcdl_bias"
+
+    prev = clk_in
+    for i in range(stages):
+        nxt = clk_out if i == stages - 1 else f"{prefix}_s{i + 1}"
+        n_top = f"{prefix}_t{i}"
+        n_bot = f"{prefix}_b{i}"
+        mp_st = circuit.add_pmos(n_top, n_mirror, vdd, w=8.0e-6, l=0.5e-6,
+                                 name=f"{prefix}_MPS{i}")
+        mp = circuit.add_pmos(nxt, prev, n_top, b=vdd, w=1.0e-6, l=0.5e-6,
+                              name=f"{prefix}_MP{i}")
+        mn = circuit.add_nmos(nxt, prev, n_bot, w=0.5e-6, l=0.5e-6,
+                              name=f"{prefix}_MN{i}")
+        mn_st = circuit.add_nmos(n_bot, n_vg, vss, w=4.0e-6, l=0.5e-6,
+                                 name=f"{prefix}_MNS{i}")
+        circuit.add_capacitor(nxt, vss, 5e-15, name=f"{prefix}_CL{i}")
+        for d in (mp_st, mp, mn, mn_st):
+            d.role = "vcdl_stage"
+            devices.append(d)
+        prev = nxt
+
+    return VCDLPorts(clk_in=clk_in, clk_out=clk_out, vctl=vctl,
+                     mission_devices=devices)
+
+
+def measure_vcdl_delay(vctl: float, stages: int = 2, vdd: float = 1.2,
+                       t_stop: float = 1.6e-9, dt: float = 2e-12,
+                       circuit_mutator=None) -> float:
+    """Propagation delay (rising input) of a standalone VCDL at *vctl*.
+
+    Returns NaN when the output never crosses mid-rail (a dead line —
+    the signature of most VCDL faults under the lock-detector BIST).
+    *circuit_mutator*, when given, is applied to the DUT before
+    simulation (used by the fault campaign).
+    """
+    c = Circuit("vcdl_dut")
+    c.add_vsource("vdd", "0", vdd, name="VDD")
+    c.add_vsource("vctl", "0", vctl, name="VCTL")
+    vin = c.add_vsource("clk_in", "0", 0.0, name="VCLK")
+    t_step = 0.5e-9
+    vin.waveform = step_waveform(0.0, vdd, t_step, t_rise=20e-12)
+    build_vcdl(c, "vcdl", "clk_in", "clk_out", "vctl", stages=stages)
+    if circuit_mutator is not None:
+        circuit_mutator(c)
+    tr = transient(c, t_stop, dt, probes=["clk_in", "clk_out"])
+
+    v_out = tr.v("clk_out")
+    half = vdd / 2
+    # even number of inverting stages: output follows input polarity
+    rising = stages % 2 == 0
+    after = tr.time > t_step
+    if rising:
+        crossed = np.nonzero(after & (v_out > half))[0]
+    else:
+        crossed = np.nonzero(after & (v_out < half))[0]
+    if len(crossed) == 0:
+        return float("nan")
+    t_cross = tr.time[crossed[0]]
+    return float(t_cross - t_step)
+
+
+def vcdl_tuning_range(v_lo: float = 0.45, v_hi: float = 0.75,
+                      stages: int = 2) -> tuple:
+    """Delay at the window-comparator bounds -> ``(d_slow, d_fast)``.
+
+    ``d_slow`` is the delay at the low control voltage; the loop design
+    requires ``d_slow - d_fast`` to exceed one DLL phase step.
+    """
+    return (measure_vcdl_delay(v_lo, stages=stages),
+            measure_vcdl_delay(v_hi, stages=stages))

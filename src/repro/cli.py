@@ -1,0 +1,231 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``eye``        channel eye analysis at a given rate/length
+``lock``       run the synchronizer from a startup phase (Fig 2 data)
+``dc``         the two-pattern DC test on the transistor-level link
+``bist``       the at-speed BIST verdict
+``coverage``   the fault campaign (full or sampled) -> Table I
+``overhead``   the DFT inventory -> Table II
+``netlist``    export one of the paper's circuits as a SPICE deck
+
+Every command prints plain text suitable for piping; exit status is 0
+on pass/success, 1 on a failing verdict.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _add_common(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--rate", type=float, default=2.5e9,
+                   help="data rate [bit/s] (default 2.5e9)")
+    p.add_argument("--length-mm", type=float, default=10.0,
+                   help="wire length [mm] (default 10)")
+
+
+def cmd_eye(args) -> int:
+    from .channel import ChannelConfig, eye_center, eye_of_channel
+
+    cfg = ChannelConfig(length_m=args.length_mm * 1e-3)
+    for label, equalized in (("equalized", True), ("raw", False)):
+        eye = eye_of_channel(cfg, args.rate, equalized=equalized)
+        state = "open" if eye.is_open else "CLOSED"
+        print(f"{label:>10}: {eye.best_opening * 1e3:8.2f} mV  "
+              f"width {eye.eye_width * 1e12:6.0f} ps  "
+              f"centre {eye_center(eye) * 1e12:6.0f} ps  [{state}]")
+    eq = eye_of_channel(cfg, args.rate, equalized=True)
+    return 0 if eq.is_open else 1
+
+
+def cmd_lock(args) -> int:
+    from . import LinkConfig, TestableLink
+
+    link = TestableLink(LinkConfig(data_rate=args.rate,
+                                   length_m=args.length_mm * 1e-3))
+    r = link.lock(initial_phase=args.phase, seed=args.seed)
+    print(f"locked              : {r.locked}")
+    if r.lock_time is not None:
+        print(f"lock time           : {r.lock_time * 1e9:.0f} ns")
+    print(f"coarse corrections  : {r.coarse_corrections}")
+    print(f"final phase index   : {r.final_phase_index}")
+    if r.phase_error is not None:
+        print(f"phase error         : {r.phase_error * 1e12:+.1f} ps")
+    print(f"BIST verdict        : {'PASS' if r.bist_pass else 'FAIL'}")
+    if args.trace:
+        t, vc, idx, _ = r.trace.as_arrays()
+        print("\n# t_ns vc_V phase_idx")
+        for k in range(len(t)):
+            print(f"{t[k] * 1e9:9.2f} {vc[k]:7.4f} {int(idx[k]):3d}")
+    return 0 if r.bist_pass else 1
+
+
+def cmd_dc(args) -> int:
+    from .circuits import build_full_link
+
+    link = build_full_link()
+    res = link.run_dc_test()
+    ok = True
+    for bit in (1, 0):
+        obs = res[bit]
+        print(f"data={bit}: {obs}")
+        ok = ok and obs.get("converged", False)
+    expected = (res[1]["cmp_pos"], res[1]["cmp_neg"],
+                res[0]["cmp_pos"], res[0]["cmp_neg"]) == (1, 0, 0, 1)
+    window_quiet = all(res[b][k] == 0 for b in (0, 1)
+                       for k in ("win_hi", "win_lo"))
+    verdict = ok and expected and window_quiet
+    print(f"DC test: {'PASS' if verdict else 'FAIL'}")
+    return 0 if verdict else 1
+
+
+def cmd_bist(args) -> int:
+    from . import LinkConfig, TestableLink
+    from .core.report import render_bist
+
+    link = TestableLink(LinkConfig(data_rate=args.rate,
+                                   length_m=args.length_mm * 1e-3))
+    res = link.run_bist(initial_phase=args.phase)
+    print(render_bist(res))
+    return 0 if res.passed else 1
+
+
+def cmd_coverage(args) -> int:
+    from .dft.coverage import build_fault_universe, run_paper_campaign
+    from .faults.sampling import stratified_sample
+
+    universe = build_fault_universe()
+    if args.sample:
+        universe = stratified_sample(universe, args.sample,
+                                     seed=args.seed)
+        print(f"(stratified sample of {len(universe)} faults)")
+    done = [0]
+
+    def progress(i, n):
+        if i % 25 == 0 or i == n:
+            print(f"  {i}/{n} faults simulated", file=sys.stderr)
+
+    report = run_paper_campaign(universe,
+                                progress=progress if args.progress else None)
+    print(report.format_headline())
+    print()
+    print(report.format_table1())
+    return 0
+
+
+def cmd_overhead(args) -> int:
+    from .dft.overhead import dft_inventory, format_table2
+
+    print(format_table2())
+    if args.verbose:
+        print("\nprovenance:")
+        for item in dft_inventory():
+            print(f"  {item.entity:<30} {item.provenance}")
+    return 0
+
+
+NETLIST_BUILDERS = {
+    "full_link": "the DC-test link (TX + wire + termination)",
+    "receiver": "charge pump + window comparators bench",
+    "vcdl": "the voltage-controlled delay line bench",
+    "comparator": "the Fig 5 offset comparator",
+}
+
+
+def cmd_netlist(args) -> int:
+    from .analog.spice_io import write_spice
+
+    if args.which == "full_link":
+        from .circuits import build_full_link
+
+        circuit = build_full_link().circuit
+    elif args.which == "receiver":
+        from .dft.duts import build_receiver_dut
+
+        circuit = build_receiver_dut().circuit
+    elif args.which == "vcdl":
+        from .dft.duts import build_vcdl_dut
+
+        circuit = build_vcdl_dut().circuit
+    elif args.which == "comparator":
+        from .analog import Circuit
+        from .circuits import build_offset_comparator
+
+        circuit = Circuit("comparator_dut")
+        circuit.add_vsource("vdd", "0", 1.2, name="VDD")
+        circuit.add_vsource("inp", "0", 0.615, name="VINP")
+        circuit.add_vsource("inn", "0", 0.585, name="VINN")
+        build_offset_comparator(circuit, "cmp", "inp", "inn", "out")
+    else:  # pragma: no cover - argparse restricts choices
+        raise SystemExit(f"unknown netlist {args.which!r}")
+
+    deck = write_spice(circuit)
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(deck)
+        print(f"wrote {args.output} ({deck.count(chr(10))} lines)")
+    else:
+        print(deck, end="")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Testable repeaterless low-swing interconnect "
+                    "(DATE 2016 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("eye", help="channel eye analysis")
+    _add_common(p)
+    p.set_defaults(func=cmd_eye)
+
+    p = sub.add_parser("lock", help="synchronizer lock run")
+    _add_common(p)
+    p.add_argument("--phase", type=int, default=5,
+                   help="startup DLL phase index (default 5)")
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--trace", action="store_true",
+                   help="dump the Fig 2 time series")
+    p.set_defaults(func=cmd_lock)
+
+    p = sub.add_parser("dc", help="two-pattern DC test")
+    p.set_defaults(func=cmd_dc)
+
+    p = sub.add_parser("bist", help="at-speed BIST")
+    _add_common(p)
+    p.add_argument("--phase", type=int, default=5)
+    p.set_defaults(func=cmd_bist)
+
+    p = sub.add_parser("coverage", help="fault campaign (Table I)")
+    p.add_argument("--sample", type=int, default=None,
+                   help="stratified sample size (default: full universe)")
+    p.add_argument("--seed", type=int, default=2016)
+    p.add_argument("--progress", action="store_true")
+    p.set_defaults(func=cmd_coverage)
+
+    p = sub.add_parser("overhead", help="DFT inventory (Table II)")
+    p.add_argument("--verbose", "-v", action="store_true")
+    p.set_defaults(func=cmd_overhead)
+
+    p = sub.add_parser("netlist", help="export a circuit as SPICE")
+    p.add_argument("which", choices=sorted(NETLIST_BUILDERS),
+                   help="; ".join(f"{k}: {v}"
+                                  for k, v in NETLIST_BUILDERS.items()))
+    p.add_argument("--output", "-o", default=None)
+    p.set_defaults(func=cmd_netlist)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,25 @@
+"""Public API: configuration, the testable link facade, and reporting."""
+
+from .config import LinkConfig, PAPER_CONFIG
+from .report import (
+    render_bist,
+    render_headline,
+    render_table,
+    render_table1,
+    render_table2,
+)
+from .results import (
+    BISTResult,
+    CampaignSummary,
+    DCTestResult,
+    ScanTestResult,
+)
+from .testable_link import TestableLink
+
+__all__ = [
+    "LinkConfig", "PAPER_CONFIG",
+    "render_bist", "render_headline", "render_table", "render_table1",
+    "render_table2",
+    "BISTResult", "CampaignSummary", "DCTestResult", "ScanTestResult",
+    "TestableLink",
+]

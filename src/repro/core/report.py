@@ -1,0 +1,78 @@
+"""Plain-text report rendering for campaign and link results."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..dft.coverage import PAPER_BIST, PAPER_DC, PAPER_SCAN, PAPER_TABLE1
+from ..dft.overhead import table2_rows
+from .results import BISTResult, CampaignSummary
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence],
+                 title: Optional[str] = None) -> str:
+    """Minimal fixed-width table renderer."""
+    cols = len(headers)
+    widths = [len(str(h)) for h in headers]
+    for row in rows:
+        for i in range(cols):
+            widths[i] = max(widths[i], len(str(row[i])))
+    lines = []
+    if title:
+        lines.append(title)
+    fmt = "  ".join(f"{{:<{w}}}" for w in widths)
+    lines.append(fmt.format(*[str(h) for h in headers]))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append(fmt.format(*[str(c) for c in row]))
+    return "\n".join(lines)
+
+
+def pct(x: float) -> str:
+    return f"{x * 100:.1f}%"
+
+
+def render_headline(summary: CampaignSummary) -> str:
+    """The Section IV coverage progression vs the paper."""
+    rows = [
+        ("DC test", pct(summary.dc_coverage), pct(PAPER_DC)),
+        ("DC + scan", pct(summary.scan_coverage), pct(PAPER_SCAN)),
+        ("DC + scan + BIST", pct(summary.bist_coverage), pct(PAPER_BIST)),
+    ]
+    return render_table(("Test tier", "Measured", "Paper"), rows,
+                        title="Coverage progression (Section IV)")
+
+
+def render_table1(summary: CampaignSummary) -> str:
+    """Table I: per-defect-class coverage vs the paper."""
+    rows: List[Tuple] = []
+    for label, paper in PAPER_TABLE1.items():
+        det, tot, cov = summary.by_kind.get(label, (0, 0, 1.0))
+        rows.append((label, f"{det}/{tot}", pct(cov), pct(paper)))
+    rows.append(("Total", f"{sum(int(r[1].split('/')[0]) for r in rows)}/"
+                 f"{sum(int(r[1].split('/')[1]) for r in rows)}",
+                 pct(summary.bist_coverage), pct(PAPER_BIST)))
+    return render_table(("Defect", "Det/Total", "Measured", "Paper"), rows,
+                        title="Table I: coverage by defect class")
+
+
+def render_table2() -> str:
+    """Table II: DFT overhead vs the paper."""
+    rows = [(e, o, p) for e, o, p in table2_rows()]
+    return render_table(("Entity", "Ours", "Paper"), rows,
+                        title="Table II: circuit and control overhead")
+
+
+def render_bist(result: BISTResult) -> str:
+    """Render a BIST verdict as a check/value table."""
+    lock_us = (f"{result.lock_time * 1e6:.2f} us"
+               if result.lock_time is not None else "no lock")
+    rows = [
+        ("locked", result.loop.locked),
+        ("lock time", lock_us),
+        ("coarse corrections", result.coarse_corrections),
+        ("V_p tracking", "ok" if result.vp_tracking_ok else "FAIL"),
+        ("pump currents", "ok" if result.pump_currents_ok else "FAIL"),
+        ("verdict", "PASS" if result.passed else "FAIL"),
+    ]
+    return render_table(("Check", "Value"), rows, title="BIST result")

@@ -1,0 +1,66 @@
+"""Public result types returned by :class:`TestableLink`."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..faults.campaign import CampaignResult
+from ..synchronizer.loop import LoopResult
+
+
+@dataclass
+class DCTestResult:
+    """Outcome of the two-pattern DC test on a (possibly faulted) link."""
+
+    signatures: Dict[int, Dict]     # data bit -> observable dict
+    passed: bool                    # matches the golden signature
+
+
+@dataclass
+class ScanTestResult:
+    """Outcome of the scan tier (digital chains + analog conditions)."""
+
+    digital_coverage: float         # stuck-at coverage of the chains
+    digital_faults: int
+    analog_signatures: Dict[str, Tuple]
+    chains_flush_ok: bool
+
+
+@dataclass
+class BISTResult:
+    """Outcome of the at-speed BIST."""
+
+    loop: LoopResult
+    vp_tracking_ok: bool
+    pump_currents_ok: bool
+    passed: bool
+
+    @property
+    def lock_time(self) -> Optional[float]:
+        return self.loop.lock_time
+
+    @property
+    def coarse_corrections(self) -> int:
+        return self.loop.coarse_corrections
+
+
+@dataclass
+class CampaignSummary:
+    """Condensed view of a full fault campaign (the paper's Section IV)."""
+
+    result: CampaignResult
+    dc_coverage: float
+    scan_coverage: float
+    bist_coverage: float
+    by_kind: Dict[str, Tuple[int, int, float]]
+
+    @classmethod
+    def from_result(cls, result: CampaignResult) -> "CampaignSummary":
+        return cls(
+            result=result,
+            dc_coverage=result.cumulative_coverage("dc"),
+            scan_coverage=result.cumulative_coverage("scan"),
+            bist_coverage=result.cumulative_coverage("bist"),
+            by_kind=result.coverage_by_kind(),
+        )

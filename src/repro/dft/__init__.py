@@ -1,0 +1,78 @@
+"""The paper's contribution: DC test, scan test, BIST, and coverage.
+
+``dc_test`` / ``scan_test`` / ``bist`` implement the three tiers of
+Section II-IV; ``coverage`` assembles them into the fault campaign that
+regenerates the headline numbers and Table I; ``overhead`` reproduces
+Table II; ``digital_scan`` demonstrates the 100% digital stuck-at claim;
+``dll_bist`` implements the deferred stand-alone DLL BIST extension.
+"""
+
+from .bist import BISTTest
+from .coverage import (
+    CoverageReport,
+    PAPER_BIST,
+    PAPER_DC,
+    PAPER_SCAN,
+    PAPER_TABLE1,
+    build_fault_universe,
+    run_paper_campaign,
+)
+from .dc_test import DCTest
+from .delay_scan import (
+    build_coarse_fabric,
+    coarse_delay_procedure,
+    effective_delay_coverage,
+    run_coarse_delay_campaign,
+    untestable_transition_faults,
+)
+from .digital_scan import (
+    DigitalLinkFabric,
+    build_digital_fabric,
+    run_digital_scan_campaign,
+    scan_test_procedure,
+)
+from .dll_bist import (
+    DLLBistResult,
+    DLLModel,
+    dll_with_dead_tap,
+    dll_with_tap_defect,
+    healthy_dll,
+    run_dll_bist,
+    vernier_count,
+)
+from .duts import (
+    ReceiverDUT,
+    ToggleDUT,
+    VCDLDUT,
+    build_receiver_dut,
+    build_toggle_dut,
+    build_vcdl_dut,
+)
+from .overhead import (
+    OverheadItem,
+    PAPER_TABLE2,
+    dft_inventory,
+    format_table2,
+    table2_rows,
+    total_flop_overhead_bits,
+)
+from .scan_test import ScanTest
+
+__all__ = [
+    "BISTTest",
+    "CoverageReport", "PAPER_BIST", "PAPER_DC", "PAPER_SCAN",
+    "PAPER_TABLE1", "build_fault_universe", "run_paper_campaign",
+    "DCTest",
+    "build_coarse_fabric", "coarse_delay_procedure",
+    "effective_delay_coverage", "run_coarse_delay_campaign",
+    "untestable_transition_faults",
+    "DigitalLinkFabric", "build_digital_fabric",
+    "run_digital_scan_campaign", "scan_test_procedure",
+    "DLLBistResult", "DLLModel", "dll_with_dead_tap",
+    "dll_with_tap_defect", "healthy_dll", "run_dll_bist", "vernier_count",
+    "ReceiverDUT", "ToggleDUT", "VCDLDUT", "build_receiver_dut",
+    "build_toggle_dut", "build_vcdl_dut",
+    "OverheadItem", "PAPER_TABLE2", "dft_inventory", "format_table2",
+    "table2_rows", "total_flop_overhead_bits",
+    "ScanTest",
+]

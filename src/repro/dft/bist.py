@@ -1,0 +1,320 @@
+"""The BIST tier (Section III): lock detector + CP-BIST checks.
+
+Four at-speed observations, all available without external test access:
+
+* **V_p tracking** — after lock (emulated by pinning V_c at the locked
+  mid-window point) the CP-BIST window comparator must read "00"; a
+  balancing-path or amplifier fault lets V_p drift past the 150 mV
+  window.
+* **Pump-current check** — with V_c pinned, asserting UP (then DN) must
+  draw a weak-pump current within a window of the nominal; a
+  drain-source short in a current-source transistor (masked during scan,
+  where the source is used as a switch) multiplies the current.
+* **VCDL aliveness** — the sampling clock must propagate; a dead stage
+  shows statically as an output that no longer follows the input.
+* **Lock test** — the behavioural loop runs at speed on PRBS data from
+  the worst-case startup phase; the lock detector must report lock
+  within 2 us with no more than n_phases/2 coarse corrections.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from ..faults.behavior_map import map_fault_to_knobs
+from ..faults.inject import inject_fault
+from ..faults.model import StructuralFault
+from ..link.params import LinkParams
+from ..synchronizer.loop import SynchronizerLoop
+from .duts import build_receiver_dut, build_vcdl_dut
+
+#: pump current acceptance window relative to nominal
+CURRENT_LO = 0.3
+CURRENT_HI = 3.0
+#: worst-case startup phase used for the lock test
+LOCK_TEST_PHASE = 5
+#: cycles simulated by the lock test (> the 5000-cycle budget)
+LOCK_TEST_CYCLES = 7000
+
+
+@dataclass
+class BISTTest:
+    """BIST tier detector with cached golden signatures."""
+
+    retention_receiver: Dict[str, float] = field(default_factory=dict)
+    _golden: Dict = field(default_factory=dict)
+    _healthy_ota_i: Dict[str, float] = field(default_factory=dict)
+
+    #: OTA devices screened for bias collapse (block speed screen)
+    OTA_DEVICES = ("win_hi_MT", "win_hi_MLO", "win_lo_MT", "win_lo_MLO",
+                   "cp_amp_MT", "cp_amp_MLO")
+    #: bias current below this fraction of healthy = block too slow for
+    #: the coarse-loop clock -> lock failure at speed
+    SLEW_COLLAPSE = 0.1
+
+    def __post_init__(self):
+        self._golden = self._run_receiver_checks(None)
+        # retention reference for VCDL gate opens: the healthy VCDL
+        # operating point with the clock input low
+        dut = build_vcdl_dut()
+        dut.set_input(0)
+        from ..analog import dc_operating_point
+
+        op = dc_operating_point(dut.circuit)
+        self._retention_vcdl = dict(op.voltages) if op.converged else {}
+
+    # ------------------------------------------------------------------
+    def applies_to(self, fault: StructuralFault) -> bool:
+        return fault.block in ("cp", "window_comp", "vcdl")
+
+    def detect(self, fault: StructuralFault) -> bool:
+        if fault.block == "window_comp":
+            if self._run_receiver_checks(fault) != self._golden:
+                return True
+            return self._window_lock_test(fault)
+        if fault.block == "cp":
+            if self._run_receiver_checks(fault) != self._golden:
+                return True
+            return self._lock_test(fault)
+        if fault.block == "vcdl":
+            if not self._vcdl_alive(fault):
+                return True
+            return self._vcdl_lock_test(fault)
+        return self._lock_test(fault)
+
+    # ------------------------------------------------------------------
+    def _run_receiver_checks(self, fault: Optional[StructuralFault]) -> Dict:
+        """V_p tracking + pump-current windows on the receiver bench."""
+        dut = build_receiver_dut()
+        if fault is not None:
+            dut.circuit = inject_fault(dut.circuit, fault,
+                                       retention=self.retention_receiver)
+        out: Dict[str, object] = {}
+
+        # V_p tracking at the locked operating point
+        dut.set_condition(hold=True)
+        op = dut.solve()
+        if not op.converged:
+            return {"converged": False}
+        obs = dut.observe(op)
+        out["vp_flag"] = (obs["bist_hi"], obs["bist_lo"])
+
+        # speed screen: an OTA whose bias current collapsed cannot meet
+        # the divided-clock timing -- the loop fails to lock at speed
+        # even though the slow DC observables still look legal
+        currents = self._ota_currents(dut, op)
+        if fault is None:
+            self._healthy_ota_i = currents
+            for name in self.OTA_DEVICES:
+                out[f"slew_{name}_ok"] = True
+        else:
+            for name in self.OTA_DEVICES:
+                ref = self._healthy_ota_i.get(name, 0.0)
+                out[f"slew_{name}_ok"] = bool(
+                    ref == 0.0 or currents[name] >= self.SLEW_COLLAPSE * ref)
+
+        # pump currents (digitised into in-window / out-of-window).
+        # The strong pump is included: during scan its source is a
+        # switch too, so a D-S short there is equally masked -- but at
+        # speed it shows as a grossly excessive coarse-correction slew.
+        nominal = {"up": 1.83e-6, "dn": 3.66e-6,
+                   "up_st": 14.6e-6, "dn_st": 29e-6}
+        for name, kw in (("up", dict(hold=True, up=1)),
+                         ("dn", dict(hold=True, dn=1)),
+                         ("up_st", dict(hold=True, up_st=1)),
+                         ("dn_st", dict(hold=True, dn_st=1))):
+            dut.set_condition(**kw)
+            op = dut.solve()
+            if not op.converged:
+                return {"converged": False}
+            i = abs(dut.hold_current(op))
+            ref = nominal[name]
+            out[f"i_{name}_ok"] = bool(
+                CURRENT_LO * ref <= i <= CURRENT_HI * ref)
+        out["converged"] = True
+        return out
+
+    def _ota_currents(self, dut, op) -> Dict[str, float]:
+        """Drain-current magnitudes of the screened OTA devices."""
+        out: Dict[str, float] = {}
+        for name in self.OTA_DEVICES:
+            m = dut.circuit[name]
+            i, *_ = m.ids(op.v(m.terminals["g"]), op.v(m.terminals["d"]),
+                          op.v(m.terminals["s"]), op.v(m.terminals["b"]))
+            out[name] = abs(i)
+        return out
+
+    def _vcdl_alive(self, fault: StructuralFault) -> bool:
+        """Static aliveness: the line output must follow the input."""
+        dut = build_vcdl_dut()
+        dut.circuit = inject_fault(dut.circuit, fault,
+                                   retention=self._retention_vcdl)
+        dut.set_input(0)
+        lo = dut.observe()
+        dut.set_input(1)
+        hi = dut.observe()
+        return lo == 0 and hi == 1
+
+    def _measure_faulted_vcdl(self, fault: StructuralFault,
+                              vctl: float) -> float:
+        """Propagation delay of the faulted VCDL at *vctl* (transient)."""
+        import numpy as np
+
+        from ..analog import step_waveform, transient
+        from ..circuits.vcdl import build_vcdl
+        from ..analog import Circuit
+
+        c = Circuit("vcdl_char")
+        c.add_vsource("vdd", "0", 1.2, name="VDD")
+        c.add_vsource("vctl", "0", vctl, name="VCTL")
+        vin = c.add_vsource("clk_in", "0", 0.0, name="VCLK")
+        t_step = 0.3e-9
+        vin.waveform = step_waveform(0.0, 1.2, t_step, t_rise=20e-12)
+        build_vcdl(c, "vcdl", "clk_in", "clk_out", "vctl")
+        faulted = inject_fault(c, fault, retention=self._retention_vcdl)
+        tr = transient(faulted, 1.6e-9, 2e-12, probes=["clk_out"])
+        v_out = tr.v("clk_out")
+        after = tr.time > t_step
+        crossed = (after & (v_out > 0.6)).nonzero()[0]
+        if len(crossed) == 0:
+            return float("nan")
+        return float(tr.time[crossed[0]] - t_step)
+
+    def _vcdl_lock_test(self, fault: StructuralFault) -> bool:
+        """Lock test with the *measured* faulted VCDL tuning curve.
+
+        The faulted delay is characterised at the window bounds on the
+        transistor netlist; the behavioural loop then runs with that
+        curve.  A dead line, a curve whose span no longer reaches the
+        eye, or a lost tuning gain all surface as lock failure / lock-
+        detector overflow; a mild parametric shift locks fine and
+        escapes (the Table I open-fault escapes).
+        """
+        import math
+
+        d_lo = self._measure_faulted_vcdl(fault, LinkParams().v_window_lo)
+        d_hi = self._measure_faulted_vcdl(fault, LinkParams().v_window_hi)
+        if math.isnan(d_lo) or math.isnan(d_hi):
+            return True     # clock does not propagate at speed
+        p0 = LinkParams()
+        lo_v, hi_v = p0.v_window_lo, p0.v_window_hi
+
+        def faulted_curve(vc: float, _lo=d_lo, _hi=d_hi) -> float:
+            if vc <= lo_v:
+                return _lo
+            if vc >= hi_v:
+                return _hi
+            f = (vc - lo_v) / (hi_v - lo_v)
+            return _lo + f * (_hi - _lo)
+
+        params = LinkParams(initial_phase_index=LOCK_TEST_PHASE,
+                            vcdl_delay=faulted_curve)
+        loop = SynchronizerLoop(params=params)
+        result = loop.run(max_cycles=LOCK_TEST_CYCLES, stop_on_lock=True)
+        return not result.bist_pass
+
+    def _run_loop(self, params: LinkParams) -> bool:
+        """True when the loop passes the BIST verdict from both walk
+        directions (startup phases 5 and 6 exercise the high- and
+        low-side coarse corrections respectively -- 'from any initial
+        condition', Section III)."""
+        from dataclasses import replace
+
+        for phase in (LOCK_TEST_PHASE, LOCK_TEST_PHASE + 1):
+            p = replace(params, initial_phase_index=phase)
+            loop = SynchronizerLoop(params=p)
+            result = loop.run(max_cycles=LOCK_TEST_CYCLES,
+                              stop_on_lock=True)
+            if not result.bist_pass:
+                return False
+        return True
+
+    def _lock_test(self, fault: StructuralFault) -> bool:
+        """At-speed lock test via the fault -> behaviour mapping.
+
+        Returns True (detected) when the mapped loop fails the BIST
+        verdict; faults with no loop-level consequence return False.
+        """
+        knobs = map_fault_to_knobs(fault)
+        if not knobs:
+            return False
+        params = LinkParams().with_faults(**knobs)
+        return not self._run_loop(params)
+
+    def _measure_window_thresholds(self,
+                                   fault: Optional[StructuralFault]):
+        """Trip points of the (optionally faulted) window comparator.
+
+        Sweeps the pinned V_c through the hold source and bisects the
+        win_hi / win_lo trip voltages on the netlist.  Returns
+        ``(th_lo, th_hi)`` with ``None`` for a side that never fires
+        inside the rails.  Note the sweep drives V_c through the hold
+        switch, so faults that load V_c resistively (e.g. a shorted
+        loop capacitor) legitimately shift the measured thresholds —
+        and are detected through them.
+        """
+        dut = build_receiver_dut()
+        if fault is not None:
+            dut.circuit = inject_fault(dut.circuit, fault,
+                                       retention=self.retention_receiver)
+        hold = dut.circuit["VHOLD"]
+
+        def win_bits(vc):
+            hold.voltage = vc
+            dut.set_condition(hold=True)
+            op = dut.solve()
+            if not op.converged:
+                return None
+            return (1 if op.v("win_hi") > 0.6 else 0,
+                    1 if op.v("win_lo") > 0.6 else 0)
+
+        def bisect(side, lo, hi):
+            """First vc (within [lo, hi]) where the side asserts."""
+            b_lo, b_hi = win_bits(lo), win_bits(hi)
+            if b_lo is None or b_hi is None:
+                return "nonconv"
+            # win_bits returns (hi, lo)
+            i = 1 if side == "lo" else 0
+            if b_lo[i] == b_hi[i]:
+                return None          # never trips inside the rails
+            for _ in range(9):
+                mid = 0.5 * (lo + hi)
+                bm = win_bits(mid)
+                if bm is None:
+                    return "nonconv"
+                if bm[i] == b_lo[i]:
+                    lo = mid
+                else:
+                    hi = mid
+            return 0.5 * (lo + hi)
+
+        th_lo = bisect("lo", 0.02, 0.6)
+        th_hi = bisect("hi", 0.6, 1.18)
+        return th_lo, th_hi
+
+    def _window_lock_test(self, fault: StructuralFault) -> bool:
+        """Lock test with the *measured* faulted window thresholds.
+
+        The scan conditions exercise the comparator at +-0.6 V inputs; a
+        degraded comparator (e.g. a mirror open turning it into a
+        pseudo-NMOS stage) may still resolve those large swings while
+        its thresholds are wildly shifted.  In mission the coarse loop
+        then fails to fire (or fires constantly), which the lock
+        detector observes.
+        """
+        th = self._measure_window_thresholds(fault)
+        if th == "nonconv" or "nonconv" in th:
+            return True
+        th_lo, th_hi = th
+        knobs = {}
+        if th_lo is None:
+            knobs["window_lo_stuck"] = 0
+        else:
+            knobs["v_window_lo"] = th_lo
+        if th_hi is None:
+            knobs["window_hi_stuck"] = 0
+        else:
+            knobs["v_window_hi"] = th_hi
+        params = LinkParams().with_faults(**knobs)
+        return not self._run_loop(params)

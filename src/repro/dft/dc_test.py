@@ -1,0 +1,89 @@
+"""The paper's DC test: two static patterns plus the quiescent receiver.
+
+Section IV: "two DC tests with the interconnect input at logic 1 and
+logic 0 respectively can detect 50.4% of the structural faults".  The
+test powers the whole link, holds the data static, and observes every
+on-chip test comparator:
+
+* the termination's offset comparators and bias window comparator
+  (:mod:`repro.circuits.full_link` observables), for both data values;
+* the receiver's quiescent signature — with the PD quiet the charge pump
+  idles at a deterministic mid-rail state, and the coarse-loop window
+  comparator plus the CP-BIST comparator report an in-window "0000".
+
+A fault is DC-detected when any observed bit differs from the fault-free
+signature (non-convergence of the faulted operating point also counts:
+on a tester it shows as an out-of-spec supply current).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..circuits.full_link import FullLinkPorts, build_full_link
+from ..faults.inject import inject_fault
+from ..faults.model import StructuralFault
+from .duts import ReceiverDUT, build_receiver_dut
+
+#: blocks whose faults the full-link netlist contains
+LINK_BLOCKS = ("tx", "termination")
+#: blocks whose faults the receiver bench contains
+RECEIVER_BLOCKS = ("cp", "window_comp")
+
+
+@dataclass
+class DCTest:
+    """DC tier detector with cached golden signatures and retention."""
+
+    _golden_link: Dict = field(default_factory=dict)
+    _golden_receiver: Dict = field(default_factory=dict)
+    _retention_link: Dict[str, float] = field(default_factory=dict)
+    _retention_receiver: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self):
+        link = build_full_link()
+        self._golden_link = link.run_dc_test()
+        # retention condition: the healthy operating point at data = 1
+        link.apply_data(1)
+        from ..analog import dc_operating_point
+
+        op = dc_operating_point(link.circuit)
+        self._retention_link = dict(op.voltages)
+
+        dut = build_receiver_dut()
+        dut.set_condition()
+        op_r = dut.solve()
+        self._golden_receiver = dut.observe(op_r)
+        self._retention_receiver = dict(op_r.voltages)
+
+    # ------------------------------------------------------------------
+    def applies_to(self, fault: StructuralFault) -> bool:
+        return fault.block in LINK_BLOCKS + RECEIVER_BLOCKS
+
+    def retention_for(self, fault: StructuralFault) -> Dict[str, float]:
+        if fault.block in LINK_BLOCKS:
+            return self._retention_link
+        return self._retention_receiver
+
+    def detect(self, fault: StructuralFault) -> bool:
+        """Run the DC tier against *fault*; True when detected."""
+        if fault.block in LINK_BLOCKS:
+            link = build_full_link()
+            faulted = inject_fault(link.circuit, fault,
+                                   retention=self._retention_link)
+            dut = FullLinkPorts(
+                circuit=faulted, data_source_name=link.data_source_name,
+                datab_source_name=link.datab_source_name, tx=link.tx,
+                term=link.term, vdd=link.vdd)
+            return dut.run_dc_test() != self._golden_link
+
+        if fault.block in RECEIVER_BLOCKS:
+            dut = build_receiver_dut()
+            dut.circuit = inject_fault(dut.circuit, fault,
+                                       retention=self._retention_receiver)
+            dut.set_condition()
+            op = dut.solve()
+            return dut.observe(op) != self._golden_receiver
+
+        return False

@@ -1,0 +1,105 @@
+"""Stand-alone all-digital DLL BIST (the paper's deferred integration).
+
+Section III: "The DLL in the receiver is not tested completely by this
+BIST.  This DLL can be treated as a stand-alone unit and using the
+techniques reported in [11], [12] a complete test of the DLL can be
+integrated with the interconnect test."  This module implements that
+integration as an extension: a purely digital phase-spacing BIST in the
+spirit of Sunter & Roy [12].
+
+Principle: select each DLL tap in turn and, against a reference clock
+running at a slightly offset frequency, count how many reference periods
+elapse before the tap edge and the reference edge coincide (a digital
+vernier).  For an ideal N-phase DLL the coincidence counts of adjacent
+taps differ by a constant; a tap with a delay defect breaks the
+arithmetic progression.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..link.params import LinkParams
+
+#: vernier resolution: the reference clock is offset by 1/VERNIER_RATIO
+VERNIER_RATIO = 64
+#: tap spacing tolerance as a fraction of the nominal step
+SPACING_TOL = 0.25
+
+
+@dataclass
+class DLLModel:
+    """A DLL with per-tap phase errors (the unit under BIST)."""
+
+    params: LinkParams = field(default_factory=LinkParams)
+    #: per-tap additive phase error [s]
+    tap_errors: Dict[int, float] = field(default_factory=dict)
+    #: taps that produce no edge at all
+    dead_taps: List[int] = field(default_factory=list)
+
+    def tap_phase(self, index: int) -> Optional[float]:
+        if index in self.dead_taps:
+            return None
+        nominal = (index % self.params.n_phases) * self.params.phase_step
+        return nominal + self.tap_errors.get(index, 0.0)
+
+
+@dataclass
+class DLLBistResult:
+    """Outcome of the digital DLL BIST."""
+
+    counts: List[Optional[int]]
+    passed: bool
+    failing_taps: List[int]
+
+
+def vernier_count(phase: Optional[float], bit_time: float) -> Optional[int]:
+    """Coincidence count of a tap at *phase* against the vernier clock.
+
+    The reference runs at ``T_ref = T * (1 + 1/VERNIER_RATIO)``; each
+    reference period gains ``T/VERNIER_RATIO`` on the tap, so the count
+    until coincidence quantises the tap phase to that resolution.
+    """
+    if phase is None:
+        return None
+    step = bit_time / VERNIER_RATIO
+    return int(round((phase % bit_time) / step))
+
+
+def run_dll_bist(dll: DLLModel) -> DLLBistResult:
+    """Measure every tap and check the spacing arithmetic progression."""
+    p = dll.params
+    counts = [vernier_count(dll.tap_phase(k), p.bit_time)
+              for k in range(p.n_phases)]
+
+    nominal_step_counts = VERNIER_RATIO / p.n_phases
+    failing: List[int] = []
+    for k in range(p.n_phases):
+        if counts[k] is None:
+            failing.append(k)
+            continue
+        nxt = (k + 1) % p.n_phases
+        if counts[nxt] is None:
+            continue
+        diff = (counts[nxt] - counts[k]) % VERNIER_RATIO
+        if abs(diff - nominal_step_counts) > SPACING_TOL * nominal_step_counts:
+            failing.append(k)
+    return DLLBistResult(counts=counts, passed=not failing,
+                         failing_taps=sorted(set(failing)))
+
+
+def healthy_dll() -> DLLModel:
+    """A defect-free DLL under the paper's operating point."""
+    return DLLModel()
+
+
+def dll_with_tap_defect(tap: int, error_fraction: float = 0.5) -> DLLModel:
+    """A DLL whose *tap* is late by *error_fraction* of a phase step."""
+    p = LinkParams()
+    return DLLModel(tap_errors={tap: error_fraction * p.phase_step})
+
+
+def dll_with_dead_tap(tap: int) -> DLLModel:
+    """A DLL whose *tap* produces no edge at all."""
+    return DLLModel(dead_taps=[tap])

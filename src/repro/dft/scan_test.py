@@ -1,0 +1,142 @@
+"""The scan tier for the analog blocks (Section II).
+
+Three analog-facing procedures run when scan is enabled:
+
+* **Probe test** — the grey probe flip-flops capture the driver side of
+  the transmitter's series capacitors for both data values; a strong or
+  tap driver fault flips a captured bit even though the (DC-open) caps
+  hide it from the line comparators.
+* **Toggle test** — the 100 MHz window comparator watches the receiver
+  bias while a toggling pattern runs; a transmission-gate open that
+  leaves the statics legal unbalances the arm time constants and the
+  bias node glitches past the comparator window on every edge.
+* **Receiver scan conditions** — with ``S_en`` the charge pump turns
+  combinational and the window comparator is exercised at forced-mid,
+  V_c = logic 1 and V_c = logic 0 (driven through the PD via Scan chain
+  A in the real flow; here through the UP/DN control sources).
+
+The purely digital scan content (chains A and B, ring counter preload,
+switch-matrix continuity) lives in :mod:`repro.dft.digital_scan`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..analog import dc_operating_point, transient
+from ..faults.inject import inject_fault
+from ..faults.model import StructuralFault
+from .duts import build_receiver_dut, build_toggle_dut
+
+#: window-comparator decision threshold for the toggle test [V]
+#: (the measured lower trip point of the Fig 6 termination window
+#: comparator; the healthy toggle excursion is ~2 mV after the
+#: slew-symmetric driver sizing)
+TOGGLE_THRESHOLD = 13e-3
+#: the receiver scan conditions (Section II-B).  The PD can only assert
+#: UP or DN (never both), so there is no contention condition — which is
+#: precisely why a drain-source short in a current-source transistor is
+#: masked during scan (the paper's Section III observation).
+SCAN_CONDITIONS = (
+    ("mid", dict(scan=True, force_mid=True)),
+    ("up", dict(scan=True, up=1)),
+    ("dn", dict(scan=True, dn=1)),
+    ("up_st", dict(scan=True, up_st=1)),
+    ("dn_st", dict(scan=True, dn_st=1)),
+)
+
+
+def _digitize(op, nodes, vdd=1.2) -> Tuple:
+    return tuple(1 if op.v(n) > vdd / 2 else 0 for n in nodes)
+
+
+@dataclass
+class ScanTest:
+    """Scan tier detector with cached golden signatures."""
+
+    retention_link: Dict[str, float] = field(default_factory=dict)
+    retention_receiver: Dict[str, float] = field(default_factory=dict)
+    _golden_probe: Dict = field(default_factory=dict)
+    _golden_receiver: Dict = field(default_factory=dict)
+    _golden_toggle: float = 0.0
+
+    #: probe-FF observation nodes in the full-link netlist
+    PROBE_NODES = ("tx_p_drv", "tx_p_tap", "tx_n_drv", "tx_n_tap")
+
+    def __post_init__(self):
+        self._golden_probe = self._run_probe(None)
+        self._golden_receiver = self._run_receiver(None)
+        self._golden_toggle = self._run_toggle(None)
+
+    # ------------------------------------------------------------------
+    def applies_to(self, fault: StructuralFault) -> bool:
+        return fault.block in ("tx", "termination", "cp", "window_comp")
+
+    def detect(self, fault: StructuralFault) -> bool:
+        if fault.block == "tx":
+            # probe flip-flops first (static drivers), then the toggling
+            # pattern: a weakened driver that still reads correctly at
+            # DC cannot deliver its capacitive kick, and the 100 MHz
+            # window comparator sees the unbalanced bias glitch
+            if self._run_probe(fault) != self._golden_probe:
+                return True
+            return self._run_toggle(fault) > TOGGLE_THRESHOLD
+        if fault.block == "termination":
+            exc = self._run_toggle(fault)
+            return exc > TOGGLE_THRESHOLD
+        if fault.block in ("cp", "window_comp"):
+            return self._run_receiver(fault) != self._golden_receiver
+        return False
+
+    # ------------------------------------------------------------------
+    def _run_probe(self, fault: Optional[StructuralFault]) -> Dict:
+        """Probe-FF capture of the driver nodes for both data values."""
+        from ..circuits.full_link import build_full_link
+
+        link = build_full_link()
+        circuit = link.circuit
+        if fault is not None:
+            circuit = inject_fault(circuit, fault,
+                                   retention=self.retention_link)
+        out = {}
+        for bit in (1, 0):
+            v = link.vdd if bit else 0.0
+            circuit["VDATA"].voltage = v
+            circuit["VDATAB"].voltage = link.vdd - v
+            op = dc_operating_point(circuit)
+            if not op.converged:
+                out[bit] = ("no_convergence",)
+            else:
+                out[bit] = _digitize(op, self.PROBE_NODES)
+        return out
+
+    def _run_receiver(self, fault: Optional[StructuralFault]) -> Dict:
+        """Window-comparator captures across the six scan conditions."""
+        dut = build_receiver_dut()
+        if fault is not None:
+            dut.circuit = inject_fault(dut.circuit, fault,
+                                       retention=self.retention_receiver)
+        out = {}
+        for label, kw in SCAN_CONDITIONS:
+            dut.set_condition(**kw)
+            op = dut.solve()
+            if not op.converged:
+                out[label] = ("no_convergence",)
+            else:
+                out[label] = _digitize(op, ("win_hi", "win_lo"))
+        return out
+
+    def _run_toggle(self, fault: Optional[StructuralFault]) -> float:
+        """Peak bias-node excursion during the 100 MHz toggle [V]."""
+        dut = build_toggle_dut()
+        circuit = dut.circuit
+        if fault is not None:
+            circuit = inject_fault(circuit, fault,
+                                   retention=self.retention_link)
+        tr = transient(circuit, 25e-9, 0.1e-9,
+                       probes=[dut.vcm_node, dut.ref_node])
+        mask = tr.time > 5e-9
+        return float(np.abs(tr.vdiff(dut.vcm_node, dut.ref_node))[mask].max())

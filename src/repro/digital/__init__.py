@@ -1,0 +1,33 @@
+"""Gate-level digital simulation substrate with stuck-at fault support."""
+
+from .delay_faults import (
+    TransitionFault,
+    TransitionFaultInjector,
+    TransitionFaultResult,
+    enumerate_transition_faults,
+    run_transition_fault_simulation,
+)
+from .gates import Component, Constant, Gate, Mux2
+from .sequential import DFF, DLatch, ScanDFF
+from .signals import HIGH, LOW, X, bus, from_bits, invert, resolve, to_bits
+from .simulator import LogicCircuit, SimulationError
+from .stuck_at import (
+    FaultSimResult,
+    StuckAtFault,
+    apply_patterns_procedure,
+    enumerate_stuck_at_faults,
+    exhaustive_patterns,
+    run_fault_simulation,
+)
+
+__all__ = [
+    "TransitionFault", "TransitionFaultInjector", "TransitionFaultResult",
+    "enumerate_transition_faults", "run_transition_fault_simulation",
+    "Component", "Constant", "Gate", "Mux2",
+    "DFF", "DLatch", "ScanDFF",
+    "HIGH", "LOW", "X", "bus", "from_bits", "invert", "resolve", "to_bits",
+    "LogicCircuit", "SimulationError",
+    "FaultSimResult", "StuckAtFault", "apply_patterns_procedure",
+    "enumerate_stuck_at_faults", "exhaustive_patterns",
+    "run_fault_simulation",
+]

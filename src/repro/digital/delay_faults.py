@@ -1,0 +1,155 @@
+"""Transition (delay) fault model for the gate-level substrate.
+
+Section IV: "The digital coarse correction is operated at a divided
+clock frequency which is in the range of scan test frequencies.  Hence
+the delay faults in this path are also tested with 100% coverage."
+This module provides the transition-fault machinery that claim needs:
+
+* a **slow-to-rise** / **slow-to-fall** fault on a net delays that
+  transition past the capture edge — modelled as the net holding its
+  previous value for one extra clock cycle when it would have made the
+  slow transition;
+* launch-on-capture (broadside) pattern application: load a state via
+  scan, pulse the functional clock twice (launch + capture), unload;
+* a fault simulator scoring a pattern set against the TF universe.
+
+The model hooks the :class:`LogicCircuit` force mechanism: between the
+launch and capture evaluations the faulted net is pinned to its
+pre-launch value when the slow transition was requested.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set
+
+from .gates import Constant
+from .simulator import LogicCircuit
+from .stuck_at import enumerate_stuck_at_faults
+
+
+@dataclass(frozen=True)
+class TransitionFault:
+    """Slow-to-rise (str) or slow-to-fall (stf) fault on a net."""
+
+    net: str
+    slow_to: int     # 1 = slow-to-rise, 0 = slow-to-fall
+
+    def __str__(self) -> str:
+        return f"{self.net}/{'STR' if self.slow_to else 'STF'}"
+
+
+def enumerate_transition_faults(circuit: LogicCircuit,
+                                exclude: Iterable[str] = ()
+                                ) -> List[TransitionFault]:
+    """Two transition faults per net (mirrors the stuck-at collapse)."""
+    stuck = enumerate_stuck_at_faults(circuit, exclude=exclude)
+    nets = sorted({f.net for f in stuck})
+    out: List[TransitionFault] = []
+    for net in nets:
+        out.append(TransitionFault(net, 1))
+        out.append(TransitionFault(net, 0))
+    return out
+
+
+class TransitionFaultInjector:
+    """Applies the delayed-transition semantics around a launch edge.
+
+    Usage inside a test procedure::
+
+        inj = TransitionFaultInjector(circuit, fault)
+        ...
+        inj.launch(clock)      # instead of circuit.tick(clock) at launch
+        circuit.tick(clock)    # capture edge (fault released before it)
+    """
+
+    def __init__(self, circuit: LogicCircuit,
+                 fault: Optional[TransitionFault]):
+        self.circuit = circuit
+        self.fault = fault
+
+    def launch(self, clock: str,
+               event: Optional[Callable[[], None]] = None) -> None:
+        """Launch edge: if the faulted net makes the slow transition,
+        hold its old value through the cycle (released at capture).
+
+        *event*, when given, performs the launch stimulus itself (e.g.
+        primary-input pokes aligned with the clock edge) and must
+        include the clock tick; otherwise a plain ``tick(clock)`` is
+        issued.  The transition is judged across the whole event, which
+        is the broadside launch semantics: FF updates and PI changes
+        both count as launch transitions.
+        """
+        c = self.circuit
+
+        def default_event() -> None:
+            c.tick(clock)
+
+        ev = event or default_event
+        if self.fault is None:
+            ev()
+            return
+        net = self.fault.net
+        c.settle()                     # establish the pre-launch value
+        before = c.peek(net)
+        ev()
+        after = c.peek(net)
+        slow = (self.fault.slow_to == 1 and before == 0 and after == 1) \
+            or (self.fault.slow_to == 0 and before == 1 and after == 0)
+        if slow:
+            c.force(net, before)
+            c.settle()
+
+    def release(self) -> None:
+        if self.fault is not None:
+            self.circuit.release(self.fault.net)
+            self.circuit.settle()
+
+
+@dataclass
+class TransitionFaultResult:
+    """Outcome of a transition-fault campaign."""
+
+    total: int
+    detected: Set[TransitionFault]
+    undetected: Set[TransitionFault]
+
+    @property
+    def coverage(self) -> float:
+        return len(self.detected) / self.total if self.total else 1.0
+
+
+# a TF test procedure receives (circuit, injector) and returns responses
+TFProcedure = Callable[[LogicCircuit, TransitionFaultInjector],
+                       Sequence[Optional[int]]]
+
+
+def run_transition_fault_simulation(
+        circuit_factory: Callable[[], LogicCircuit],
+        procedure: TFProcedure,
+        faults: Optional[Sequence[TransitionFault]] = None,
+        exclude: Iterable[str] = ()) -> TransitionFaultResult:
+    """Serial transition-fault simulation of *procedure*."""
+    golden_circuit = circuit_factory()
+    golden = list(procedure(golden_circuit,
+                            TransitionFaultInjector(golden_circuit, None)))
+    if faults is None:
+        faults = enumerate_transition_faults(circuit_factory(),
+                                             exclude=exclude)
+
+    detected: Set[TransitionFault] = set()
+    undetected: Set[TransitionFault] = set()
+    for fault in faults:
+        dut = circuit_factory()
+        inj = TransitionFaultInjector(dut, fault)
+        try:
+            response = list(procedure(dut, inj))
+        except Exception:
+            detected.add(fault)
+            continue
+        if response != golden:
+            detected.add(fault)
+        else:
+            undetected.add(fault)
+    return TransitionFaultResult(total=len(faults), detected=detected,
+                                 undetected=undetected)

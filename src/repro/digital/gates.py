@@ -1,0 +1,135 @@
+"""Combinational gate primitives.
+
+Each gate reads its input nets from the simulator's value map and returns
+the value its output net should take.  X (``None``) inputs propagate to X
+outputs except where the output is already determined (e.g. AND with a 0
+input), matching conventional 3-valued simulation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from .signals import invert, resolve
+
+
+class Component:
+    """Base class for everything placed in a :class:`LogicCircuit`."""
+
+    def __init__(self, name: str):
+        self.name = name
+
+    #: nets this component reads
+    def input_nets(self) -> List[str]:
+        raise NotImplementedError
+
+    #: nets this component drives
+    def output_nets(self) -> List[str]:
+        raise NotImplementedError
+
+    def evaluate(self, values: Dict[str, Optional[int]]) -> Dict[str, Optional[int]]:
+        """Return {output net: new value} given current *values*."""
+        raise NotImplementedError
+
+
+class Gate(Component):
+    """N-input logic gate of a given *kind*."""
+
+    KINDS = ("buf", "inv", "and", "nand", "or", "nor", "xor", "xnor")
+
+    def __init__(self, name: str, kind: str, inputs: Sequence[str], output: str):
+        super().__init__(name)
+        if kind not in self.KINDS:
+            raise ValueError(f"unknown gate kind {kind!r}; choices {self.KINDS}")
+        if kind in ("buf", "inv") and len(inputs) != 1:
+            raise ValueError(f"{kind} gate takes exactly one input")
+        if kind not in ("buf", "inv") and len(inputs) < 2:
+            raise ValueError(f"{kind} gate needs at least two inputs")
+        self.kind = kind
+        self.inputs = list(inputs)
+        self.output = output
+
+    def input_nets(self) -> List[str]:
+        return list(self.inputs)
+
+    def output_nets(self) -> List[str]:
+        return [self.output]
+
+    def _logic(self, vals: List[Optional[int]]) -> Optional[int]:
+        kind = self.kind
+        if kind == "buf":
+            return vals[0]
+        if kind == "inv":
+            return invert(vals[0])
+        if kind in ("and", "nand"):
+            if any(v == 0 for v in vals):
+                out = 0
+            elif any(v is None for v in vals):
+                return None
+            else:
+                out = 1
+            return invert(out) if kind == "nand" else out
+        if kind in ("or", "nor"):
+            if any(v == 1 for v in vals):
+                out = 1
+            elif any(v is None for v in vals):
+                return None
+            else:
+                out = 0
+            return invert(out) if kind == "nor" else out
+        # xor / xnor
+        if any(v is None for v in vals):
+            return None
+        out = 0
+        for v in vals:
+            out ^= v
+        return invert(out) if kind == "xnor" else out
+
+    def evaluate(self, values):
+        vals = [resolve(values.get(net)) for net in self.inputs]
+        return {self.output: self._logic(vals)}
+
+
+class Mux2(Component):
+    """2:1 multiplexer: out = b when sel else a."""
+
+    def __init__(self, name: str, a: str, b: str, sel: str, output: str):
+        super().__init__(name)
+        self.a = a
+        self.b = b
+        self.sel = sel
+        self.output = output
+
+    def input_nets(self) -> List[str]:
+        return [self.a, self.b, self.sel]
+
+    def output_nets(self) -> List[str]:
+        return [self.output]
+
+    def evaluate(self, values):
+        s = resolve(values.get(self.sel))
+        va = resolve(values.get(self.a))
+        vb = resolve(values.get(self.b))
+        if s is None:
+            out = va if va == vb else None
+        else:
+            out = vb if s else va
+        return {self.output: out}
+
+
+class Constant(Component):
+    """Constant driver (ties a net to 0 or 1)."""
+
+    def __init__(self, name: str, output: str, value: int):
+        super().__init__(name)
+        self.output = output
+        self.value = resolve(value)
+
+    def input_nets(self) -> List[str]:
+        return []
+
+    def output_nets(self) -> List[str]:
+        return [self.output]
+
+    def evaluate(self, values):
+        return {self.output: self.value}

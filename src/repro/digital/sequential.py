@@ -1,0 +1,116 @@
+"""Sequential primitives: D flip-flops, latches, and the scan flip-flop.
+
+Flip-flops are edge-triggered: the simulator samples their D inputs when
+:meth:`repro.digital.simulator.LogicCircuit.tick` is called for their clock
+domain, then updates all Q outputs simultaneously (two-phase update, so
+shift registers behave correctly).  Latches are level-sensitive and are
+evaluated inside the combinational settle loop.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .gates import Component
+from .signals import resolve
+
+
+class DFF(Component):
+    """Positive-edge D flip-flop with optional synchronous reset.
+
+    Parameters
+    ----------
+    clock:
+        Clock-domain label; :meth:`LogicCircuit.tick` takes the same label.
+    reset:
+        Optional net; when it reads 1 at the clock edge, Q becomes
+        ``reset_value`` regardless of D.
+    """
+
+    def __init__(self, name: str, d: str, q: str, clock: str = "clk",
+                 reset: Optional[str] = None, reset_value: int = 0,
+                 init: Optional[int] = 0):
+        super().__init__(name)
+        self.d = d
+        self.q = q
+        self.clock = clock
+        self.reset = reset
+        self.reset_value = resolve(reset_value)
+        self.state: Optional[int] = resolve(init) if init is not None else None
+
+    def input_nets(self) -> List[str]:
+        nets = [self.d]
+        if self.reset:
+            nets.append(self.reset)
+        return nets
+
+    def output_nets(self) -> List[str]:
+        return [self.q]
+
+    def evaluate(self, values):
+        # combinational view: Q reflects the stored state
+        return {self.q: self.state}
+
+    def next_state(self, values) -> Optional[int]:
+        """State after a clock edge given pre-edge net *values*."""
+        if self.reset and resolve(values.get(self.reset)) == 1:
+            return self.reset_value
+        return resolve(values.get(self.d))
+
+    def commit(self, state: Optional[int]) -> None:
+        self.state = state
+
+
+class ScanDFF(DFF):
+    """Mux-D scan flip-flop: D input replaced by scan_in when scan_enable.
+
+    This is the standard scan cell the paper assumes for both Scan chain A
+    (data path) and Scan chain B (clock control path).
+    """
+
+    def __init__(self, name: str, d: str, q: str, scan_in: str,
+                 scan_enable: str, clock: str = "clk",
+                 reset: Optional[str] = None, reset_value: int = 0,
+                 init: Optional[int] = 0):
+        super().__init__(name, d, q, clock, reset, reset_value, init)
+        self.scan_in = scan_in
+        self.scan_enable = scan_enable
+
+    def input_nets(self) -> List[str]:
+        return super().input_nets() + [self.scan_in, self.scan_enable]
+
+    def next_state(self, values) -> Optional[int]:
+        if self.reset and resolve(values.get(self.reset)) == 1:
+            return self.reset_value
+        if resolve(values.get(self.scan_enable)) == 1:
+            return resolve(values.get(self.scan_in))
+        return resolve(values.get(self.d))
+
+
+class DLatch(Component):
+    """Level-sensitive D latch: transparent while *enable* is high.
+
+    The paper adds one such latch in the transmitter data path to create
+    the optional half-cycle delay used to test the phase detector's DN
+    path; it is transparent in normal operation.
+    """
+
+    def __init__(self, name: str, d: str, q: str, enable: str,
+                 init: Optional[int] = 0):
+        super().__init__(name)
+        self.d = d
+        self.q = q
+        self.enable = enable
+        self.state: Optional[int] = resolve(init) if init is not None else None
+
+    def input_nets(self) -> List[str]:
+        return [self.d, self.enable]
+
+    def output_nets(self) -> List[str]:
+        return [self.q]
+
+    def evaluate(self, values):
+        en = resolve(values.get(self.enable))
+        if en == 1:
+            self.state = resolve(values.get(self.d))
+        return {self.q: self.state}

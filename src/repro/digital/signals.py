@@ -1,0 +1,52 @@
+"""Logic values and net naming conventions for the gate-level simulator.
+
+Nets carry binary values ``0``/``1``; an unresolved net reads ``X``
+(represented by ``None``) until something drives it.  The simulator keeps
+all net values in a flat dictionary, so a "net" is just a string name —
+this keeps fault injection (forcing a net) trivial.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+#: logic constants
+LOW = 0
+HIGH = 1
+X = None
+
+
+def resolve(value) -> Optional[int]:
+    """Normalise truthy input to a logic level (None stays X)."""
+    if value is None:
+        return None
+    return 1 if value else 0
+
+
+def invert(value: Optional[int]) -> Optional[int]:
+    """Logical NOT with X propagation."""
+    if value is None:
+        return None
+    return 1 - value
+
+
+def to_bits(value: int, width: int) -> List[int]:
+    """Little-endian bit list of *value* (bit 0 first)."""
+    if value < 0 or value >= (1 << width):
+        raise ValueError(f"value {value} does not fit in {width} bits")
+    return [(value >> i) & 1 for i in range(width)]
+
+
+def from_bits(bits: Iterable[Optional[int]]) -> int:
+    """Integer from a little-endian bit list (X bits are an error)."""
+    out = 0
+    for i, b in enumerate(bits):
+        if b is None:
+            raise ValueError(f"bit {i} is X")
+        out |= (b & 1) << i
+    return out
+
+
+def bus(prefix: str, width: int) -> List[str]:
+    """Net names ``prefix0 .. prefix{width-1}`` for a bus."""
+    return [f"{prefix}{i}" for i in range(width)]

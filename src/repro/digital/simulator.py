@@ -1,0 +1,199 @@
+"""Cycle-based gate-level logic simulator with stuck-at fault support.
+
+The simulator holds every net value in a flat dictionary.  Combinational
+settling repeatedly evaluates all components until no net changes (the
+circuits here are small; a bounded fixed-point iteration is simpler and
+handles transparent latches naturally).  Flip-flops update in two phases
+on :meth:`LogicCircuit.tick` so shift registers and scan chains shift by
+exactly one position per clock.
+
+Stuck-at faults are net forces applied after every evaluation pass, which
+models a fault at the *driver* of the net (fanout-stem fault).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .gates import Component, Constant, Gate, Mux2
+from .sequential import DFF, DLatch, ScanDFF
+from .signals import resolve
+
+
+class SimulationError(Exception):
+    """Raised on oscillation, unknown nets, or malformed circuits."""
+
+
+class LogicCircuit:
+    """A gate-level digital circuit with named nets and clock domains."""
+
+    #: extra settle passes allowed beyond the component count
+    SETTLE_MARGIN = 8
+
+    def __init__(self, name: str = "logic"):
+        self.name = name
+        self.components: List[Component] = []
+        self.values: Dict[str, Optional[int]] = {}
+        self.inputs: Set[str] = set()
+        self._forced: Dict[str, int] = {}
+        self._names: Set[str] = set()
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def _register(self, comp: Component) -> Component:
+        if comp.name in self._names:
+            raise SimulationError(f"duplicate component name {comp.name!r}")
+        self._names.add(comp.name)
+        self.components.append(comp)
+        for net in comp.input_nets() + comp.output_nets():
+            self.values.setdefault(net, None)
+        return comp
+
+    def add_input(self, net: str, value: Optional[int] = 0) -> str:
+        """Declare *net* as a primary input with an initial value."""
+        self.inputs.add(net)
+        self.values[net] = resolve(value) if value is not None else None
+        return net
+
+    def add_gate(self, kind: str, inputs: Sequence[str], output: str,
+                 name: Optional[str] = None) -> Gate:
+        """Add a combinational gate of *kind* driving *output*."""
+        name = name or f"{kind}_{output}"
+        return self._register(Gate(name, kind, inputs, output))
+
+    def add_mux2(self, a: str, b: str, sel: str, output: str,
+                 name: Optional[str] = None) -> Mux2:
+        """Add a 2:1 mux (*b* selected when *sel* is 1)."""
+        return self._register(Mux2(name or f"mux_{output}", a, b, sel, output))
+
+    def add_constant(self, output: str, value: int,
+                     name: Optional[str] = None) -> Constant:
+        """Tie *output* to a constant 0/1."""
+        return self._register(Constant(name or f"const_{output}", output, value))
+
+    def add_dff(self, d: str, q: str, clock: str = "clk",
+                reset: Optional[str] = None, reset_value: int = 0,
+                init: Optional[int] = 0, name: Optional[str] = None) -> DFF:
+        """Add a positive-edge D flip-flop in clock domain *clock*."""
+        return self._register(DFF(name or f"dff_{q}", d, q, clock, reset,
+                                  reset_value, init))
+
+    def add_scan_dff(self, d: str, q: str, scan_in: str, scan_enable: str,
+                     clock: str = "clk", reset: Optional[str] = None,
+                     reset_value: int = 0, init: Optional[int] = 0,
+                     name: Optional[str] = None) -> ScanDFF:
+        """Add a mux-D scan flip-flop (shift when *scan_enable* is 1)."""
+        return self._register(ScanDFF(name or f"sdff_{q}", d, q, scan_in,
+                                      scan_enable, clock, reset, reset_value,
+                                      init))
+
+    def add_latch(self, d: str, q: str, enable: str, init: Optional[int] = 0,
+                  name: Optional[str] = None) -> DLatch:
+        """Add a level-sensitive latch, transparent while *enable* is 1."""
+        return self._register(DLatch(name or f"lat_{q}", d, q, enable, init))
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def nets(self) -> List[str]:
+        """All net names, sorted."""
+        return sorted(self.values)
+
+    def flops(self, clock: Optional[str] = None) -> List[DFF]:
+        """Flip-flops, optionally filtered to one clock domain."""
+        out = [c for c in self.components if isinstance(c, DFF)]
+        if clock is not None:
+            out = [f for f in out if f.clock == clock]
+        return out
+
+    def component(self, name: str) -> Component:
+        """Look up a component by name."""
+        for c in self.components:
+            if c.name == name:
+                return c
+        raise SimulationError(f"no component named {name!r}")
+
+    # ------------------------------------------------------------------
+    # fault forcing
+    # ------------------------------------------------------------------
+    def force(self, net: str, value: int) -> None:
+        """Stuck-at force on *net* (applied after every settle pass)."""
+        if net not in self.values:
+            raise SimulationError(f"cannot force unknown net {net!r}")
+        self._forced[net] = resolve(value)
+
+    def release(self, net: Optional[str] = None) -> None:
+        """Remove one force (or all of them when *net* is None)."""
+        if net is None:
+            self._forced.clear()
+        else:
+            self._forced.pop(net, None)
+
+    @property
+    def forced_nets(self) -> Dict[str, int]:
+        return dict(self._forced)
+
+    # ------------------------------------------------------------------
+    # simulation
+    # ------------------------------------------------------------------
+    def poke(self, net: str, value: Optional[int]) -> None:
+        """Set a primary input."""
+        if net not in self.inputs:
+            raise SimulationError(f"{net!r} is not a primary input")
+        self.values[net] = resolve(value) if value is not None else None
+
+    def peek(self, net: str) -> Optional[int]:
+        """Read a net's current value."""
+        try:
+            return self.values[net]
+        except KeyError:
+            raise SimulationError(f"unknown net {net!r}") from None
+
+    def peek_bus(self, nets: Sequence[str]) -> List[Optional[int]]:
+        """Read several nets at once."""
+        return [self.peek(n) for n in nets]
+
+    def _apply_forces(self) -> None:
+        for net, val in self._forced.items():
+            self.values[net] = val
+
+    def settle(self) -> None:
+        """Evaluate combinational logic (and latches) to a fixed point."""
+        self._apply_forces()
+        limit = len(self.components) + self.SETTLE_MARGIN
+        for _ in range(limit):
+            changed = False
+            for comp in self.components:
+                for net, val in comp.evaluate(self.values).items():
+                    if net in self._forced:
+                        val = self._forced[net]
+                    if self.values.get(net) != val:
+                        self.values[net] = val
+                        changed = True
+            if not changed:
+                return
+        raise SimulationError(
+            f"circuit {self.name!r} did not settle in {limit} passes "
+            "(combinational loop?)")
+
+    def tick(self, clock: str = "clk", cycles: int = 1) -> None:
+        """Advance the named clock domain by *cycles* rising edges."""
+        for _ in range(cycles):
+            self.settle()
+            flops = self.flops(clock)
+            next_states = [f.next_state(self.values) for f in flops]
+            for f, ns in zip(flops, next_states):
+                f.commit(ns)
+            self.settle()
+
+    def reset_state(self, value: int = 0) -> None:
+        """Force every flip-flop and latch to *value* and re-settle."""
+        for comp in self.components:
+            if isinstance(comp, (DFF, DLatch)):
+                comp.state = resolve(value)
+        self.settle()
+
+    def snapshot(self) -> Dict[str, Optional[int]]:
+        """Copy of all net values (for good-vs-faulty comparison)."""
+        return dict(self.values)

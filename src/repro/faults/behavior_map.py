@@ -1,0 +1,153 @@
+"""Mapping from structural netlist faults to closed-loop behaviour.
+
+The at-speed BIST observes faults only through the loop's behaviour
+(lock detector, CP-BIST window).  For faults in blocks whose *static*
+netlist behaviour is unchanged — e.g. a gate-open switch that still sits
+at its retained bias, or a VCDL starve device — the campaign maps the
+fault onto :class:`repro.link.params.LinkParams` knobs and runs the
+behavioural loop.  The mapping encodes the same reasoning the paper
+uses: "most of the faults in the charge pump result in the control
+voltage not being reset ... or not being driven to the desired logic
+level", "faults in the second path ... result in the node V_p drifting",
+"a drain source short in the current source transistors ... can be
+detected [by] the BIST with the lock detector".
+
+``map_fault_to_knobs`` returns ``None`` when the fault has no loop-level
+consequence worth simulating (either it is caught statically elsewhere,
+or it is genuinely parametric — the Table I escapes).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..link.params import I_PUMP_DN, I_PUMP_UP
+from ..synchronizer.jitter import sampling_jitter_knob
+from .model import FaultKind, StructuralFault
+
+#: VCDL delay when a short wipes out the starvation (tuning gain lost)
+_VCDL_STUCK_DELAY = 190e-12
+
+
+def _constant_delay(vc: float) -> float:
+    return _VCDL_STUCK_DELAY
+
+
+def _cp_weak_switch(fault: StructuralFault, is_up: bool) -> Dict:
+    scale_key = "i_up_scale" if is_up else "i_dn_scale"
+    if fault.kind == FaultKind.DRAIN_SOURCE_SHORT:
+        # switch permanently on: the pump current flows regardless of the
+        # PD verdict -- a constant V_c slew the fine loop cannot null
+        leak = -I_PUMP_UP if is_up else +I_PUMP_DN
+        return {"leak_current": leak}
+    # opens and gate shorts break the switching path
+    return {scale_key: 0.0}
+
+
+def _cp_weak_source(fault: StructuralFault, is_up: bool) -> Optional[Dict]:
+    scale_key = "i_up_scale" if is_up else "i_dn_scale"
+    if fault.kind == FaultKind.GATE_OPEN:
+        # floating bias gate retains its charge: the source keeps running
+        # at its old current -- parametric, invisible to the loop
+        return None
+    if fault.kind == FaultKind.DRAIN_SOURCE_SHORT:
+        # uncontrolled (much larger) pump current; the loop still locks,
+        # so the *loop* test misses it -- the pump-current BIST check is
+        # the detector.  Model the stronger slew anyway.
+        return {scale_key: 8.0}
+    if fault.kind in (FaultKind.GATE_DRAIN_SHORT,
+                      FaultKind.GATE_SOURCE_SHORT):
+        return {scale_key: 0.2}
+    return {scale_key: 0.0}   # drain/source opens starve the pump
+
+
+def _cp_strong(fault: StructuralFault, device: str) -> Optional[Dict]:
+    is_up = device.endswith("MSWU") or device.endswith("MSRC")
+    dead_key = "strong_up_dead" if is_up else "strong_dn_dead"
+    if fault.kind == FaultKind.GATE_OPEN:
+        if device.endswith(("MSRC", "MSNK")):
+            return None       # retained bias: parametric escape
+        return {dead_key: True}
+    if fault.kind == FaultKind.DRAIN_SOURCE_SHORT:
+        if device.endswith(("MSWU", "MSWD")):
+            # strong switch always on: massive constant slew
+            leak = (-I_PUMP_UP * 8.0 if device.endswith("MSWU")
+                    else I_PUMP_DN * 8.0)
+            return {"leak_current": leak}
+        return None           # source D-S short: current check territory
+    return {dead_key: True}
+
+
+def map_fault_to_knobs(fault: StructuralFault) -> Optional[Dict]:
+    """LinkParams perturbation for *fault*, or None (no loop effect)."""
+    role = fault.role
+    dev = fault.device
+    kind = fault.kind
+
+    # ---------------- charge pump ----------------
+    if role == "cp_weak_sw":
+        return _cp_weak_switch(fault, is_up=dev.endswith("MSWU"))
+    if role == "cp_weak_src":
+        return _cp_weak_source(fault, is_up=True)
+    if role == "cp_weak_snk":
+        return _cp_weak_source(fault, is_up=False)
+    if role in ("cp_strong_sw", "cp_strong_src", "cp_strong_snk"):
+        return _cp_strong(fault, dev)
+    if role == "cp_balance":
+        if kind == FaultKind.GATE_OPEN:
+            return None        # parked-switch gate retains its level
+        drift = 0.30
+        return {"vp_drift": drift,
+                "sampling_jitter_rms": sampling_jitter_knob(drift)}
+    if role == "cp_amp":
+        if dev.endswith("_MT") and kind == FaultKind.GATE_OPEN:
+            return None        # tail bias retained: amp keeps working
+        if kind == FaultKind.GATE_OPEN and dev.endswith(("_MLD", "_MLO")):
+            return None        # mirror gate retained
+        drift = 0.40
+        return {"vp_drift": drift,
+                "sampling_jitter_rms": sampling_jitter_knob(drift)}
+    if role == "cp_filter":    # loop-filter capacitor short
+        return {"i_up_scale": 0.0, "i_dn_scale": 0.0,
+                "leak_current": 10e-6}
+
+    # ---------------- VCDL ----------------
+    # NOTE: the BIST tier does not use this mapping for VCDL faults —
+    # it characterises the faulted delay curve directly on the
+    # transistor netlist (repro.dft.bist._vcdl_lock_test).  These
+    # entries provide the coarse behavioural equivalents for users
+    # driving the loop simulation by hand.
+    if role == "vcdl_stage":
+        if kind == FaultKind.GATE_OPEN:
+            # retained gate: stage keeps its bias -- parametric slow-down
+            return None
+        if ("MNS" in dev or "MPS" in dev) and not kind.is_open:
+            # shorts around a starve device remove the starvation:
+            # tuning gain collapses to ~zero
+            return {"vcdl_delay": _constant_delay}
+        # any other hard fault starves or kills the clock path
+        return {"vcdl_dead": True}
+    if role == "vcdl_bias":
+        if kind == FaultKind.GATE_OPEN:
+            return None
+        if kind == FaultKind.DRAIN_SOURCE_SHORT:
+            return {"vcdl_delay": _constant_delay}
+        return {"vcdl_delay_offset": 40e-12}
+
+    # ---------------- coarse-loop window comparator ----------------
+    if fault.block == "window_comp":
+        # the scan test is the primary detector; the loop sees only
+        # faults that pin an output
+        if kind in (FaultKind.GATE_SOURCE_SHORT,
+                    FaultKind.DRAIN_SOURCE_SHORT):
+            if "_hi_" in dev:
+                return {"window_hi_stuck": 0}
+            if "_lo_" in dev:
+                return {"window_lo_stuck": 0}
+        return None
+
+    # ---------------- transmitter / termination ----------------
+    # data-path faults are the DC / probe-FF / toggle tests' territory;
+    # the loop-level BIST only sees catastrophic ones, which those tests
+    # already catch.  No loop knob.
+    return None

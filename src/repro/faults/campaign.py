@@ -1,0 +1,118 @@
+"""Fault-campaign machinery: run test tiers over the fault universe.
+
+A campaign owns an ordered list of *tiers* (``dc``, ``scan``, ``bist``),
+each a detector callable plus an applicability predicate (tests only run
+on blocks they physically observe).  Every fault is evaluated against
+every applicable tier — the paper's headline numbers are *cumulative*
+(DC, DC+scan, DC+scan+BIST), and the set-algebra claim ("intersecting
+but not subsets") needs the per-tier sets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .model import DetectionRecord, FaultKind, StructuralFault
+
+DetectorFunc = Callable[[StructuralFault], bool]
+AppliesFunc = Callable[[StructuralFault], bool]
+
+TIER_ORDER = ("dc", "scan", "bist")
+
+
+@dataclass
+class CampaignResult:
+    """Per-fault detection records plus coverage accounting."""
+
+    records: List[DetectionRecord]
+
+    # ------------------------------------------------------------------
+    @property
+    def total(self) -> int:
+        return len(self.records)
+
+    def detected_by(self, tier: str) -> Set[StructuralFault]:
+        """Faults the named tier detects (non-cumulative)."""
+        return {r.fault for r in self.records if getattr(r, tier)}
+
+    def cumulative_coverage(self, upto: str) -> float:
+        """Coverage of tiers dc..*upto* combined."""
+        if self.total == 0:
+            return 1.0
+        idx = TIER_ORDER.index(upto)
+        active = TIER_ORDER[:idx + 1]
+        hit = sum(1 for r in self.records
+                  if any(getattr(r, t) for t in active))
+        return hit / self.total
+
+    @property
+    def overall_coverage(self) -> float:
+        return self.cumulative_coverage("bist")
+
+    def coverage_by_kind(self) -> Dict[str, Tuple[int, int, float]]:
+        """Table I rows: kind -> (detected, total, coverage)."""
+        out: Dict[str, List[int]] = {}
+        for r in self.records:
+            label = r.fault.kind.table_label
+            d, t = out.get(label, (0, 0))
+            out[label] = (d + (1 if r.detected else 0), t + 1)
+        return {k: (d, t, d / t if t else 1.0)
+                for k, (d, t) in out.items()}
+
+    def coverage_by_block(self) -> Dict[str, Tuple[int, int, float]]:
+        out: Dict[str, Tuple[int, int]] = {}
+        for r in self.records:
+            d, t = out.get(r.fault.block, (0, 0))
+            out[r.fault.block] = (d + (1 if r.detected else 0), t + 1)
+        return {k: (d, t, d / t if t else 1.0)
+                for k, (d, t) in out.items()}
+
+    def undetected(self) -> List[StructuralFault]:
+        return [r.fault for r in self.records if not r.detected]
+
+    def sets_intersect_not_nested(self, a: str = "scan",
+                                  b: str = "bist") -> bool:
+        """The paper's claim: tiers a and b overlap, neither contains
+        the other."""
+        sa, sb = self.detected_by(a), self.detected_by(b)
+        return bool(sa & sb) and bool(sa - sb) and bool(sb - sa)
+
+
+class FaultCampaign:
+    """Orchestrates detectors over a fault universe."""
+
+    def __init__(self):
+        self._tiers: List[Tuple[str, DetectorFunc, AppliesFunc]] = []
+
+    def add_tier(self, name: str, detector: DetectorFunc,
+                 applies: Optional[AppliesFunc] = None) -> None:
+        if name not in TIER_ORDER:
+            raise ValueError(f"tier must be one of {TIER_ORDER}")
+        self._tiers.append((name, detector, applies or (lambda f: True)))
+
+    def run(self, universe: Sequence[StructuralFault],
+            progress: Optional[Callable[[int, int], None]] = None) -> CampaignResult:
+        """Evaluate every fault against every applicable tier.
+
+        A detector that raises is treated as "not detected" for that
+        tier (a broken test must never inflate coverage); the exception
+        is recorded on the record's ``errors`` list for debugging.
+        """
+        records: List[DetectionRecord] = []
+        n = len(universe)
+        for i, fault in enumerate(universe):
+            rec = DetectionRecord(fault=fault)
+            rec.errors = []
+            for name, detector, applies in self._tiers:
+                if not applies(fault):
+                    continue
+                try:
+                    if detector(fault):
+                        setattr(rec, name, True)
+                except Exception as exc:  # noqa: BLE001 - keep campaign alive
+                    rec.errors.append((name, repr(exc)))
+            records.append(rec)
+            if progress is not None:
+                progress(i + 1, n)
+        return CampaignResult(records=records)

@@ -1,0 +1,51 @@
+"""Fault-universe enumeration over the mission analog blocks.
+
+The universe covers the blocks the paper's analog fault statistics run
+over: the FFE transmitter, the termination, the coarse-loop window
+comparator, the charge pumps (weak, strong, balancing path, amplifier,
+loop-filter capacitors) and the VCDL.  The DLL proper is excluded — the
+paper defers it to stand-alone DLL test techniques [11], [12] — as are
+the grey DFT circuits themselves (comparators added for test).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from ..analog import Capacitor, Circuit
+from ..analog.mosfet import MOSFET
+from .model import MOSFET_FAULT_KINDS, FaultKind, StructuralFault
+
+
+def faults_for_devices(devices: Sequence[MOSFET], block: str) -> List[StructuralFault]:
+    """All six MOSFET fault kinds for each device."""
+    out: List[StructuralFault] = []
+    for dev in devices:
+        role = getattr(dev, "role", "")
+        for kind in MOSFET_FAULT_KINDS:
+            out.append(StructuralFault(device=dev.name, kind=kind,
+                                       block=block, role=role))
+    return out
+
+
+def faults_for_caps(caps: Sequence[Capacitor], block: str) -> List[StructuralFault]:
+    """Capacitor-short faults."""
+    out: List[StructuralFault] = []
+    for cap in caps:
+        role = getattr(cap, "role", "")
+        out.append(StructuralFault(device=cap.name,
+                                   kind=FaultKind.CAP_SHORT,
+                                   block=block, role=role))
+    return out
+
+
+def universe_summary(faults: Iterable[StructuralFault]) -> dict:
+    """Counts per block and per fault kind (for reports and tests)."""
+    by_block: dict = {}
+    by_kind: dict = {}
+    total = 0
+    for f in faults:
+        by_block[f.block] = by_block.get(f.block, 0) + 1
+        by_kind[f.kind.table_label] = by_kind.get(f.kind.table_label, 0) + 1
+        total += 1
+    return {"total": total, "by_block": by_block, "by_kind": by_kind}

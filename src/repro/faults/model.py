@@ -1,0 +1,103 @@
+"""Structural fault model for analog circuits (Table I taxonomy).
+
+Per MOSFET: gate open, drain open, source open, gate-drain short,
+gate-source short, drain-source short.  Per capacitor: short.  (A
+capacitor *open* in a series coupling position is electrically the same
+netlist minus the capacitor; the paper's Table I lists only the short,
+and we follow it.)
+
+Each fault also carries the *block* it lives in and the device *role*
+tag assigned by the circuit builders — the behavioural mapping uses the
+role to decide what a fault does to the closed loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import List, Optional
+
+
+class FaultKind(Enum):
+    """The seven structural defect classes of Table I."""
+
+    GATE_OPEN = "gate_open"
+    DRAIN_OPEN = "drain_open"
+    SOURCE_OPEN = "source_open"
+    GATE_DRAIN_SHORT = "gate_drain_short"
+    GATE_SOURCE_SHORT = "gate_source_short"
+    DRAIN_SOURCE_SHORT = "drain_source_short"
+    CAP_SHORT = "cap_short"
+
+    @property
+    def is_open(self) -> bool:
+        return self in (FaultKind.GATE_OPEN, FaultKind.DRAIN_OPEN,
+                        FaultKind.SOURCE_OPEN)
+
+    @property
+    def is_short(self) -> bool:
+        return not self.is_open
+
+    @property
+    def table_label(self) -> str:
+        """Row label used in Table I."""
+        return {
+            FaultKind.GATE_OPEN: "Gate open",
+            FaultKind.DRAIN_OPEN: "Drain open",
+            FaultKind.SOURCE_OPEN: "Source open",
+            FaultKind.GATE_DRAIN_SHORT: "Gate drain short",
+            FaultKind.GATE_SOURCE_SHORT: "Gate source short",
+            FaultKind.DRAIN_SOURCE_SHORT: "Drain source short",
+            FaultKind.CAP_SHORT: "Capacitor short",
+        }[self]
+
+
+MOSFET_FAULT_KINDS = (
+    FaultKind.GATE_OPEN, FaultKind.DRAIN_OPEN, FaultKind.SOURCE_OPEN,
+    FaultKind.GATE_DRAIN_SHORT, FaultKind.GATE_SOURCE_SHORT,
+    FaultKind.DRAIN_SOURCE_SHORT,
+)
+
+
+@dataclass(frozen=True)
+class StructuralFault:
+    """One structural fault instance in the analog fault universe."""
+
+    device: str            # element name in the block's netlist
+    kind: FaultKind
+    block: str             # 'tx' | 'termination' | 'window_comp' | ...
+    role: str = ""         # device role tag from the builders
+
+    def __str__(self) -> str:
+        return f"{self.block}:{self.device}/{self.kind.value}"
+
+
+#: resistance used to realise an open.  Must be far above the solver's
+#: gmin floor (1e-12 S ~ 1 TOhm) so a floated node genuinely floats —
+#: with a mere 1 GOhm "open" the leak arithmetic still drives the node
+#: to its healthy level and opens become undetectable artefacts.
+R_OPEN = 1e14
+#: resistance used to realise a short
+R_SHORT = 10.0
+#: pull resistance tying a floating gate to its retained bias
+R_GATE_RETAIN = 1e8
+
+
+@dataclass
+class DetectionRecord:
+    """Which test tiers detected a fault."""
+
+    fault: StructuralFault
+    dc: bool = False
+    scan: bool = False
+    bist: bool = False
+
+    @property
+    def detected(self) -> bool:
+        return self.dc or self.scan or self.bist
+
+    def first_tier(self) -> Optional[str]:
+        for name in ("dc", "scan", "bist"):
+            if getattr(self, name):
+                return name
+        return None

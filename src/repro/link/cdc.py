@@ -1,0 +1,51 @@
+"""Clock-domain crossing at the receiver output.
+
+Once lock is achieved, the coarse tuning word tells (to within the VCDL
+range) how far the sampling clock sits from the receiver clock.  If the
+sampling instant is less than half a cycle from the receiver clock edge,
+the retimed data is transferred on the *complement* receiver clock
+(half-cycle delay) to guarantee timing margin; otherwise a full cycle is
+used (Section II).  During test this selection is controlled from Scan
+chain B, and selecting the full-cycle flop lengthens Scan chain A by one
+bit (Section II-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from .params import LinkParams
+
+
+@dataclass
+class ClockDomainCrossing:
+    """Half/full-cycle transfer selection."""
+
+    params: LinkParams
+
+    def sampling_phase_estimate(self, phase_index: int) -> float:
+        """Phase of the sampling clock inferred from the coarse word.
+
+        Accurate to within the VCDL tuning range (the fine loop's
+        contribution is not visible in the coarse word).
+        """
+        return (self.params.rx_clock_offset
+                + (phase_index % self.params.n_phases)
+                * self.params.phase_step) % self.params.bit_time
+
+    def use_half_cycle(self, phase_index: int) -> bool:
+        """True when the sampling clock is < half a cycle from the
+        receiver clock edge (transfer on the complement clock)."""
+        est = self.sampling_phase_estimate(phase_index)
+        return est < self.params.bit_time / 2.0
+
+    def crossing_latency(self, phase_index: int) -> float:
+        """Added latency of the domain crossing [s]."""
+        half = self.params.bit_time / 2.0
+        return half if self.use_half_cycle(phase_index) else self.params.bit_time
+
+    def scan_chain_a_extra_bits(self, phase_index: int) -> int:
+        """Scan chain A grows by one flop when the full-cycle (phi_Rx)
+        transfer flop is selected (Section II-A)."""
+        return 0 if self.use_half_cycle(phase_index) else 1

@@ -1,0 +1,39 @@
+"""Clock divider feeding the coarse correction loop.
+
+The coarse loop (window comparator sampling, FSM, ring counter, lock
+detector) runs on a divided clock so that the strong corrections settle
+between evaluations — and so the whole coarse path can be scan-tested at
+ordinary scan frequencies (Section IV notes its delay faults are covered
+because it runs slow).  The divider itself "can be shared across
+multiple such receivers in the chip and tested separately" (Section II).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class Divider:
+    """Divide-by-N edge generator with a dead-fault knob."""
+
+    ratio: int
+    dead: bool = False
+    _count: int = 0
+
+    def __post_init__(self):
+        if self.ratio < 1:
+            raise ValueError("divider ratio must be >= 1")
+
+    def reset(self) -> None:
+        self._count = 0
+
+    def tick(self) -> bool:
+        """Advance one fast-clock cycle; True when the slow edge fires."""
+        if self.dead:
+            return False
+        self._count += 1
+        if self._count >= self.ratio:
+            self._count = 0
+            return True
+        return False

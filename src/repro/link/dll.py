@@ -1,0 +1,44 @@
+"""Ten-phase DLL model for the coarse correction loop.
+
+The DLL spreads the receiver clock into ``n_phases`` equally spaced taps
+across one bit period.  The paper treats the DLL itself as a separately
+tested unit ([11], [12]); here it is an ideal phase source, with the
+coarse loop's ring counter + switch matrix selecting one tap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .params import LinkParams
+
+
+@dataclass
+class DLL:
+    """Ideal multi-phase delay-locked loop."""
+
+    params: LinkParams
+
+    @property
+    def n_phases(self) -> int:
+        return self.params.n_phases
+
+    def phase(self, index: int) -> float:
+        """Absolute phase of tap *index* within the bit [s]."""
+        n = self.n_phases
+        return (self.params.rx_clock_offset
+                + (index % n) * self.params.phase_step)
+
+    def all_phases(self):
+        """Phases of every tap, in tap order."""
+        return [self.phase(k) for k in range(self.n_phases)]
+
+    def nearest_tap(self, target_phase: float) -> int:
+        """Tap whose phase is closest to *target_phase* (mod bit time)."""
+        bt = self.params.bit_time
+
+        def dist(k):
+            d = abs((self.phase(k) - target_phase) % bt)
+            return min(d, bt - d)
+
+        return min(range(self.n_phases), key=dist)

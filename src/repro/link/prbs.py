@@ -1,0 +1,57 @@
+"""PRBS generators used for the at-speed BIST stimulus.
+
+Standard Fibonacci LFSRs: PRBS7 (x^7 + x^6 + 1) and PRBS15
+(x^15 + x^14 + 1).  The BIST runs the link "with random data at speed"
+(Section III); PRBS7 is the default stimulus.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+
+class PRBS:
+    """Fibonacci LFSR producing a maximal-length bit sequence."""
+
+    #: supported polynomial degrees -> feedback tap pairs
+    TAPS = {7: (7, 6), 15: (15, 14), 23: (23, 18), 31: (31, 28)}
+
+    def __init__(self, order: int = 7, seed: int = 0x5A):
+        if order not in self.TAPS:
+            raise ValueError(f"unsupported PRBS order {order}; "
+                             f"choices {sorted(self.TAPS)}")
+        self.order = order
+        mask = (1 << order) - 1
+        seed &= mask
+        if seed == 0:
+            seed = 1  # all-zero state is the LFSR's only fixed point
+        self.state = seed
+        self._mask = mask
+
+    @property
+    def period(self) -> int:
+        """Sequence period 2^order - 1."""
+        return (1 << self.order) - 1
+
+    def next_bit(self) -> int:
+        """Advance one step and return the output bit."""
+        t1, t2 = self.TAPS[self.order]
+        bit = ((self.state >> (t1 - 1)) ^ (self.state >> (t2 - 1))) & 1
+        self.state = ((self.state << 1) | bit) & self._mask
+        return bit
+
+    def bits(self, n: int) -> List[int]:
+        """The next *n* bits."""
+        return [self.next_bit() for _ in range(n)]
+
+    def __iter__(self) -> Iterator[int]:
+        while True:
+            yield self.next_bit()
+
+
+def transition_density(bits: List[int]) -> float:
+    """Fraction of adjacent bit pairs that differ (PD activity factor)."""
+    if len(bits) < 2:
+        return 0.0
+    flips = sum(1 for a, b in zip(bits, bits[1:]) if a != b)
+    return flips / (len(bits) - 1)

@@ -1,0 +1,83 @@
+"""One-hot ring counter selecting the DLL phase (UP/DOWN counter of
+Fig 1), behavioural and gate-level.
+
+Behaviourally it is a position that shifts up or down (mod N).  The
+gate-level builder emits N scan flip-flops plus the shift muxes so the
+paper's preload-and-count scan test (Section II-B) can be exercised on a
+real netlist: preload a one-hot pattern, release scan, clock K times,
+re-scan and verify the rotation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..digital.simulator import LogicCircuit
+from .params import LinkParams
+
+
+@dataclass
+class RingCounterBeh:
+    """Behavioural one-hot ring counter."""
+
+    params: LinkParams
+    position: int = None
+
+    def __post_init__(self):
+        if self.position is None:
+            self.position = self.params.initial_phase_index
+
+    def reset(self, position: int = 0) -> None:
+        self.position = position % self.params.n_phases
+
+    def shift(self, direction: int) -> int:
+        """Shift one step (+1 = select later phase, -1 = earlier).
+
+        A stuck ring counter (fault knob) ignores shifts — the coarse
+        loop then cannot change phase, which the lock detector reports.
+        """
+        if not self.params.ring_counter_stuck and direction != 0:
+            n = self.params.n_phases
+            self.position = (self.position + (1 if direction > 0 else -1)) % n
+        return self.position
+
+    def one_hot(self) -> List[int]:
+        """Current state as a one-hot bit vector."""
+        return [1 if i == self.position else 0
+                for i in range(self.params.n_phases)]
+
+
+def build_ring_counter(circuit: LogicCircuit, prefix: str, n: int,
+                       scan_in: str, scan_enable: str,
+                       up_net: str, enable_net: str,
+                       clock: str = "clk_div") -> List:
+    """Gate-level one-hot ring counter with direction control.
+
+    Each stage ``i`` holds one bit; on a clock edge with *enable_net*
+    high the pattern rotates toward higher indices when *up_net* is 1
+    and toward lower indices otherwise.  All flops are scan cells
+    (chained from *scan_in* in stage order) so the paper's preload test
+    applies directly.
+
+    Returns the list of scan cells (stage order).
+    """
+    cells = []
+    for i in range(n):
+        prev_q = f"{prefix}_q{(i - 1) % n}"
+        next_q = f"{prefix}_q{(i + 1) % n}"
+        here_q = f"{prefix}_q{i}"
+        rot = f"{prefix}_rot{i}"
+        d_in = f"{prefix}_d{i}"
+        # rotation source: previous stage when counting up, next when down
+        circuit.add_mux2(next_q, prev_q, up_net, rot,
+                         name=f"{prefix}_dirmux{i}")
+        # hold when not enabled
+        circuit.add_mux2(here_q, rot, enable_net, d_in,
+                         name=f"{prefix}_enmux{i}")
+        si = scan_in if i == 0 else f"{prefix}_q{i - 1}"
+        cells.append(circuit.add_scan_dff(
+            d_in, here_q, scan_in=si, scan_enable=scan_enable,
+            clock=clock, init=1 if i == 0 else 0,
+            name=f"{prefix}_ff{i}"))
+    return cells

@@ -1,0 +1,52 @@
+"""Switch matrix routing the selected DLL phase to the sampling path.
+
+Behaviourally it maps the ring counter's one-hot vector to a phase
+index.  Fault modes (Section II-B): a defect may make a phase
+*unselectable* (dead phase — when the counter points there no clock is
+produced, so Scan chain A stops shifting and its continuity test fails)
+or permanently *stuck-selected* (also caught by chain-A continuity with
+the all-zero preload).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from .params import LinkParams
+
+
+@dataclass
+class SwitchMatrix:
+    """One-hot phase selector with fault knobs."""
+
+    params: LinkParams
+    #: a phase index that can never be driven out (None = healthy)
+    dead_phase: Optional[int] = None
+    #: a phase index that is always driven regardless of selection
+    stuck_phase: Optional[int] = None
+
+    def __post_init__(self):
+        if self.dead_phase is None:
+            self.dead_phase = self.params.switch_matrix_dead_phase
+
+    def select(self, one_hot: List[int]) -> Optional[int]:
+        """Phase index produced for the given one-hot selection.
+
+        Returns ``None`` when no clock comes out (no selection, or the
+        selected phase is dead) — downstream logic then receives no
+        sampling clock at all.
+        """
+        if self.stuck_phase is not None:
+            return self.stuck_phase
+        ones = [i for i, b in enumerate(one_hot) if b]
+        if len(ones) != 1:
+            return None          # all-zero (or corrupted multi-hot) input
+        sel = ones[0]
+        if self.dead_phase is not None and sel == self.dead_phase:
+            return None
+        return sel
+
+    def clock_present(self, one_hot: List[int]) -> bool:
+        """Whether a sampling clock is produced (chain-A clock gating)."""
+        return self.select(one_hot) is not None

@@ -1,0 +1,96 @@
+"""Digital side of the transmitter (Fig 3) and its Scan chain A segment.
+
+The analog arm (drivers, series caps, weak driver) lives in
+:mod:`repro.circuits.ffe_transmitter`; this module models the flip-flop
+fabric around it:
+
+* the data flip-flop and the tap (delay) flip-flop forming the 2-bit FFE;
+* the two grey **probe flip-flops** observing the driver side of the
+  series capacitors, which extend scan coverage "up to the series
+  capacitors" (Section II-A);
+* the **half-cycle test latch** — transparent in normal operation,
+  enabled during test to shift the data half a bit and exercise the
+  phase detector's DN path.
+
+All flip-flops are scan cells and form the head of Scan chain A.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..digital.sequential import DLatch, ScanDFF
+from ..digital.simulator import LogicCircuit
+
+CLK_TX = "phi_tx"
+
+
+@dataclass
+class TransmitterDigitalPorts:
+    """Nets and cells of the transmitter's digital fabric."""
+
+    data_in: str
+    to_driver: str          # post-latch data driving the main FFE cap
+    to_tap_driver: str      # delayed data driving the tap cap
+    probe_main: str         # probe FF output (main driver side)
+    probe_tap: str          # probe FF output (tap driver side)
+    half_cycle_en: str      # test control: engage the half-cycle latch
+    scan_cells: List[ScanDFF]
+    latch: DLatch
+
+
+def build_transmitter_digital(circuit: LogicCircuit, prefix: str,
+                              data_in: str, scan_in: str,
+                              scan_enable: str,
+                              half_cycle_en: str) -> TransmitterDigitalPorts:
+    """Emit the transmitter flip-flop fabric into a logic circuit.
+
+    The probe flip-flops capture the (digitally modelled) driver-side
+    nodes: main driver output is the inverted latched data, tap driver
+    output the inverted delayed data — matching the analog netlist's
+    inverting drivers.
+    """
+    q_data = f"{prefix}_q_data"
+    q_tap = f"{prefix}_q_tap"
+    lat_out = f"{prefix}_lat"
+    drv_main = f"{prefix}_drv_main"
+    drv_tap = f"{prefix}_drv_tap"
+
+    cells = []
+    # data FF (head of scan chain A)
+    cells.append(circuit.add_scan_dff(
+        data_in, q_data, scan_in=scan_in, scan_enable=scan_enable,
+        clock=CLK_TX, name=f"{prefix}_ff_data"))
+    # tap FF: one-cycle delay for the second FFE tap
+    cells.append(circuit.add_scan_dff(
+        q_data, q_tap, scan_in=q_data, scan_enable=scan_enable,
+        clock=CLK_TX, name=f"{prefix}_ff_tap"))
+
+    # half-cycle test latch: transparent when half_cycle_en = 0 (the
+    # latch enable is the OR of "not in test" and the opposite clock
+    # phase; modelled as enable = NOT half_cycle_en OR clk_phase_b, and
+    # at this abstraction simply: transparent unless engaged)
+    circuit.add_gate("inv", [half_cycle_en], f"{prefix}_lat_en",
+                     name=f"{prefix}_inv_en")
+    latch = circuit.add_latch(q_data, lat_out, f"{prefix}_lat_en",
+                              name=f"{prefix}_latch")
+
+    # inverting drivers (digital abstraction of the analog inverters)
+    circuit.add_gate("inv", [lat_out], drv_main, name=f"{prefix}_drv1")
+    circuit.add_gate("inv", [q_tap], drv_tap, name=f"{prefix}_drv2")
+
+    # grey probe FFs observing the driver side of the series caps
+    cells.append(circuit.add_scan_dff(
+        drv_main, f"{prefix}_probe_main", scan_in=q_tap,
+        scan_enable=scan_enable, clock=CLK_TX,
+        name=f"{prefix}_ff_probe_main"))
+    cells.append(circuit.add_scan_dff(
+        drv_tap, f"{prefix}_probe_tap", scan_in=f"{prefix}_probe_main",
+        scan_enable=scan_enable, clock=CLK_TX,
+        name=f"{prefix}_ff_probe_tap"))
+
+    return TransmitterDigitalPorts(
+        data_in=data_in, to_driver=lat_out, to_tap_driver=q_tap,
+        probe_main=f"{prefix}_probe_main", probe_tap=f"{prefix}_probe_tap",
+        half_cycle_en=half_cycle_en, scan_cells=cells, latch=latch)

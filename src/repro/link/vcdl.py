@@ -1,0 +1,43 @@
+"""Behavioural voltage-controlled delay line.
+
+Wraps the calibrated delay curve from :mod:`repro.link.params` (measured
+on the transistor-level VCDL) plus the fault knobs: a *dead* VCDL stops
+propagating the clock entirely (no sampling -> no lock), and a delay
+offset models parametric faults that survive the static tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .params import LinkParams
+
+
+@dataclass
+class VCDLBeh:
+    """Delay-line behavioural model."""
+
+    params: LinkParams
+
+    def delay(self, vc: float) -> Optional[float]:
+        """Delay through the line at control voltage *vc* [s].
+
+        Returns ``None`` when the line is dead (fault knob) — callers
+        treat that as "sampling clock missing".
+        """
+        p = self.params
+        if p.vcdl_dead:
+            return None
+        return p.vcdl_delay(vc) + p.vcdl_delay_offset
+
+    def tuning_range(self) -> float:
+        """Delay span across the window-comparator voltage span [s]."""
+        p = self.params
+        d_lo = p.vcdl_delay(p.v_window_lo)
+        d_hi = p.vcdl_delay(p.v_window_hi)
+        return d_lo - d_hi
+
+    def exceeds_phase_step(self) -> bool:
+        """The Section II design requirement: range > one DLL step."""
+        return self.tuning_range() > self.params.phase_step

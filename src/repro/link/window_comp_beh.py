@@ -1,0 +1,34 @@
+"""Behavioural window comparator of the coarse loop (V_c vs V_H / V_L).
+
+Outputs ``(hi, lo)``: ``hi`` when the control voltage exceeds the upper
+threshold, ``lo`` when below the lower one, ``(0, 0)`` inside the window.
+Fault knobs force either output (stuck comparator).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from .params import LinkParams
+
+
+@dataclass
+class WindowComparatorBeh:
+    """Threshold comparator pair on the control voltage."""
+
+    params: LinkParams
+
+    def evaluate(self, vc: float) -> Tuple[int, int]:
+        p = self.params
+        hi = 1 if vc > p.v_window_hi else 0
+        lo = 1 if vc < p.v_window_lo else 0
+        if p.window_hi_stuck is not None:
+            hi = p.window_hi_stuck
+        if p.window_lo_stuck is not None:
+            lo = p.window_lo_stuck
+        return hi, lo
+
+    def in_window(self, vc: float) -> bool:
+        hi, lo = self.evaluate(vc)
+        return hi == 0 and lo == 0

@@ -1,0 +1,12 @@
+"""Scan test infrastructure: chains, controller, and lightweight ATPG."""
+
+from .atpg import generate_patterns
+from .chain import ScanChain
+from .controller import ScanController, ScanPatternResult
+
+__all__ = [
+    "generate_patterns",
+    "ScanChain",
+    "ScanController",
+    "ScanPatternResult",
+]

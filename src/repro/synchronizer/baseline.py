@@ -1,0 +1,124 @@
+"""Baseline receiver: foreground-calibrated phase selection ([4]).
+
+The paper's introduction motivates its background synchronizer against
+the current-mode transceiver of Lee et al. [4], which uses "a digitally
+controlled delay line ... and a foreground calibration routine selects
+the phase closest to the center of the data eye.  Though the system has
+the advantage of using digital circuits for clock synchronization, it
+has limitation of phase quantization error and it cannot track
+environmental changes without breaking normal operation."
+
+This module implements that baseline so the comparison is runnable:
+
+* at calibration time the receiver scans every DLL tap with training
+  data and keeps the tap whose samples sit deepest inside the eye;
+* afterwards the selection is frozen — there is no fine loop, so the
+  residual error is quantised to half a phase step, and any subsequent
+  eye drift accumulates as raw sampling error;
+* re-calibration requires taking the link out of service (the
+  "breaking normal operation" of the quote), modelled explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..link.alexander_pd import wrap_phase
+from ..link.dll import DLL
+from ..link.params import LinkParams
+
+
+@dataclass
+class CalibrationResult:
+    """Outcome of one foreground calibration scan."""
+
+    chosen_tap: int
+    residual_error: float          # sampling error right after calibration
+    scanned_taps: int
+    offline_cycles: int            # cycles the link was out of service
+
+
+@dataclass
+class ForegroundReceiver:
+    """The [4]-style baseline: calibrate once, then free-run.
+
+    ``fixed_delay`` models the (untunable) insertion delay of the clock
+    path — the baseline has no VCDL, so whatever error remains after the
+    best tap is chosen cannot be corrected.
+    """
+
+    params: LinkParams = field(default_factory=LinkParams)
+    fixed_delay: float = 190e-12       # ~ the VCDL's mid-code delay
+    #: cycles of training data needed per scanned tap
+    cycles_per_tap: int = 64
+    chosen_tap: Optional[int] = None
+
+    def sampling_phase(self, tap: Optional[int] = None) -> float:
+        dll = DLL(self.params)
+        k = self.chosen_tap if tap is None else tap
+        if k is None:
+            raise RuntimeError("receiver is not calibrated")
+        return (dll.phase(k) + self.fixed_delay) % self.params.bit_time
+
+    def phase_error(self, eye_center: Optional[float] = None) -> float:
+        """Signed sampling error vs the (possibly drifted) eye centre."""
+        centre = (self.params.eye_center if eye_center is None
+                  else eye_center)
+        return wrap_phase(self.sampling_phase() - centre,
+                          self.params.bit_time)
+
+    # ------------------------------------------------------------------
+    def calibrate(self) -> CalibrationResult:
+        """Foreground calibration: scan all taps, keep the best.
+
+        The link carries training data (not payload) for the duration —
+        the returned ``offline_cycles`` is the service interruption.
+        """
+        p = self.params
+        best_tap = 0
+        best_err = float("inf")
+        for k in range(p.n_phases):
+            err = abs(wrap_phase(self.sampling_phase(tap=k) - p.eye_center,
+                                 p.bit_time))
+            if err < best_err:
+                best_err = err
+                best_tap = k
+        self.chosen_tap = best_tap
+        return CalibrationResult(
+            chosen_tap=best_tap,
+            residual_error=best_err,
+            scanned_taps=p.n_phases,
+            offline_cycles=p.n_phases * self.cycles_per_tap)
+
+    # ------------------------------------------------------------------
+    @property
+    def quantization_bound(self) -> float:
+        """Worst-case residual error: half a DLL phase step."""
+        return self.params.phase_step / 2.0
+
+    def in_margin(self, eye_center: float,
+                  margin: Optional[float] = None) -> bool:
+        """Whether the frozen sampling point still sits inside the eye."""
+        m = self.params.eye_half_width if margin is None else margin
+        return abs(self.phase_error(eye_center)) < m
+
+
+def quantization_error_sweep(params: Optional[LinkParams] = None,
+                             steps: int = 40) -> List[float]:
+    """Residual error of the baseline across eye positions.
+
+    Sweeps the eye centre across one full phase step and records the
+    post-calibration error — the sawtooth whose peak is the
+    quantization bound.
+    """
+    base = params or LinkParams()
+    out: List[float] = []
+    for i in range(steps):
+        offset = (i / steps) * base.phase_step
+        p = base.with_faults(eye_center=(base.eye_center + offset)
+                             % base.bit_time)
+        rx = ForegroundReceiver(params=p)
+        rx.calibrate()
+        out.append(rx.phase_error())
+    return out

@@ -1,0 +1,74 @@
+"""Recovered-clock jitter model tied to the charge-pump balancing node.
+
+Section III: faults in the balancing path or amplifier let ``V_p`` drift
+toward a rail; that pushes one of the pump current sources into its
+linear region, so every switching event injects data-dependent charge
+into the loop filter — visible as increased jitter on the recovered
+sampling clock.  The CP-BIST window comparator catches the drift
+directly; this module quantifies the induced jitter so benches can show
+*why* such faults degrade the link even though the loop still locks.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from ..link.params import LinkParams
+
+#: charge-injection coefficient: fraction of the V_p error that appears
+#: as a V_c disturbance at each switching event — the capacitive divider
+#: between the parked intermediate/balancing capacitance (~0.4 pF) and
+#: the loop filter (~1.6 pF): 0.4 / 2.0
+CHARGE_SHARE = 0.2
+
+
+@dataclass
+class JitterEstimate:
+    """Predicted sampling-clock jitter for a given V_p drift."""
+
+    vp_drift: float            # |V_p - V_c| [V]
+    vc_disturbance: float      # per-event V_c kick [V]
+    jitter_rms: float          # induced sampling jitter [s]
+
+    @property
+    def jitter_ui(self) -> float:
+        """Jitter as a fraction of the bit period."""
+        return self.jitter_rms / LinkParams().bit_time
+
+
+def jitter_from_vp_drift(vp_drift: float,
+                         params: Optional[LinkParams] = None,
+                         transition_density: float = 0.5) -> JitterEstimate:
+    """Estimate sampling jitter induced by a balancing-node drift.
+
+    Every PD-driven switching event shares ``CHARGE_SHARE`` of the V_p
+    error onto the loop filter; through the VCDL gain this becomes a
+    phase kick.  Events arrive at the data transition density, and the
+    kicks accumulate as a random walk bounded by the loop's bang-bang
+    correction, giving an RMS roughly ``kick * sqrt(1/(2*density))``.
+    """
+    p = params or LinkParams()
+    vc_kick = CHARGE_SHARE * abs(vp_drift)
+    # VCDL gain around the mid-window operating point [s/V]
+    v0 = 0.5 * (p.v_window_lo + p.v_window_hi)
+    dv = 0.01
+    gain = abs(p.vcdl_delay(v0 + dv) - p.vcdl_delay(v0 - dv)) / (2 * dv)
+    phase_kick = vc_kick * gain
+    if transition_density <= 0:
+        rms = 0.0
+    else:
+        rms = phase_kick * math.sqrt(1.0 / (2.0 * transition_density))
+    return JitterEstimate(vp_drift=abs(vp_drift), vc_disturbance=vc_kick,
+                          jitter_rms=rms)
+
+
+def sampling_jitter_knob(vp_drift: float,
+                         params: Optional[LinkParams] = None) -> float:
+    """Translate a V_p drift into the loop's ``sampling_jitter_rms`` knob.
+
+    Used by the fault-to-behaviour mapping so that balancing-path faults
+    degrade the closed-loop simulation the way the paper describes.
+    """
+    return jitter_from_vp_drift(vp_drift, params=params).jitter_rms

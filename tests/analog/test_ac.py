@@ -1,0 +1,92 @@
+"""Unit tests for small-signal AC analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analog import Circuit, ac_analysis, logspace_freqs
+from repro.analog.solver import SolverError
+
+
+def rc_lowpass(r=1e3, c=1e-12):
+    ckt = Circuit("rc")
+    ckt.add_vsource("in", "0", 0.0, name="VS")
+    ckt.add_resistor("in", "out", r)
+    ckt.add_capacitor("out", "0", c)
+    return ckt
+
+
+class TestRCLowpass:
+    def test_dc_gain_unity(self):
+        res = ac_analysis(rc_lowpass(), "VS", [1.0])
+        assert abs(res.v("out")[0]) == pytest.approx(1.0, rel=1e-3)
+
+    def test_3db_frequency(self):
+        r, c = 1e3, 1e-12
+        f3 = 1.0 / (2 * np.pi * r * c)
+        res = ac_analysis(rc_lowpass(r, c), "VS",
+                          logspace_freqs(f3 / 100, f3 * 100, 200))
+        assert res.bandwidth_3db("out") == pytest.approx(f3, rel=0.05)
+
+    def test_rolloff_20db_per_decade(self):
+        r, c = 1e3, 1e-12
+        f3 = 1.0 / (2 * np.pi * r * c)
+        res = ac_analysis(rc_lowpass(r, c), "VS", [f3 * 10, f3 * 100])
+        db = res.transfer("out", magnitude_db=True)
+        assert db[0] - db[1] == pytest.approx(20.0, abs=1.0)
+
+    def test_phase_at_pole_is_minus_45deg(self):
+        r, c = 1e3, 1e-12
+        f3 = 1.0 / (2 * np.pi * r * c)
+        res = ac_analysis(rc_lowpass(r, c), "VS", [f3])
+        phase = np.degrees(np.angle(res.v("out")[0]))
+        assert phase == pytest.approx(-45.0, abs=2.0)
+
+
+class TestRCHighpass:
+    def test_blocks_dc_passes_high(self):
+        ckt = Circuit("hp")
+        ckt.add_vsource("in", "0", 0.0, name="VS")
+        ckt.add_capacitor("in", "out", 1e-12)
+        ckt.add_resistor("out", "0", 1e3)
+        res = ac_analysis(ckt, "VS", [1e3, 100e9])
+        assert abs(res.v("out")[0]) < 0.01
+        assert abs(res.v("out")[1]) == pytest.approx(1.0, rel=0.01)
+
+
+class TestAmplifierAC:
+    def test_common_source_gain_and_pole(self):
+        """CS stage: |gain| > 1 at low frequency, rolls off with C_load."""
+        ckt = Circuit("cs")
+        ckt.add_vsource("vdd", "0", 1.2, name="VDD")
+        ckt.add_vsource("g", "0", 0.55, name="VG")
+        ckt.add_resistor("vdd", "out", 50e3)
+        ckt.add_nmos("out", "g", "0", w=2e-6)
+        ckt.add_capacitor("out", "0", 100e-15)
+        res = ac_analysis(ckt, "VG", logspace_freqs(1e3, 10e9, 100))
+        gain_lo = abs(res.v("out")[0])
+        gain_hi = abs(res.v("out")[-1])
+        assert gain_lo > 2.0
+        assert gain_hi < gain_lo / 10
+
+
+class TestErrors:
+    def test_requires_voltage_source(self):
+        ckt = rc_lowpass()
+        ckt.add_resistor("in", "0", 1e6, name="Rshunt")
+        with pytest.raises(SolverError):
+            ac_analysis(ckt, "Rshunt", [1.0])
+
+    def test_bandwidth_of_flat_response_is_last_freq(self):
+        ckt = Circuit("flat")
+        ckt.add_vsource("in", "0", 0.0, name="VS")
+        ckt.add_resistor("in", "out", 1.0)
+        ckt.add_resistor("out", "0", 1e9)
+        freqs = [1e3, 1e6, 1e9]
+        res = ac_analysis(ckt, "VS", freqs)
+        assert res.bandwidth_3db("out") == pytest.approx(1e9)
+
+    def test_logspace_freqs_endpoints(self):
+        f = logspace_freqs(1e3, 1e9, 7)
+        assert f[0] == pytest.approx(1e3)
+        assert f[-1] == pytest.approx(1e9)
+        assert len(f) == 7

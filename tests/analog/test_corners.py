@@ -1,0 +1,158 @@
+"""Tests for process corners and mismatch Monte-Carlo."""
+
+import pytest
+
+from repro.analog import (
+    ALL_CORNERS,
+    Circuit,
+    FF,
+    MismatchSpec,
+    SS,
+    TT,
+    dc_operating_point,
+    get_corner,
+    monte_carlo,
+    sweep_corners,
+)
+from repro.analog.mosfet import MOSFET
+
+
+def inverter():
+    c = Circuit("inv")
+    c.add_vsource("vdd", "0", 1.2, name="VDD")
+    c.add_vsource("in", "0", 0.45, name="VIN")
+    c.add_pmos("out", "in", "vdd", name="MP")
+    c.add_nmos("out", "in", "0", name="MN")
+    return c
+
+
+class TestCorners:
+    def test_five_corners_defined(self):
+        names = {c.name for c in ALL_CORNERS}
+        assert names == {"TT", "SS", "FF", "SF", "FS"}
+
+    def test_lookup_case_insensitive(self):
+        assert get_corner("ss") is SS
+        with pytest.raises(KeyError):
+            get_corner("XX")
+
+    def test_tt_is_identity(self):
+        c = TT.apply(inverter())
+        assert c["MN"].params.vt0 == pytest.approx(0.35)
+        assert c["MN"].params.kp == pytest.approx(280e-6)
+
+    def test_ss_raises_vt_lowers_kp(self):
+        c = SS.apply(inverter())
+        assert c["MN"].params.vt0 > 0.35
+        assert c["MN"].params.kp < 280e-6
+
+    def test_apply_clones(self):
+        orig = inverter()
+        SS.apply(orig)
+        assert orig["MN"].params.vt0 == pytest.approx(0.35)
+
+    def test_corner_changes_switching_threshold(self):
+        """Inverter threshold moves with the skewed corners."""
+
+        def vout(circuit):
+            op = dc_operating_point(circuit)
+            return op.v("out")
+
+        results = sweep_corners(inverter, vout)
+        assert len(results) == 5
+        # SF (weak NMOS, strong PMOS) pulls the output higher at the
+        # mid-input than FS does
+        assert results["SF"] > results["FS"]
+
+    def test_inverter_still_inverts_at_every_corner(self):
+        """Functional robustness: rails preserved across corners."""
+
+        def check(circuit):
+            circuit["VIN"].voltage = 0.0
+            hi = dc_operating_point(circuit).v("out")
+            circuit["VIN"].voltage = 1.2
+            lo = dc_operating_point(circuit).v("out")
+            return hi > 1.1 and lo < 0.1
+
+        results = sweep_corners(inverter, check)
+        assert all(results.values())
+
+
+class TestMismatch:
+    def test_pelgrom_scaling(self):
+        spec = MismatchSpec(sigma_vt=5e-3)
+        small = MOSFET("a", "d", "g", "s", "b", 0.5e-6, 0.5e-6,
+                       TT.apply_to_params(
+                           inverter()["MN"].params))
+        big = MOSFET("b", "d", "g", "s", "b", 2e-6, 2e-6,
+                     small.params)
+        assert spec.sigma_for(big) == pytest.approx(
+            spec.sigma_for(small) / 4.0)
+
+    def test_apply_shifts_vt_randomly(self):
+        spec = MismatchSpec(sigma_vt=20e-3)
+        c1 = spec.apply(inverter(), seed=1)
+        c2 = spec.apply(inverter(), seed=2)
+        assert c1["MN"].params.vt0 != c2["MN"].params.vt0
+        assert c1["MN"].params.vt0 != 0.35
+
+    def test_seeded_reproducibility(self):
+        spec = MismatchSpec()
+        a = spec.apply(inverter(), seed=9)["MN"].params.vt0
+        b = spec.apply(inverter(), seed=9)["MN"].params.vt0
+        assert a == b
+
+    def test_only_filter(self):
+        spec = MismatchSpec(sigma_vt=50e-3)
+        c = spec.apply(inverter(), seed=3,
+                       only=lambda m: m.name == "MP")
+        assert c["MN"].params.vt0 == pytest.approx(0.35)
+        assert c["MP"].params.vt0 != pytest.approx(0.35)
+
+    def test_monte_carlo_returns_all_runs(self):
+        def evaluate(circuit):
+            return dc_operating_point(circuit).v("out")
+
+        results = monte_carlo(inverter, evaluate, runs=5)
+        assert len(results) == 5
+        assert len(set(results)) > 1   # variation actually happens
+
+
+class TestCornerRobustnessOfComparator:
+    """The paper's claim: the programmed offset survives the process."""
+
+    def test_comparator_decision_held_at_all_corners(self):
+        from repro.circuits import build_offset_comparator
+
+        def dut():
+            c = Circuit("cmp")
+            c.add_vsource("vdd", "0", 1.2, name="VDD")
+            c.add_vsource("inp", "0", 0.615, name="VINP")   # +30 mV
+            c.add_vsource("inn", "0", 0.585, name="VINN")
+            build_offset_comparator(c, "cmp", "inp", "inn", "out")
+            return c
+
+        def decision(circuit):
+            op = dc_operating_point(circuit)
+            return 1 if op.v("out") > 0.6 else 0
+
+        results = sweep_corners(dut, decision)
+        assert all(v == 1 for v in results.values()), results
+
+    def test_comparator_rejects_zero_input_at_all_corners(self):
+        from repro.circuits import build_offset_comparator
+
+        def dut():
+            c = Circuit("cmp")
+            c.add_vsource("vdd", "0", 1.2, name="VDD")
+            c.add_vsource("inp", "0", 0.6, name="VINP")
+            c.add_vsource("inn", "0", 0.6, name="VINN")
+            build_offset_comparator(c, "cmp", "inp", "inn", "out")
+            return c
+
+        def decision(circuit):
+            op = dc_operating_point(circuit)
+            return 1 if op.v("out") > 0.6 else 0
+
+        results = sweep_corners(dut, decision)
+        assert all(v == 0 for v in results.values()), results

@@ -1,0 +1,118 @@
+"""Additional device-level tests: switches, VCVS/diodes in AC, sweeps."""
+
+import numpy as np
+import pytest
+
+from repro.analog import (
+    Circuit,
+    ac_analysis,
+    dc_operating_point,
+    dc_sweep,
+    transient,
+)
+
+
+class TestSwitchBehaviour:
+    def test_smooth_transition_region(self):
+        """The logistic interpolation is monotone through the threshold."""
+        c = Circuit()
+        c.add_vsource("in", "0", 1.0, name="V1")
+        ctl = c.add_vsource("ctl", "0", 0.0, name="VC")
+        c.add_switch("in", "out", "ctl", threshold=0.6, r_on=100.0)
+        c.add_resistor("out", "0", 10e3)
+        vals = []
+        for v in (0.0, 0.55, 0.6, 0.65, 1.2):
+            ctl.voltage = v
+            vals.append(dc_operating_point(c).v("out"))
+        assert all(a <= b + 1e-9 for a, b in zip(vals, vals[1:]))
+        assert vals[0] < 0.01 and vals[-1] > 0.95
+
+    def test_switch_in_transient(self):
+        """Control toggling mid-run connects the load."""
+        from repro.analog import step_waveform
+
+        c = Circuit()
+        c.add_vsource("in", "0", 1.0, name="V1")
+        ctl = c.add_vsource("ctl", "0", 0.0, name="VC")
+        ctl.waveform = step_waveform(0.0, 1.2, 1e-9, t_rise=50e-12)
+        c.add_switch("in", "out", "ctl", r_on=10.0)
+        c.add_resistor("out", "0", 10e3)
+        c.add_capacitor("out", "0", 10e-15)
+        tr = transient(c, 3e-9, 20e-12, probes=["out"])
+        assert tr.at("out", 0.5e-9) < 0.05
+        assert tr.at("out", 2.5e-9) > 0.9
+
+    def test_switch_ac_uses_operating_point(self):
+        """AC resistance follows the DC control level."""
+        for ctl_v, expect_high in ((1.2, True), (0.0, False)):
+            c = Circuit()
+            c.add_vsource("in", "0", 0.0, name="VS")
+            c.add_vsource("ctl", "0", ctl_v, name="VC")
+            c.add_switch("in", "out", "ctl", r_on=100.0, r_off=1e9)
+            c.add_resistor("out", "0", 10e3)
+            res = ac_analysis(c, "VS", [1e6])
+            gain = abs(res.v("out")[0])
+            if expect_high:
+                assert gain > 0.9
+            else:
+                assert gain < 0.01
+
+
+class TestDiodeExtras:
+    def test_reverse_blocking(self):
+        c = Circuit()
+        c.add_vsource("a", "0", -1.0, name="V1")
+        c.add_resistor("a", "k", 1e3)
+        c.add_diode("k", "0")
+        op = dc_operating_point(c)
+        # reverse: essentially no current, node follows the source
+        assert op.v("k") == pytest.approx(-1.0, abs=0.01)
+
+    def test_diode_small_signal_conductance(self):
+        """AC conductance follows the forward bias point."""
+        c = Circuit()
+        c.add_vsource("a", "0", 1.2, name="V1")
+        c.add_resistor("a", "k", 10e3)
+        c.add_diode("k", "0")
+        res = ac_analysis(c, "V1", [1e3])
+        # the divider (10k vs diode r_d ~ 45 ohm at ~0.6 mA) kills the gain
+        assert abs(res.v("k")[0]) < 0.05
+
+
+class TestSweepWarmStart:
+    def test_sweep_across_inverter_threshold(self):
+        """Warm starting keeps every point converged through the
+        high-gain transition region."""
+        c = Circuit()
+        c.add_vsource("vdd", "0", 1.2, name="VDD")
+        c.add_vsource("in", "0", 0.0, name="VIN")
+        c.add_pmos("out", "in", "vdd", w=2e-6)
+        c.add_nmos("out", "in", "0")
+        res = dc_sweep(c, "VIN", np.linspace(0, 1.2, 49))
+        assert all(op.converged for op in res.values())
+        vouts = [res[k].v("out") for k in sorted(res)]
+        # full-swing transfer curve
+        assert vouts[0] > 1.15 and vouts[-1] < 0.05
+
+
+class TestVCVSExtras:
+    def test_vcvs_in_ac(self):
+        """An ideal amplifier block shows flat gain in AC."""
+        c = Circuit()
+        c.add_vsource("in", "0", 0.0, name="VS")
+        c.add_resistor("in", "x", 1e3)
+        c.add_resistor("x", "0", 1e3)
+        c.add_vcvs("out", "0", "x", "0", gain=5.0)
+        c.add_resistor("out", "0", 1e3)
+        res = ac_analysis(c, "VS", [1e3, 1e6, 1e9])
+        assert np.allclose(np.abs(res.v("out")), 2.5, rtol=1e-6)
+
+    def test_cascaded_vcvs(self):
+        c = Circuit()
+        c.add_vsource("in", "0", 0.1, name="VS")
+        c.add_vcvs("m", "0", "in", "0", gain=3.0)
+        c.add_resistor("m", "0", 1e3)
+        c.add_vcvs("out", "0", "m", "0", gain=-2.0)
+        c.add_resistor("out", "0", 1e3)
+        op = dc_operating_point(c)
+        assert op.v("out") == pytest.approx(-0.6, rel=1e-6)

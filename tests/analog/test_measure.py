@@ -1,0 +1,161 @@
+"""Tests for the waveform measurement utilities."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analog import (
+    MeasureError,
+    crossings,
+    fall_time,
+    overshoot,
+    period_and_duty,
+    propagation_delay,
+    rise_time,
+    settling_time,
+    summarize_edges,
+)
+
+
+@pytest.fixture
+def ramp():
+    t = np.linspace(0, 10e-9, 1001)
+    v = np.clip((t - 2e-9) / 4e-9, 0, 1)  # ramp 2ns..6ns
+    return t, v
+
+
+@pytest.fixture
+def square():
+    t = np.linspace(0, 40e-9, 4001)
+    v = ((t // 5e-9) % 2 == 1).astype(float)  # period 10 ns, 50% duty
+    return t, v
+
+
+class TestCrossings:
+    def test_single_rise(self, ramp):
+        t, v = ramp
+        xs = crossings(t, v, 0.5, "rise")
+        assert len(xs) == 1
+        assert xs[0] == pytest.approx(4e-9, rel=1e-3)
+
+    def test_direction_filter(self, square):
+        t, v = square
+        rises = crossings(t, v, 0.5, "rise")
+        falls = crossings(t, v, 0.5, "fall")
+        # rises at 5/15/25/35 ns; falls at 10/20/30 ns plus the final
+        # sample landing back at 0 exactly at 40 ns
+        assert len(rises) == 4
+        assert len(falls) == 4
+
+    def test_both_sorted(self, square):
+        t, v = square
+        xs = crossings(t, v, 0.5, "both")
+        assert xs == sorted(xs)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(MeasureError):
+            crossings([0, 1], [0], 0.5)
+
+
+class TestEdges:
+    def test_rise_time_of_linear_ramp(self, ramp):
+        t, v = ramp
+        # 10-90% of a 4 ns linear ramp = 3.2 ns
+        assert rise_time(t, v) == pytest.approx(3.2e-9, rel=0.01)
+
+    def test_fall_time(self):
+        t = np.linspace(0, 10e-9, 1001)
+        v = 1.0 - np.clip((t - 2e-9) / 4e-9, 0, 1)
+        assert fall_time(t, v) == pytest.approx(3.2e-9, rel=0.01)
+
+    def test_flat_waveform_rejected(self):
+        t = np.linspace(0, 1e-9, 100)
+        with pytest.raises(MeasureError):
+            rise_time(t, np.zeros_like(t))
+
+    def test_propagation_delay(self, ramp):
+        t, v_in = ramp
+        v_out = np.roll(v_in, 100)   # 1 ns later
+        v_out[:100] = 0.0
+        d = propagation_delay(t, v_in, v_out, 0.5, 0.5)
+        assert d == pytest.approx(1e-9, rel=0.02)
+
+    def test_propagation_delay_requires_output_edge(self, ramp):
+        t, v_in = ramp
+        with pytest.raises(MeasureError):
+            propagation_delay(t, v_in, np.zeros_like(v_in), 0.5, 0.5)
+
+
+class TestStepMetrics:
+    def test_overshoot_of_damped_step(self):
+        t = np.linspace(0, 50e-9, 2000)
+        v = 1.0 - np.exp(-t / 5e-9) * np.cos(2 * np.pi * t / 12e-9)
+        osc = overshoot(t, v, final_value=1.0)
+        assert 0.1 < osc < 0.8
+
+    def test_no_overshoot_on_exponential(self):
+        t = np.linspace(0, 50e-9, 2000)
+        v = 1.0 - np.exp(-t / 5e-9)
+        assert overshoot(t, v, final_value=1.0) == pytest.approx(0.0,
+                                                                 abs=1e-3)
+
+    def test_settling_time(self):
+        t = np.linspace(0, 50e-9, 5001)
+        v = 1.0 - np.exp(-t / 5e-9)
+        ts = settling_time(t, v, tolerance=0.02, final_value=1.0)
+        # settles to 2% after ~3.9 tau
+        assert ts == pytest.approx(3.9 * 5e-9, rel=0.1)
+
+    def test_settled_from_start(self):
+        t = np.linspace(0, 1e-9, 100)
+        assert settling_time(t, np.ones(100), final_value=1.0) == 0.0
+
+
+class TestPeriodic:
+    def test_period_and_duty(self, square):
+        t, v = square
+        period, duty = period_and_duty(t, v)
+        assert period == pytest.approx(10e-9, rel=0.01)
+        assert duty == pytest.approx(0.5, abs=0.02)
+
+    def test_asymmetric_duty(self):
+        t = np.linspace(0, 40e-9, 4001)
+        v = ((t % 10e-9) < 2.5e-9).astype(float)
+        _, duty = period_and_duty(t, v)
+        assert duty == pytest.approx(0.25, abs=0.02)
+
+    def test_needs_two_rises(self, ramp):
+        t, v = ramp
+        with pytest.raises(MeasureError):
+            period_and_duty(t, v)
+
+    def test_summarize_edges(self, square):
+        t, v = square
+        s = summarize_edges(t, v, level=0.5)
+        assert s.n_rising == 4
+        assert s.n_falling == 4
+        assert s.mean_period == pytest.approx(10e-9, rel=0.01)
+
+    def test_summarize_flat(self):
+        t = np.linspace(0, 1e-9, 10)
+        s = summarize_edges(t, np.zeros(10))
+        assert s.n_rising == 0 and s.first_edge is None
+
+
+class TestOnRealWaveforms:
+    def test_vcdl_delay_via_measure(self):
+        """Cross-check the VCDL bench with the generic measurement."""
+        from repro.analog import Circuit, step_waveform, transient
+        from repro.circuits import build_vcdl, measure_vcdl_delay
+
+        c = Circuit()
+        c.add_vsource("vdd", "0", 1.2, name="VDD")
+        c.add_vsource("vctl", "0", 0.6, name="VCTL")
+        vin = c.add_vsource("clk_in", "0", 0.0, name="VCLK")
+        vin.waveform = step_waveform(0.0, 1.2, 0.3e-9, t_rise=20e-12)
+        build_vcdl(c, "v", "clk_in", "clk_out", "vctl")
+        tr = transient(c, 1.2e-9, 2e-12, probes=["clk_in", "clk_out"])
+        d = propagation_delay(tr.time, tr.v("clk_in"), tr.v("clk_out"),
+                              0.6, 0.6)
+        assert d == pytest.approx(measure_vcdl_delay(0.6), abs=15e-12)

@@ -1,0 +1,169 @@
+"""Unit and property tests for the simplified EKV MOSFET model."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analog import MOSFET, NMOS_130, PMOS_130, PHI_T
+from repro.analog.mosfet import NMOS_130_FF, NMOS_130_SS, _dsoftln, _softln
+
+
+def nmos(w=0.5e-6, l=0.5e-6, params=NMOS_130):
+    return MOSFET("M1", "d", "g", "s", "b", w, l, params)
+
+
+def pmos(w=0.5e-6, l=0.5e-6, params=PMOS_130):
+    return MOSFET("M1", "d", "g", "s", "b", w, l, params)
+
+
+class TestSoftln:
+    def test_large_positive_is_identity(self):
+        assert _softln(50.0) == pytest.approx(50.0)
+
+    def test_large_negative_is_tiny(self):
+        assert _softln(-50.0) < 1e-20
+
+    def test_zero(self):
+        assert _softln(0.0) == pytest.approx(math.log(2.0))
+
+    @given(st.floats(min_value=-200, max_value=200))
+    def test_monotone_nonnegative(self, v):
+        assert _softln(v) >= 0.0
+
+    @given(st.floats(min_value=-39, max_value=39))
+    def test_derivative_matches_finite_difference(self, v):
+        h = 1e-6
+        fd = (_softln(v + h) - _softln(v - h)) / (2 * h)
+        assert _dsoftln(v) == pytest.approx(fd, rel=1e-4, abs=1e-9)
+
+
+class TestNMOSRegions:
+    def test_cutoff_current_negligible(self):
+        i, *_ = nmos().ids(vg=0.0, vd=1.2, vs=0.0)
+        assert abs(i) < 1e-9
+
+    def test_strong_inversion_current_positive(self):
+        i, *_ = nmos().ids(vg=1.2, vd=1.2, vs=0.0)
+        assert i > 10e-6
+
+    def test_current_increases_with_vgs(self):
+        m = nmos()
+        i1, *_ = m.ids(vg=0.6, vd=1.2, vs=0.0)
+        i2, *_ = m.ids(vg=0.9, vd=1.2, vs=0.0)
+        i3, *_ = m.ids(vg=1.2, vd=1.2, vs=0.0)
+        assert i1 < i2 < i3
+
+    def test_current_scales_with_w_over_l(self):
+        i1, *_ = nmos(w=0.5e-6).ids(vg=1.0, vd=1.2, vs=0.0)
+        i2, *_ = nmos(w=1.0e-6).ids(vg=1.0, vd=1.2, vs=0.0)
+        assert i2 == pytest.approx(2.0 * i1, rel=1e-9)
+
+    def test_saturation_current_weakly_dependent_on_vds(self):
+        m = nmos()
+        i1, *_ = m.ids(vg=1.0, vd=0.8, vs=0.0)
+        i2, *_ = m.ids(vg=1.0, vd=1.2, vs=0.0)
+        # only channel-length modulation: < 10% change over 0.4 V
+        assert i2 > i1
+        assert (i2 - i1) / i1 < 0.10
+
+    def test_triode_current_grows_with_vds(self):
+        m = nmos()
+        i1, *_ = m.ids(vg=1.2, vd=0.05, vs=0.0)
+        i2, *_ = m.ids(vg=1.2, vd=0.20, vs=0.0)
+        assert i2 > 2.0 * i1
+
+    def test_subthreshold_slope_is_exponential(self):
+        """~60*n mV/decade in weak inversion."""
+        m = nmos()
+        i1, *_ = m.ids(vg=0.15, vd=1.2, vs=0.0)
+        i2, *_ = m.ids(vg=0.15 + NMOS_130.slope_n * PHI_T * math.log(10), vd=1.2, vs=0.0)
+        assert i2 / i1 == pytest.approx(10.0, rel=0.2)
+
+    def test_drain_source_antisymmetry(self):
+        """Swapping D and S voltages flips the current sign (EKV symmetry)."""
+        m = nmos()
+        i_fwd, *_ = m.ids(vg=1.0, vd=0.7, vs=0.2)
+        i_rev, *_ = m.ids(vg=1.0, vd=0.2, vs=0.7)
+        assert i_fwd == pytest.approx(-i_rev, rel=1e-9)
+
+    def test_zero_vds_zero_current(self):
+        i, *_ = nmos().ids(vg=1.2, vd=0.4, vs=0.4)
+        assert i == pytest.approx(0.0, abs=1e-15)
+
+
+class TestPMOS:
+    def test_on_current_flows_source_to_drain(self):
+        """PMOS with source at VDD and gate low conducts (i_d negative)."""
+        i, *_ = pmos().ids(vg=0.0, vd=0.0, vs=1.2, vb=1.2)
+        assert i < -1e-6
+
+    def test_off_when_gate_high(self):
+        i, *_ = pmos().ids(vg=1.2, vd=0.0, vs=1.2, vb=1.2)
+        assert abs(i) < 1e-9
+
+    def test_pmos_weaker_than_nmos(self):
+        """Same geometry: PMOS drive is ~kp_p/kp_n of the NMOS drive."""
+        i_n, *_ = nmos().ids(vg=1.2, vd=1.2, vs=0.0)
+        i_p, *_ = pmos().ids(vg=0.0, vd=0.0, vs=1.2, vb=1.2)
+        ratio = abs(i_p) / i_n
+        assert 0.15 < ratio < 0.40
+
+
+class TestDerivatives:
+    @given(
+        vg=st.floats(min_value=0.0, max_value=1.2),
+        vd=st.floats(min_value=0.0, max_value=1.2),
+        vs=st.floats(min_value=0.0, max_value=0.6),
+    )
+    @settings(max_examples=60)
+    def test_gm_matches_finite_difference(self, vg, vd, vs):
+        m = nmos()
+        h = 1e-6
+        _, gm, _, _ = m.ids(vg, vd, vs)
+        ip, *_ = m.ids(vg + h, vd, vs)
+        im, *_ = m.ids(vg - h, vd, vs)
+        fd = (ip - im) / (2 * h)
+        assert gm == pytest.approx(fd, rel=1e-3, abs=1e-9)
+
+    @given(
+        vg=st.floats(min_value=0.0, max_value=1.2),
+        vd=st.floats(min_value=0.05, max_value=1.2),
+        vs=st.floats(min_value=0.0, max_value=0.6),
+    )
+    @settings(max_examples=60)
+    def test_gds_matches_finite_difference(self, vg, vd, vs):
+        m = nmos()
+        h = 1e-6
+        _, _, gds, _ = m.ids(vg, vd, vs)
+        ip, *_ = m.ids(vg, vd + h, vs)
+        im, *_ = m.ids(vg, vd - h, vs)
+        fd = (ip - im) / (2 * h)
+        assert gds == pytest.approx(fd, rel=1e-3, abs=1e-9)
+
+    @given(
+        vg=st.floats(min_value=0.3, max_value=1.2),
+        vd=st.floats(min_value=0.2, max_value=1.2),
+    )
+    @settings(max_examples=40)
+    def test_gm_nonnegative_for_nmos(self, vg, vd):
+        _, gm, _, _ = nmos().ids(vg, vd, 0.0)
+        assert gm >= -1e-12
+
+
+class TestCorners:
+    def test_ss_corner_weaker(self):
+        i_tt, *_ = nmos().ids(vg=0.8, vd=1.2, vs=0.0)
+        i_ss, *_ = nmos(params=NMOS_130_SS).ids(vg=0.8, vd=1.2, vs=0.0)
+        assert i_ss < i_tt
+
+    def test_ff_corner_stronger(self):
+        i_tt, *_ = nmos().ids(vg=0.8, vd=1.2, vs=0.0)
+        i_ff, *_ = nmos(params=NMOS_130_FF).ids(vg=0.8, vd=1.2, vs=0.0)
+        assert i_ff > i_tt
+
+    def test_corner_helper_shifts_vt(self):
+        p = NMOS_130.corner(dvt=0.1)
+        assert p.vt0 == pytest.approx(NMOS_130.vt0 + 0.1)
+        assert p.kp == NMOS_130.kp

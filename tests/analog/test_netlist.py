@@ -1,0 +1,157 @@
+"""Unit tests for the netlist representation."""
+
+import pytest
+
+from repro.analog import (
+    Capacitor,
+    Circuit,
+    CircuitError,
+    MOSFET,
+    Resistor,
+    VoltageSource,
+    is_ground,
+)
+
+
+class TestGround:
+    def test_canonical_names(self):
+        for name in ("0", "gnd", "GND", "vss", "VSS"):
+            assert is_ground(name)
+
+    def test_regular_node_is_not_ground(self):
+        assert not is_ground("out")
+        assert not is_ground("vdd")
+
+
+class TestCircuitConstruction:
+    def test_add_resistor_registers_element(self):
+        c = Circuit()
+        r = c.add_resistor("a", "b", 1e3, name="R1")
+        assert c["R1"] is r
+        assert r.terminals == {"p": "a", "n": "b"}
+
+    def test_auto_names_are_unique(self):
+        c = Circuit()
+        r1 = c.add_resistor("a", "0", 1.0)
+        r2 = c.add_resistor("a", "0", 1.0)
+        assert r1.name != r2.name
+
+    def test_duplicate_name_rejected(self):
+        c = Circuit()
+        c.add_resistor("a", "0", 1.0, name="R1")
+        with pytest.raises(CircuitError):
+            c.add_resistor("b", "0", 1.0, name="R1")
+
+    def test_missing_lookup_raises(self):
+        c = Circuit()
+        with pytest.raises(CircuitError):
+            c["nope"]
+
+    def test_contains_and_len(self):
+        c = Circuit()
+        c.add_resistor("a", "0", 1.0, name="R1")
+        assert "R1" in c
+        assert "R2" not in c
+        assert len(c) == 1
+
+    def test_remove(self):
+        c = Circuit()
+        c.add_resistor("a", "0", 1.0, name="R1")
+        r = c.remove("R1")
+        assert r.name == "R1"
+        assert "R1" not in c
+        with pytest.raises(CircuitError):
+            c.remove("R1")
+
+    def test_nodes_excludes_ground(self):
+        c = Circuit()
+        c.add_resistor("a", "0", 1.0)
+        c.add_resistor("a", "b", 1.0)
+        assert c.nodes() == ["a", "b"]
+
+    def test_elements_of_type(self):
+        c = Circuit()
+        c.add_resistor("a", "0", 1.0)
+        c.add_capacitor("a", "0", 1e-12)
+        c.add_nmos("a", "g", "0")
+        assert len(c.elements_of_type(Resistor)) == 1
+        assert len(c.elements_of_type(Capacitor)) == 1
+        assert len(c.elements_of_type(MOSFET)) == 1
+
+    def test_invalid_values_rejected(self):
+        c = Circuit()
+        with pytest.raises(ValueError):
+            c.add_resistor("a", "0", -1.0)
+        with pytest.raises(ValueError):
+            c.add_capacitor("a", "0", 0.0)
+        with pytest.raises(ValueError):
+            c.add_nmos("a", "g", "0", w=0.0)
+
+    def test_default_wl_match_paper(self):
+        """The paper's unlabelled transistors are all 0.5u/0.5u."""
+        c = Circuit()
+        m = c.add_nmos("d", "g", "0")
+        assert m.w == pytest.approx(0.5e-6)
+        assert m.l == pytest.approx(0.5e-6)
+
+    def test_pmos_bulk_defaults_to_source(self):
+        c = Circuit()
+        m = c.add_pmos("d", "g", "vdd")
+        assert m.terminals["b"] == "vdd"
+
+    def test_nmos_bulk_defaults_to_ground(self):
+        c = Circuit()
+        m = c.add_nmos("d", "g", "s")
+        assert m.terminals["b"] == "0"
+
+
+class TestClone:
+    def test_clone_is_independent(self):
+        c = Circuit("orig")
+        c.add_resistor("a", "0", 1e3, name="R1")
+        dup = c.clone()
+        dup["R1"].resistance = 5e3
+        assert c["R1"].resistance == 1e3
+
+    def test_clone_rewires_independently(self):
+        c = Circuit()
+        c.add_resistor("a", "b", 1.0, name="R1")
+        dup = c.clone()
+        dup["R1"].terminals["p"] = "c"
+        assert c["R1"].terminals["p"] == "a"
+
+
+class TestInclude:
+    def _sub(self):
+        sub = Circuit("sub")
+        sub.add_resistor("in", "out", 1e3, name="R1")
+        sub.add_resistor("out", "0", 1e3, name="R2")
+        return sub
+
+    def test_include_with_node_map(self):
+        top = Circuit("top")
+        top.add_vsource("x", "0", 1.0, name="V1")
+        top.include(self._sub(), prefix="u1_", node_map={"in": "x", "out": "y"})
+        assert top["u1_R1"].terminals == {"p": "x", "n": "y"}
+        assert top["u1_R2"].terminals == {"p": "y", "n": "0"}
+
+    def test_unmapped_nodes_are_prefixed(self):
+        top = Circuit("top")
+        top.include(self._sub(), prefix="u1_", node_map={"in": "x"})
+        assert top["u1_R1"].terminals["n"] == "u1_out"
+
+    def test_include_preserves_source(self):
+        sub = self._sub()
+        top = Circuit("top")
+        top.include(sub, prefix="u1_")
+        assert "R1" in sub  # original untouched
+        assert len(top) == 2
+
+    def test_summary_counts(self):
+        c = Circuit()
+        c.add_resistor("a", "0", 1.0)
+        c.add_resistor("b", "0", 1.0)
+        c.add_nmos("a", "b", "0")
+        s = c.summary()
+        assert s["Resistor"] == 2
+        assert s["MOSFET"] == 1

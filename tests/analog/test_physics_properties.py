@@ -1,0 +1,168 @@
+"""Physics property tests on the MNA engine (hypothesis-driven).
+
+A circuit simulator earns trust through conservation laws, not just
+example circuits: KCL at every node, passivity of resistive networks,
+superposition of linear circuits, and reciprocity of RC two-ports.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analog import Circuit, dc_operating_point
+
+resistances = st.floats(min_value=10.0, max_value=1e6)
+voltages = st.floats(min_value=-5.0, max_value=5.0)
+
+
+class TestKCL:
+    @given(r1=resistances, r2=resistances, r3=resistances, v=voltages)
+    @settings(max_examples=30)
+    def test_current_conservation_at_internal_node(self, r1, r2, r3, v):
+        """Currents into the star point sum to zero."""
+        c = Circuit()
+        c.add_vsource("a", "0", v, name="V1")
+        c.add_resistor("a", "m", r1)
+        c.add_resistor("m", "0", r2)
+        c.add_resistor("m", "0", r3)
+        op = dc_operating_point(c)
+        assert op.converged
+        i_in = (op.v("a") - op.v("m")) / r1
+        i_out = op.v("m") / r2 + op.v("m") / r3
+        assert i_in == pytest.approx(i_out, rel=1e-6, abs=1e-12)
+
+    @given(v=voltages, r=resistances)
+    @settings(max_examples=20)
+    def test_source_current_equals_load_current(self, v, r):
+        """The V-source branch variable is the loop current (MNA sign
+        convention: positive = current entering the positive terminal
+        from the external circuit, i.e. -v/r when sourcing)."""
+        c = Circuit()
+        src = c.add_vsource("a", "0", v, name="V1")
+        c.add_resistor("a", "0", r)
+        op = dc_operating_point(c)
+        i_branch = float(op.x[src.aux_base])
+        assert i_branch == pytest.approx(-v / r, rel=1e-6, abs=1e-12)
+
+    def test_mosfet_terminal_currents_balance(self):
+        """I(D->S) reported by the model equals the current the rest of
+        the circuit sees (no charge created inside the device)."""
+        c = Circuit()
+        c.add_vsource("vdd", "0", 1.2, name="VDD")
+        c.add_vsource("g", "0", 0.9, name="VG")
+        c.add_resistor("vdd", "d", 5e3, name="RD")
+        m = c.add_nmos("d", "g", "s", name="M1")
+        c.add_resistor("s", "0", 1e3, name="RS")
+        op = dc_operating_point(c)
+        i_rd = (1.2 - op.v("d")) / 5e3
+        i_rs = op.v("s") / 1e3
+        assert i_rd == pytest.approx(i_rs, rel=1e-6)
+        i_model, *_ = m.ids(op.v("g"), op.v("d"), op.v("s"), 0.0)
+        assert i_model == pytest.approx(i_rd, rel=1e-4)
+
+
+class TestPassivityAndBounds:
+    @given(v=st.floats(min_value=0.0, max_value=5.0),
+           r1=resistances, r2=resistances)
+    @settings(max_examples=30)
+    def test_divider_output_bounded_by_rails(self, v, r1, r2):
+        c = Circuit()
+        c.add_vsource("a", "0", v, name="V1")
+        c.add_resistor("a", "m", r1)
+        c.add_resistor("m", "0", r2)
+        op = dc_operating_point(c)
+        assert -1e-9 <= op.v("m") <= v + 1e-9
+
+    def test_cmos_nodes_stay_within_rails(self):
+        """Every node of a CMOS netlist sits inside [0, VDD]."""
+        from repro.circuits import build_full_link
+
+        link = build_full_link()
+        link.apply_data(1)
+        op = dc_operating_point(link.circuit)
+        assert op.converged
+        for node, value in op.voltages.items():
+            assert -1e-6 <= value <= 1.2 + 1e-6, (node, value)
+
+
+class TestLinearity:
+    @given(v1=voltages, v2=voltages)
+    @settings(max_examples=20)
+    def test_superposition(self, v1, v2):
+        """Linear network: response to (v1 + v2) = sum of responses."""
+
+        def solve(va, vb):
+            c = Circuit()
+            c.add_vsource("a", "0", va, name="VA")
+            c.add_vsource("b", "0", vb, name="VB")
+            c.add_resistor("a", "m", 1e3)
+            c.add_resistor("b", "m", 2e3)
+            c.add_resistor("m", "0", 3e3)
+            return dc_operating_point(c).v("m")
+
+        full = solve(v1, v2)
+        parts = solve(v1, 0.0) + solve(0.0, v2)
+        assert full == pytest.approx(parts, rel=1e-6, abs=1e-9)
+
+    @given(scale=st.floats(min_value=0.1, max_value=10.0))
+    @settings(max_examples=20)
+    def test_homogeneity(self, scale):
+        def solve(v):
+            c = Circuit()
+            c.add_vsource("a", "0", v, name="VA")
+            c.add_resistor("a", "m", 1e3)
+            c.add_resistor("m", "0", 4e3)
+            return dc_operating_point(c).v("m")
+
+        assert solve(scale * 1.0) == pytest.approx(scale * solve(1.0),
+                                                   rel=1e-6)
+
+
+class TestReciprocity:
+    def test_rc_ladder_transfer_reciprocal(self):
+        """Transfer impedance of a passive ladder is symmetric:
+        V(out)/I(in) == V(in)/I(out)."""
+        from repro.channel import GLOBAL_MIN, RCLine
+
+        def z_transfer(drive_at_in: bool):
+            c = Circuit()
+            line = RCLine(GLOBAL_MIN, 5e-3)
+            line.build_ladder(c, "in", "out", sections=6)
+            c.add_resistor("in", "0", 1e6, name="RIN")
+            c.add_resistor("out", "0", 1e6, name="ROUT")
+            if drive_at_in:
+                c.add_isource("0", "in", 1e-6)
+                return dc_operating_point(c).v("out")
+            c.add_isource("0", "out", 1e-6)
+            return dc_operating_point(c).v("in")
+
+        assert z_transfer(True) == pytest.approx(z_transfer(False),
+                                                 rel=1e-6)
+
+    def test_ac_reciprocity_of_line(self):
+        """|H21| == |H12| for the exact distributed two-port."""
+        from repro.channel import GLOBAL_MIN, RCLine
+
+        line = RCLine(GLOBAL_MIN, 10e-3)
+        m = line.abcd(np.array([1e8, 1e9]))
+        det = m[:, 0, 0] * m[:, 1, 1] - m[:, 0, 1] * m[:, 1, 0]
+        assert np.allclose(det, 1.0, atol=1e-8)
+
+
+class TestEnergyConservationTransient:
+    def test_rc_charge_balance(self):
+        """Charge delivered by the source equals the charge stored plus
+        the charge dissipated (integrated over the step response)."""
+        from repro.analog import step_waveform, transient
+
+        c = Circuit()
+        src = c.add_vsource("in", "0", 0.0, name="VS")
+        src.waveform = step_waveform(0.0, 1.0, 0.0, t_rise=1e-15)
+        c.add_resistor("in", "out", 1e3, name="R1")
+        c.add_capacitor("out", "0", 1e-12, name="C1")
+        tr = transient(c, 10e-9, 5e-12, probes=["in", "out"])
+        i_r = tr.vdiff("in", "out") / 1e3
+        q_delivered = np.trapezoid(i_r, tr.time)
+        q_stored = 1e-12 * tr.final("out")
+        assert q_delivered == pytest.approx(q_stored, rel=0.02)

@@ -1,0 +1,136 @@
+"""Tests for SPICE netlist export/import round-tripping."""
+
+import pytest
+
+from repro.analog import (
+    Circuit,
+    SpiceFormatError,
+    dc_operating_point,
+    load_spice,
+    read_spice,
+    save_spice,
+    write_spice,
+)
+from repro.analog.mosfet import MOSFET
+from repro.analog.spice_io import _parse_value
+
+
+def mixed_circuit():
+    c = Circuit("mixed")
+    c.add_vsource("vdd", "0", 1.2, name="VDD")
+    c.add_vsource("in", "0", 0.5, name="VIN")
+    c.add_resistor("vdd", "a", 10e3, name="R1")
+    c.add_capacitor("a", "0", 1e-12, name="C1")
+    c.add_isource("vdd", "a", 5e-6, name="IB")
+    c.add_vcvs("b", "0", "a", "0", 2.0, name="EAMP")
+    c.add_resistor("b", "0", 1e3, name="RL")
+    c.add_nmos("a", "in", "0", name="MN1")
+    c.add_pmos("a", "in", "vdd", w=1e-6, name="MP1")
+    return c
+
+
+class TestWrite:
+    def test_deck_has_all_elements(self):
+        deck = write_spice(mixed_circuit())
+        for token in ("RR1", "CC1", "VVDD", "IIB", "EEAMP", "MMN1",
+                      "MMP1", ".model", ".end"):
+            assert token in deck, token
+
+    def test_model_cards_deduplicated(self):
+        c = Circuit()
+        c.add_nmos("a", "b", "0", name="M1")
+        c.add_nmos("c", "d", "0", name="M2")
+        deck = write_spice(c)
+        assert deck.count(".model") == 1
+
+    def test_title_line(self):
+        deck = write_spice(mixed_circuit(), title="my bench")
+        assert deck.startswith("* my bench")
+
+
+class TestRoundTrip:
+    def test_structure_preserved(self):
+        orig = mixed_circuit()
+        back = read_spice(write_spice(orig))
+        assert back.summary() == orig.summary()
+
+    def test_values_preserved(self):
+        back = read_spice(write_spice(mixed_circuit()))
+        assert back["R1"].resistance == pytest.approx(10e3)
+        assert back["C1"].capacitance == pytest.approx(1e-12)
+        assert back["VDD"].voltage == pytest.approx(1.2)
+        assert back["IB"].current == pytest.approx(5e-6)
+        assert back["EAMP"].gain == pytest.approx(2.0)
+
+    def test_mosfet_geometry_and_model(self):
+        back = read_spice(write_spice(mixed_circuit()))
+        mp = back["MP1"]
+        assert isinstance(mp, MOSFET)
+        assert mp.w == pytest.approx(1e-6)
+        assert mp.params.polarity == "p"
+        assert mp.params.vt0 == pytest.approx(0.35)
+
+    def test_operating_point_matches(self):
+        """The re-imported netlist solves to the same DC solution."""
+        orig = mixed_circuit()
+        back = read_spice(write_spice(orig))
+        op1 = dc_operating_point(orig)
+        op2 = dc_operating_point(back)
+        for node in ("a", "b"):
+            assert op2.v(node) == pytest.approx(op1.v(node), abs=1e-6)
+
+    def test_full_link_roundtrip(self):
+        """The paper's complete DC-test netlist survives the round trip."""
+        from repro.circuits import build_full_link
+
+        orig = build_full_link().circuit
+        back = read_spice(write_spice(orig))
+        assert back.summary() == orig.summary()
+        op1 = dc_operating_point(orig)
+        op2 = dc_operating_point(back)
+        assert op2.v("rx_p") == pytest.approx(op1.v("rx_p"), abs=1e-6)
+
+    def test_file_roundtrip(self, tmp_path):
+        path = tmp_path / "bench.sp"
+        save_spice(mixed_circuit(), str(path))
+        back = load_spice(str(path))
+        assert "R1" in back
+
+
+class TestParser:
+    def test_engineering_suffixes(self):
+        assert _parse_value("10k") == pytest.approx(10e3)
+        assert _parse_value("1meg") == pytest.approx(1e6)
+        assert _parse_value("2.5u") == pytest.approx(2.5e-6)
+        assert _parse_value("100f") == pytest.approx(100e-15)
+        assert _parse_value("3") == pytest.approx(3.0)
+
+    def test_comments_and_blank_lines_ignored(self):
+        deck = """* test
+R1 a 0 1k
+
+* another comment
+.end
+"""
+        c = read_spice(deck)
+        assert len(c) == 1
+
+    def test_unknown_card_rejected(self):
+        with pytest.raises(SpiceFormatError):
+            read_spice(".tran 1n 10n\n.end\n")
+
+    def test_unknown_element_rejected(self):
+        with pytest.raises(SpiceFormatError):
+            read_spice("L1 a 0 1n\n.end\n")
+
+    def test_mosfet_with_missing_model_rejected(self):
+        with pytest.raises(SpiceFormatError):
+            read_spice("M1 d g s b ghost W=1u L=1u\n.end\n")
+
+    def test_model_before_or_after_device(self):
+        deck = """M1 d g 0 0 nm W=1u L=0.5u
+.model nm NMOS (VTO=0.4 KP=200u)
+.end
+"""
+        c = read_spice(deck)
+        assert c["1"].params.vt0 == pytest.approx(0.4)

@@ -1,0 +1,129 @@
+"""Unit tests for the transient integrator and stimulus helpers."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analog import (
+    Circuit,
+    bit_waveform,
+    clock_waveform,
+    step_waveform,
+    transient,
+)
+
+
+def rc_circuit(r=1e3, c=1e-12):
+    ckt = Circuit("rc")
+    vs = ckt.add_vsource("in", "0", 0.0, name="VS")
+    ckt.add_resistor("in", "out", r)
+    ckt.add_capacitor("out", "0", c)
+    return ckt, vs
+
+
+class TestRCStep:
+    def test_exponential_charging(self):
+        ckt, vs = rc_circuit()
+        vs.waveform = step_waveform(0.0, 1.0, 0.0, t_rise=1e-15)
+        tr = transient(ckt, 5e-9, 10e-12, probes=["out"])
+        tau = 1e-9
+        for t_probe in (0.5e-9, 1e-9, 2e-9, 3e-9):
+            expected = 1.0 - math.exp(-t_probe / tau)
+            assert tr.at("out", t_probe) == pytest.approx(expected, abs=0.02)
+
+    def test_final_value_reaches_input(self):
+        ckt, vs = rc_circuit()
+        vs.waveform = step_waveform(0.0, 1.0, 0.0, t_rise=1e-15)
+        tr = transient(ckt, 10e-9, 20e-12, probes=["out"])
+        assert tr.final("out") == pytest.approx(1.0, abs=1e-3)
+
+    def test_starts_from_dc_operating_point(self):
+        ckt, vs = rc_circuit()
+        vs.voltage = 0.8  # constant source: output should stay at 0.8
+        tr = transient(ckt, 2e-9, 20e-12, probes=["out"])
+        assert tr.v("out")[0] == pytest.approx(0.8, abs=1e-3)
+        assert tr.final("out") == pytest.approx(0.8, abs=1e-3)
+
+    def test_trapezoidal_method_runs(self):
+        ckt, vs = rc_circuit()
+        vs.waveform = step_waveform(0.0, 1.0, 0.0, t_rise=1e-15)
+        tr = transient(ckt, 3e-9, 10e-12, probes=["out"], method="trap")
+        assert tr.converged
+        assert tr.final("out") == pytest.approx(1.0 - math.exp(-3.0), abs=0.05)
+
+    @given(r=st.floats(min_value=100, max_value=10e3),
+           c=st.floats(min_value=0.1e-12, max_value=5e-12))
+    @settings(max_examples=15, deadline=None)
+    def test_one_tau_is_63_percent(self, r, c):
+        ckt, vs = rc_circuit(r, c)
+        vs.waveform = step_waveform(0.0, 1.0, 0.0, t_rise=1e-15)
+        tau = r * c
+        tr = transient(ckt, 2 * tau, tau / 100, probes=["out"])
+        assert tr.at("out", tau) == pytest.approx(1 - math.exp(-1), abs=0.03)
+
+
+class TestInverterSwitching:
+    def test_inverter_responds_to_step(self):
+        c = Circuit()
+        c.add_vsource("vdd", "0", 1.2, name="VDD")
+        vin = c.add_vsource("in", "0", 0.0, name="VIN")
+        vin.waveform = step_waveform(0.0, 1.2, 1e-9, t_rise=20e-12)
+        c.add_pmos("out", "in", "vdd")
+        c.add_nmos("out", "in", "0")
+        c.add_capacitor("out", "0", 10e-15)
+        tr = transient(c, 3e-9, 10e-12, probes=["in", "out"])
+        assert tr.at("out", 0.5e-9) > 1.1   # before the step
+        assert tr.at("out", 2.5e-9) < 0.1   # after the step
+
+
+class TestResultAccessors:
+    def test_ground_wave_is_zero(self):
+        ckt, _ = rc_circuit()
+        tr = transient(ckt, 1e-9, 100e-12, probes=["out"])
+        assert np.all(tr.v("0") == 0.0)
+
+    def test_vdiff(self):
+        ckt, vs = rc_circuit()
+        vs.voltage = 1.0
+        tr = transient(ckt, 1e-9, 100e-12, probes=["in", "out"])
+        d = tr.vdiff("in", "out")
+        assert d.shape == tr.time.shape
+
+
+class TestWaveforms:
+    def test_step_before_and_after(self):
+        wf = step_waveform(0.2, 1.0, 5e-9, t_rise=1e-9)
+        assert wf(0.0) == 0.2
+        assert wf(4.9e-9) == 0.2
+        assert wf(6.1e-9) == 1.0
+        assert 0.2 < wf(5.5e-9) < 1.0
+
+    def test_clock_levels_and_period(self):
+        wf = clock_waveform(1e-9, v_low=0.0, v_high=1.2, t_rise=10e-12)
+        assert wf(0.3e-9) == pytest.approx(1.2)
+        assert wf(0.8e-9) == pytest.approx(0.0)
+        assert wf(1.3e-9) == pytest.approx(1.2)  # periodic
+
+    def test_clock_duty_cycle(self):
+        wf = clock_waveform(1e-9, duty=0.25, t_rise=1e-12)
+        assert wf(0.1e-9) == pytest.approx(1.2)
+        assert wf(0.5e-9) == pytest.approx(0.0)
+
+    def test_bit_waveform_sequence(self):
+        wf = bit_waveform([1, 0, 1, 1], 1e-9, t_rise=1e-12)
+        assert wf(0.5e-9) == pytest.approx(1.2)
+        assert wf(1.5e-9) == pytest.approx(0.0)
+        assert wf(2.5e-9) == pytest.approx(1.2)
+        assert wf(3.5e-9) == pytest.approx(1.2)
+
+    def test_bit_waveform_holds_last_bit(self):
+        wf = bit_waveform([0, 1], 1e-9)
+        assert wf(10e-9) == pytest.approx(1.2)
+
+    def test_bit_waveform_transition_ramp(self):
+        wf = bit_waveform([0, 1], 1e-9, t_rise=100e-12)
+        mid = wf(1e-9 + 50e-12)
+        assert 0.0 < mid < 1.2

@@ -1,0 +1,111 @@
+"""Tests for the BER / link-margin model."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.channel import (
+    ChannelConfig,
+    LinkMargin,
+    ber_with_cp_fault,
+    eye_of_channel,
+    link_margin,
+    q_function,
+)
+
+
+class TestQFunction:
+    def test_q_zero_is_half(self):
+        assert q_function(0.0) == pytest.approx(0.5)
+
+    def test_known_values(self):
+        assert q_function(1.0) == pytest.approx(0.1587, abs=1e-3)
+        assert q_function(7.0) == pytest.approx(1.28e-12, rel=0.05)
+
+    @given(st.floats(min_value=-5, max_value=5))
+    @settings(max_examples=30)
+    def test_monotone_decreasing(self, x):
+        assert q_function(x) >= q_function(x + 0.1)
+
+
+class TestLinkMargin:
+    def healthy(self):
+        eye = eye_of_channel(ChannelConfig(), 2.5e9, equalized=True)
+        return link_margin(eye)
+
+    def test_healthy_link_meets_1e12(self):
+        m = self.healthy()
+        assert m.meets(1e-12)
+
+    def test_closed_eye_is_coin_flip(self):
+        m = LinkMargin(eye_height=0.0, eye_width=0.0, sampling_offset=0.0,
+                       v_noise_rms=1e-3, jitter_rms=1e-12)
+        assert m.ber == 0.5
+
+    def test_voltage_snr(self):
+        m = LinkMargin(eye_height=20e-3, eye_width=100e-12,
+                       sampling_offset=0.0, v_noise_rms=1e-3,
+                       jitter_rms=1e-12)
+        assert m.voltage_snr == pytest.approx(10.0)
+
+    def test_zero_noise_is_infinite_snr(self):
+        m = LinkMargin(eye_height=20e-3, eye_width=100e-12,
+                       sampling_offset=0.0, v_noise_rms=0.0,
+                       jitter_rms=0.0)
+        assert math.isinf(m.voltage_snr)
+        assert m.ber < 1e-29
+
+    def test_sampling_offset_eats_timing_margin(self):
+        base = LinkMargin(eye_height=25e-3, eye_width=180e-12,
+                          sampling_offset=0.0, v_noise_rms=2e-3,
+                          jitter_rms=5e-12)
+        offcentre = LinkMargin(eye_height=25e-3, eye_width=180e-12,
+                               sampling_offset=60e-12, v_noise_rms=2e-3,
+                               jitter_rms=5e-12)
+        assert offcentre.ber > base.ber
+
+    def test_offset_beyond_eye_edge(self):
+        m = LinkMargin(eye_height=25e-3, eye_width=100e-12,
+                       sampling_offset=80e-12, v_noise_rms=2e-3,
+                       jitter_rms=5e-12)
+        assert m.timing_snr == 0.0
+        assert m.ber == 0.5
+
+    def test_ber_exponent_clamped(self):
+        m = LinkMargin(eye_height=1.0, eye_width=1e-9,
+                       sampling_offset=0.0, v_noise_rms=1e-6,
+                       jitter_rms=1e-15)
+        assert m.ber_exponent == -30.0
+
+    @given(jit=st.floats(min_value=1e-12, max_value=60e-12))
+    @settings(max_examples=20, deadline=None)
+    def test_ber_monotone_in_jitter(self, jit):
+        def ber(j):
+            return LinkMargin(eye_height=25e-3, eye_width=180e-12,
+                              sampling_offset=0.0, v_noise_rms=2e-3,
+                              jitter_rms=j).ber
+
+        assert ber(jit) <= ber(jit * 1.5) + 1e-18
+
+
+class TestCPFaultPenalty:
+    def test_vp_drift_degrades_ber(self):
+        cfg = ChannelConfig()
+        healthy = ber_with_cp_fault(cfg, 2.5e9, vp_drift=0.0)
+        faulty = ber_with_cp_fault(cfg, 2.5e9, vp_drift=0.5)
+        assert faulty.ber > healthy.ber
+        assert faulty.jitter_rms > healthy.jitter_rms
+
+    def test_small_drift_still_meets_target(self):
+        """Drift inside the CP-BIST window costs little — which is why
+        the window is sized at 150 mV and not tighter."""
+        cfg = ChannelConfig()
+        m = ber_with_cp_fault(cfg, 2.5e9, vp_drift=0.10)
+        assert m.meets(1e-12)
+
+    def test_large_drift_breaks_target(self):
+        cfg = ChannelConfig()
+        m = ber_with_cp_fault(cfg, 2.5e9, vp_drift=0.55)
+        assert not m.meets(1e-12)

@@ -1,0 +1,129 @@
+"""Unit tests for the distributed RC line and ABCD utilities."""
+
+import numpy as np
+import pytest
+
+from repro.analog import Circuit, dc_operating_point
+from repro.channel import (
+    GLOBAL_MIN,
+    RCLine,
+    abcd_chain,
+    abcd_series,
+    abcd_shunt,
+    abcd_to_transfer,
+)
+
+
+@pytest.fixture
+def line():
+    return RCLine(GLOBAL_MIN, 10e-3)
+
+
+class TestTotals:
+    def test_total_r(self, line):
+        assert line.total_r == pytest.approx(1070.0)
+
+    def test_total_c(self, line):
+        assert line.total_c == pytest.approx(1.92e-12)
+
+    def test_elmore(self, line):
+        assert line.elmore_delay == pytest.approx(0.5 * 1070 * 1.92e-12)
+
+
+class TestLadder:
+    def test_ladder_dc_resistance(self, line):
+        """DC through the ladder sees the full series resistance."""
+        c = Circuit()
+        c.add_vsource("in", "0", 1.0, name="V1")
+        line.build_ladder(c, "in", "out", sections=10)
+        c.add_resistor("out", "0", 1070.0)  # matched load
+        op = dc_operating_point(c)
+        assert op.converged
+        assert op.v("out") == pytest.approx(0.5, rel=1e-3)
+
+    def test_ladder_element_count(self, line):
+        c = Circuit()
+        line.build_ladder(c, "a", "b", sections=7, prefix="w")
+        s = c.summary()
+        assert s["Resistor"] == 7
+        assert s["Capacitor"] == 7
+
+    def test_ladder_section_validation(self, line):
+        c = Circuit()
+        with pytest.raises(ValueError):
+            line.build_ladder(c, "a", "b", sections=0)
+
+    def test_two_ladders_can_coexist(self, line):
+        """Differential link: two arms in one circuit via prefixes."""
+        c = Circuit()
+        line.build_ladder(c, "ap", "bp", sections=4, prefix="pos")
+        line.build_ladder(c, "an", "bn", sections=4, prefix="neg")
+        assert len(c) == 16
+
+
+class TestABCD:
+    def test_dc_abcd_is_lumped(self, line):
+        m = line.abcd(np.array([0.0]))[0]
+        assert m[0, 0] == pytest.approx(1.0)
+        assert m[0, 1] == pytest.approx(line.total_r)
+        assert m[1, 0] == pytest.approx(0.0, abs=1e-15)
+        assert m[1, 1] == pytest.approx(1.0)
+
+    def test_reciprocity(self, line):
+        """AD - BC = 1 for any reciprocal two-port."""
+        freqs = np.array([1e6, 100e6, 1e9, 10e9])
+        m = line.abcd(freqs)
+        det = m[:, 0, 0] * m[:, 1, 1] - m[:, 0, 1] * m[:, 1, 0]
+        assert np.allclose(det, 1.0, atol=1e-6)
+
+    def test_matches_ladder_at_low_frequency(self, line):
+        """Exact two-port and a fine ladder agree on the transfer."""
+        freqs = np.array([1e6, 30e6, 100e6])
+        r_term = 1.1e3
+
+        # exact
+        h_exact = abcd_to_transfer(
+            line.abcd(freqs),
+            z_source=np.zeros(3, dtype=complex),
+            z_load=np.full(3, r_term, dtype=complex),
+        )
+
+        # ladder approximation evaluated analytically
+        n = 40
+        r_sec = line.total_r / n
+        c_sec = line.total_c / n
+        s = 2j * np.pi * freqs
+        chain = abcd_series(np.full(3, r_sec, dtype=complex))
+        chain = abcd_chain(chain, abcd_shunt(s * c_sec))
+        stage = chain
+        for _ in range(n - 1):
+            stage = abcd_chain(
+                stage,
+                abcd_series(np.full(3, r_sec, dtype=complex)),
+                abcd_shunt(s * c_sec),
+            )
+        h_ladder = abcd_to_transfer(
+            stage, np.zeros(3, dtype=complex),
+            np.full(3, r_term, dtype=complex))
+        assert np.allclose(np.abs(h_exact), np.abs(h_ladder), rtol=0.05)
+
+
+class TestABCDHelpers:
+    def test_series_shunt_cascade_is_divider(self):
+        """Series R into shunt G forms the expected divider at DC."""
+        z = np.array([1e3 + 0j])
+        y = np.array([1e-3 + 0j])  # 1 kOhm shunt
+        chain = abcd_chain(abcd_series(z), abcd_shunt(y))
+        h = abcd_to_transfer(chain, np.array([0j]), np.array([1e12 + 0j]))
+        assert abs(h[0]) == pytest.approx(0.5, rel=1e-3)
+
+    def test_chain_requires_stage(self):
+        with pytest.raises(ValueError):
+            abcd_chain()
+
+    def test_identity_chain(self):
+        z = np.array([0j, 0j])
+        ident = abcd_series(z)
+        h = abcd_to_transfer(ident, np.array([0j, 0j]),
+                             np.array([50 + 0j, 50 + 0j]))
+        assert np.allclose(np.abs(h), 1.0)

@@ -1,0 +1,87 @@
+"""Detail tests for channel transfer internals and config handling."""
+
+import numpy as np
+import pytest
+
+from repro.channel import (
+    ChannelConfig,
+    GLOBAL_WIDE,
+    channel_transfer,
+    eye_from_pulse,
+    pulse_response,
+)
+
+
+class TestChannelConfig:
+    def test_dc_attenuation_formula(self):
+        cfg = ChannelConfig()
+        r_series = cfg.r_driver + cfg.r_weak + cfg.line.total_r
+        expected = cfg.r_term / (r_series + cfg.r_term)
+        assert cfg.dc_attenuation() == pytest.approx(expected)
+
+    def test_line_property_consistent(self):
+        cfg = ChannelConfig(length_m=7e-3)
+        assert cfg.line.length_m == 7e-3
+        assert cfg.line.wire is cfg.wire
+
+    def test_wire_override(self):
+        cfg = ChannelConfig(wire=GLOBAL_WIDE)
+        assert cfg.line.total_r < ChannelConfig().line.total_r
+
+
+class TestTransferDetails:
+    def test_dc_point_matches_static_divider(self):
+        cfg = ChannelConfig()
+        resp = channel_transfer(cfg, np.array([0.0]), equalized=True)
+        assert abs(resp.h[0]) == pytest.approx(cfg.dc_attenuation(),
+                                               rel=1e-6)
+
+    def test_equalized_and_raw_share_dc(self):
+        cfg = ChannelConfig()
+        freqs = np.array([0.0])
+        eq = channel_transfer(cfg, freqs, equalized=True)
+        raw = channel_transfer(cfg, freqs, equalized=False)
+        assert abs(eq.h[0]) == pytest.approx(abs(raw.h[0]), rel=1e-9)
+
+    def test_magnitude_db_shape(self):
+        cfg = ChannelConfig()
+        freqs = np.logspace(5, 9, 20)
+        resp = channel_transfer(cfg, freqs, equalized=False)
+        db = resp.magnitude_db()
+        assert db.shape == freqs.shape
+        assert np.all(np.diff(db) <= 1e-9)   # monotone lowpass
+
+    def test_no_numerical_warnings_at_dc(self):
+        cfg = ChannelConfig()
+        with np.errstate(all="raise"):
+            channel_transfer(cfg, np.array([0.0, 1e3, 1e9]),
+                             equalized=True)
+
+
+class TestPulseDetails:
+    def test_pulse_area_matches_dc_gain(self):
+        """Integral of the received pulse = V * T * H(0)."""
+        cfg = ChannelConfig()
+        bit = 0.4e-9
+        t, v = pulse_response(cfg, bit, equalized=True)
+        area = np.trapezoid(v, t)
+        expected = cfg.vdd * bit * cfg.dc_attenuation()
+        assert area == pytest.approx(expected, rel=0.02)
+
+    def test_span_parameter_extends_time(self):
+        cfg = ChannelConfig()
+        t1, _ = pulse_response(cfg, 0.4e-9, span_bits=32)
+        t2, _ = pulse_response(cfg, 0.4e-9, span_bits=64)
+        assert t2[-1] > 1.9 * t1[-1]
+
+    def test_eye_from_asymmetric_pulse(self):
+        """A pulse with a long tail produces less opening at late
+        sampling phases, shifting the optimum early."""
+        bit = 1e-9
+        t = np.linspace(0, 32e-9, 6400)
+        v = np.where(t >= 3e-9,
+                     np.exp(-(t - 3e-9) / 2.0e-9)
+                     - np.exp(-(t - 3e-9) / 0.3e-9), 0.0)
+        eye = eye_from_pulse(t, v, bit)
+        assert eye.best_opening != 0.0
+        assert 0 <= eye.best_phase < bit

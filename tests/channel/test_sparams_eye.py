@@ -1,0 +1,157 @@
+"""Tests for channel transfer, pulse response, and eye analysis."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.channel import (
+    ChannelConfig,
+    DifferentialChannel,
+    channel_transfer,
+    degrade_arm,
+    dominant_pole,
+    equalization_gain,
+    eye_center,
+    eye_from_pulse,
+    eye_of_channel,
+    pulse_response,
+)
+
+
+@pytest.fixture
+def cfg():
+    return ChannelConfig()
+
+
+class TestStaticLevels:
+    def test_design_swing_near_60mv(self, cfg):
+        """Paper: 'the interconnect is designed for a logic swing of 60 mV'."""
+        assert cfg.dc_swing() == pytest.approx(60e-3, abs=10e-3)
+
+    def test_comparator_input_near_30mv(self, cfg):
+        """Paper: 'when the circuit has no faults the comparator gets an
+        input of 30 mV'."""
+        d = DifferentialChannel.matched(cfg)
+        assert d.comparator_input(1) == pytest.approx(30e-3, abs=5e-3)
+        assert d.comparator_input(0) == pytest.approx(-30e-3, abs=5e-3)
+
+    def test_dc_attenuation_consistent(self, cfg):
+        assert cfg.dc_swing() == pytest.approx(cfg.vdd * cfg.dc_attenuation())
+
+
+class TestTransfer:
+    def test_unequalized_is_lowpass(self, cfg):
+        freqs = np.array([0.0, 10e6, 100e6, 1e9])
+        resp = channel_transfer(cfg, freqs, equalized=False)
+        mag = np.abs(resp.h)
+        assert mag[0] > mag[1] > mag[2] > mag[3]
+
+    def test_equalizer_boosts_high_frequency(self, cfg):
+        freqs = np.array([0.0, 1e9])
+        eq = channel_transfer(cfg, freqs, equalized=True)
+        raw = channel_transfer(cfg, freqs, equalized=False)
+        # same DC gain, more gain at 1 GHz
+        assert abs(eq.h[0]) == pytest.approx(abs(raw.h[0]), rel=1e-6)
+        assert abs(eq.h[1]) > 3 * abs(raw.h[1])
+
+    def test_equalized_has_peaking(self, cfg):
+        freqs = np.logspace(4, 10, 200)
+        resp = channel_transfer(cfg, freqs, equalized=True)
+        assert resp.peaking_db() > 3.0
+
+    def test_dominant_pole_far_below_data_rate(self, cfg):
+        pole = dominant_pole(cfg)
+        assert pole < 200e6  # tens of MHz for a 10 mm global wire
+
+    def test_gain_at_interpolates(self, cfg):
+        freqs = np.array([0.0, 1e6, 2e6])
+        resp = channel_transfer(cfg, freqs, equalized=False)
+        g = resp.gain_at(1.5e6)
+        assert min(abs(resp.h[1]), abs(resp.h[2])) <= g <= max(
+            abs(resp.h[1]), abs(resp.h[2]))
+
+
+class TestPulseResponse:
+    def test_pulse_settles_to_zero(self, cfg):
+        t, v = pulse_response(cfg, bit_time=0.4e-9)
+        assert abs(v[-1]) < 1e-3 * max(abs(v))
+
+    def test_pulse_peak_positive(self, cfg):
+        _, v = pulse_response(cfg, bit_time=0.4e-9)
+        assert v.max() > 0
+        assert v.max() > abs(v.min())
+
+    def test_equalized_pulse_is_sharper(self, cfg):
+        """FFE concentrates pulse energy: higher peak relative to tail."""
+        t, v_eq = pulse_response(cfg, 0.4e-9, equalized=True)
+        _, v_raw = pulse_response(cfg, 0.4e-9, equalized=False)
+        assert v_eq.max() > v_raw.max()
+
+
+class TestEye:
+    def test_paper_operating_point_eye_open_only_with_eq(self, cfg):
+        """At the paper's 2.5 Gbps the raw eye is closed, equalized open."""
+        eq = eye_of_channel(cfg, 2.5e9, equalized=True)
+        raw = eye_of_channel(cfg, 2.5e9, equalized=False)
+        assert eq.is_open
+        assert not raw.is_open
+
+    def test_low_rate_both_open(self, cfg):
+        eq = eye_of_channel(cfg, 0.2e9, equalized=True)
+        raw = eye_of_channel(cfg, 0.2e9, equalized=False)
+        assert eq.is_open and raw.is_open
+
+    def test_eye_width_positive_when_open(self, cfg):
+        eye = eye_of_channel(cfg, 2.5e9, equalized=True)
+        assert 0 < eye.eye_width <= eye.bit_time
+
+    def test_eye_center_within_open_region(self, cfg):
+        eye = eye_of_channel(cfg, 2.5e9, equalized=True)
+        center = eye_center(eye)
+        assert 0 <= center <= eye.bit_time
+        opening = float(np.interp(center, eye.phases, eye.openings))
+        assert opening > 0
+
+    def test_equalization_gain_large_at_speed(self, cfg):
+        g = equalization_gain(cfg, 2.5e9)
+        assert g > 2.0 or g == float("inf")
+
+    @given(rate=st.floats(min_value=0.2e9, max_value=3e9))
+    @settings(max_examples=8, deadline=None)
+    def test_eye_opening_never_exceeds_2x_dc_swing(self, rate):
+        cfg = ChannelConfig()
+        eye = eye_of_channel(cfg, rate, equalized=True, phase_points=16)
+        # differential opening bounded by twice the peak pulse amplitude,
+        # which for this channel stays below 2*(2*swing)
+        assert eye.best_opening < 4 * cfg.dc_swing() + 0.15
+
+    def test_eye_from_pulse_rectangular_ideal(self):
+        """An ideal (no-ISI) pulse yields a full-swing eye."""
+        bit = 1e-9
+        t = np.linspace(0, 32e-9, 3200)
+        v = np.where((t >= 3e-9) & (t < 3e-9 + bit), 1.0, 0.0)
+        eye = eye_from_pulse(t, v, bit)
+        assert eye.best_opening == pytest.approx(2.0, rel=0.05)
+
+
+class TestDegradeArm:
+    def test_degrade_weak_driver_halves_comparator_input(self):
+        cfg = ChannelConfig()
+        bad = DifferentialChannel(pos=degrade_arm(cfg, r_weak_scale=1e3),
+                                  neg=cfg)
+        healthy = DifferentialChannel.matched(cfg)
+        assert abs(bad.comparator_input(1)) < 0.7 * abs(
+            healthy.comparator_input(1))
+
+    def test_degrade_does_not_mutate_original(self):
+        cfg = ChannelConfig()
+        degrade_arm(cfg, r_weak_scale=10)
+        assert cfg.r_weak == ChannelConfig().r_weak
+
+    def test_balanced_detection(self):
+        cfg = ChannelConfig()
+        assert DifferentialChannel.matched(cfg).is_balanced()
+        bad = DifferentialChannel(pos=degrade_arm(cfg, r_term_scale=0.5),
+                                  neg=cfg)
+        assert not bad.is_balanced()

@@ -1,0 +1,61 @@
+"""Unit tests for wire parasitic presets."""
+
+import pytest
+
+from repro.channel import (
+    GLOBAL_MIN,
+    GLOBAL_WIDE,
+    INTERMEDIATE,
+    PRESETS,
+    WireModel,
+    get_wire_model,
+)
+
+
+class TestPresets:
+    def test_all_presets_registered(self):
+        assert set(PRESETS) == {"global_min", "global_wide", "intermediate"}
+
+    def test_lookup_by_name(self):
+        assert get_wire_model("global_min") is GLOBAL_MIN
+
+    def test_unknown_name_lists_choices(self):
+        with pytest.raises(KeyError, match="global_min"):
+            get_wire_model("copper9000")
+
+    def test_wide_wire_has_lower_resistance(self):
+        assert GLOBAL_WIDE.r_per_m < GLOBAL_MIN.r_per_m
+
+    def test_intermediate_is_most_resistive(self):
+        assert INTERMEDIATE.r_per_m > GLOBAL_MIN.r_per_m
+
+
+class TestScaling:
+    def test_total_r_scales_linearly(self):
+        assert GLOBAL_MIN.total_r(10e-3) == pytest.approx(
+            2 * GLOBAL_MIN.total_r(5e-3))
+
+    def test_total_c_scales_linearly(self):
+        assert GLOBAL_MIN.total_c(10e-3) == pytest.approx(
+            2 * GLOBAL_MIN.total_c(5e-3))
+
+    def test_elmore_delay_scales_quadratically(self):
+        d1 = GLOBAL_MIN.elmore_delay(5e-3)
+        d2 = GLOBAL_MIN.elmore_delay(10e-3)
+        assert d2 == pytest.approx(4 * d1, rel=1e-9)
+
+    def test_10mm_global_wire_is_nanosecond_scale(self):
+        """The paper's 10 mm link: Elmore delay ~ 1 ns (multi-cycle at
+        2.5 Gbps, which is why the receiver needs a synchronizer)."""
+        d = GLOBAL_MIN.elmore_delay(10e-3)
+        assert 0.3e-9 < d < 3e-9
+
+    def test_bandwidth_inverse_of_delay(self):
+        w = WireModel("w", r_per_m=1e5, c_per_m=2e-10)
+        bw = w.rc_bandwidth(10e-3)
+        assert bw == pytest.approx(1 / (2 * 3.14159265 * w.elmore_delay(10e-3)),
+                                   rel=1e-6)
+
+    def test_rc_bandwidth_well_below_data_rate(self):
+        """Channel pole (tens of MHz) << 2.5 Gbps: equalization is needed."""
+        assert GLOBAL_MIN.rc_bandwidth(10e-3) < 2.5e9 / 10

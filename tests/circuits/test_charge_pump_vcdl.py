@@ -1,0 +1,222 @@
+"""Tests for the charge pump (Fig 8) and the VCDL."""
+
+import math
+
+import pytest
+
+from repro.circuits import (
+    build_charge_pump_dut,
+    measure_vcdl_delay,
+    pump_current,
+    vcdl_tuning_range,
+)
+
+
+@pytest.fixture(scope="module")
+def dut():
+    return build_charge_pump_dut()
+
+
+@pytest.fixture(scope="module")
+def pinned():
+    return build_charge_pump_dut(hold_vc=0.6)
+
+
+class TestMissionMode:
+    def test_up_charges_vc_to_rail(self, dut):
+        dut.set_scan(False)
+        dut.set_controls(up=1, dn=0)
+        op = dut.solve()
+        assert op.converged
+        assert op.v(dut.ports.vc) > 1.1
+
+    def test_dn_discharges_vc(self, dut):
+        dut.set_scan(False)
+        dut.set_controls(up=0, dn=1)
+        op = dut.solve()
+        assert op.v(dut.ports.vc) < 0.1
+
+    def test_strong_pump_overrides(self, dut):
+        dut.set_scan(False)
+        dut.set_controls(up=0, dn=1, up_st=1, dn_st=0)
+        op = dut.solve()
+        # strong up (8x) wins against weak dn
+        assert op.v(dut.ports.vc) > 0.8
+
+    def test_pump_currents_microamp_scale(self, pinned):
+        pinned.set_scan(False)
+        i_up = pump_current(pinned, 1, 0)
+        i_dn = pump_current(pinned, 0, 1)
+        assert 0.5e-6 < i_up < 20e-6
+        assert -20e-6 < i_dn < -0.5e-6
+
+    def test_idle_pump_leaks_nothing(self, pinned):
+        pinned.set_scan(False)
+        i_off = pump_current(pinned, 0, 0)
+        assert abs(i_off) < 50e-9
+
+    def test_strong_pump_much_stronger(self, pinned):
+        pinned.set_scan(False)
+        i_weak = pump_current(pinned, 1, 0)
+        pinned.set_controls(0, 0, up_st=1)
+        op = pinned.solve()
+        i_strong = float(op.x[pinned.circuit["VHOLD"].aux_base])
+        assert i_strong > 4 * i_weak
+
+    def test_vp_tracks_vc_when_idle(self):
+        """Healthy balancing amp: |V_p - V_c| well inside 150 mV."""
+        for vc in (0.5, 0.6, 0.7):
+            d = build_charge_pump_dut(hold_vc=vc)
+            d.set_scan(False)
+            d.set_controls(0, 0)
+            op = d.solve()
+            assert abs(op.v(d.ports.vp) - vc) < 0.1
+
+
+class TestScanMode:
+    """Section II-B: bias clamps turn the pump combinational."""
+
+    def test_scan_up_gives_logic_one(self, dut):
+        dut.set_scan(True)
+        dut.set_controls(up=1, dn=0)
+        op = dut.solve()
+        assert op.v(dut.ports.vc) > 1.1
+        dut.set_scan(False)
+
+    def test_scan_dn_gives_logic_zero(self, dut):
+        dut.set_scan(True)
+        dut.set_controls(up=0, dn=1)
+        op = dut.solve()
+        assert op.v(dut.ports.vc) < 0.1
+        dut.set_scan(False)
+
+    def test_scan_clamps_bias_nodes(self, dut):
+        dut.set_scan(True)
+        dut.set_controls(up=0, dn=0)
+        op = dut.solve()
+        assert op.v(dut.ports.vbp) < 0.05       # tied to GND
+        assert op.v(dut.ports.vbn) > 1.15       # tied to VDD
+        dut.set_scan(False)
+
+    def test_ds_short_in_source_masked_in_scan_mode(self):
+        """The masking the paper describes: with the source used as a
+        switch, a drain-source short changes nothing observable."""
+
+        def run(mutate):
+            d = build_charge_pump_dut()
+            if mutate:
+                m = d.circuit["cp_wk_MSRC"]
+                d.circuit.add_resistor(m.terminals["d"], m.terminals["s"],
+                                       10.0, name="F_DS")
+            d.set_scan(True)
+            obs = []
+            for up, dn in ((1, 0), (0, 1)):
+                d.set_controls(up=up, dn=dn)
+                op = d.solve()
+                obs.append(1 if op.v(d.ports.vc) > 0.6 else 0)
+            return obs
+
+        assert run(False) == run(True)
+
+    def test_ds_short_visible_in_mission_current(self):
+        """Same fault in mission mode: pump current blows up (BIST)."""
+        healthy = build_charge_pump_dut(hold_vc=0.6)
+        healthy.set_scan(False)
+        i_good = pump_current(healthy, 1, 0)
+
+        faulty = build_charge_pump_dut(hold_vc=0.6)
+        m = faulty.circuit["cp_wk_MSRC"]
+        faulty.circuit.add_resistor(m.terminals["d"], m.terminals["s"],
+                                    10.0, name="F_DS")
+        faulty.set_scan(False)
+        i_bad = pump_current(faulty, 1, 0)
+        assert i_bad > 3 * i_good
+
+    def test_amp_fault_not_visible_in_scan(self):
+        """Balancing-path faults do not disturb the scan observables."""
+
+        def run(mutate):
+            d = build_charge_pump_dut()
+            if mutate:
+                m = d.circuit["cp_amp_MT"]   # kill the amp tail
+                old = m.terminals["s"]
+                m.terminals["s"] = "f_open"
+                d.circuit.add_resistor("f_open", old, 1e9, name="F_OPEN")
+            d.set_scan(True)
+            obs = []
+            for up, dn in ((1, 0), (0, 1)):
+                d.set_controls(up=up, dn=dn)
+                op = d.solve()
+                obs.append(1 if op.v(d.ports.vc) > 0.6 else 0)
+            return obs
+
+        assert run(False) == run(True)
+
+    def test_amp_fault_breaks_vp_tracking(self):
+        """...but the CP-BIST window sees V_p drift (Section III)."""
+        d = build_charge_pump_dut(hold_vc=0.6)
+        m = d.circuit["cp_amp_MT"]
+        old = m.terminals["s"]
+        m.terminals["s"] = "f_open"
+        d.circuit.add_resistor("f_open", old, 1e9, name="F_OPEN")
+        d.set_scan(False)
+        d.set_controls(0, 0)
+        op = d.solve()
+        assert abs(op.v(d.ports.vp) - 0.6) > 0.15
+
+
+class TestVCDL:
+    def test_delay_decreases_with_control(self):
+        d1 = measure_vcdl_delay(0.45)
+        d2 = measure_vcdl_delay(0.60)
+        d3 = measure_vcdl_delay(0.75)
+        assert d1 > d2 > d3
+
+    def test_tuning_range_exceeds_dll_phase_step(self):
+        """Design requirement from Section II: VCDL range over the
+        window span must exceed one DLL phase step (40 ps at 2.5 Gbps
+        with 10 phases)."""
+        d_slow, d_fast = vcdl_tuning_range()
+        assert (d_slow - d_fast) > 40e-12
+
+    def test_delays_are_sub_nanosecond_at_high_control(self):
+        assert measure_vcdl_delay(0.75) < 0.5e-9
+
+    def test_dead_stage_returns_nan(self):
+        """Opening a stage inverter device kills the line: no output
+        transition (the signature the lock-detector BIST relies on)."""
+
+        def kill(c):
+            m = c["vcdl_MN0"]   # first stage pulldown
+            old = m.terminals["d"]
+            m.terminals["d"] = "f_open"
+            c.add_resistor("f_open", old, 1e9, name="F_OPEN")
+
+        d = measure_vcdl_delay(0.6, circuit_mutator=kill)
+        assert math.isnan(d) or d > 1e-9
+
+    def test_starve_open_kills_falling_path(self):
+        """Without bypass redundancy a starve open starves its stage:
+        the line no longer propagates at speed (BIST-detectable)."""
+
+        def degrade(c):
+            m = c["vcdl_MNS0"]
+            old = m.terminals["s"]
+            m.terminals["s"] = "f_open"
+            c.add_resistor("f_open", old, 1e14, name="F_OPEN")
+
+        slowed = measure_vcdl_delay(0.6, circuit_mutator=degrade)
+        assert math.isnan(slowed) or slowed > 0.4e-9
+
+    def test_control_compression_network_present(self):
+        """The range bounding lives in the resistive control network,
+        not in parallel signal devices (no masking redundancy)."""
+        from repro.analog import Circuit
+        from repro.circuits import build_vcdl
+
+        c = Circuit()
+        c.add_vsource("vdd", "0", 1.2, name="VDD")
+        ports = build_vcdl(c, "v", "a", "b", "vc")
+        assert "v_RCV" in c and "v_RCB1" in c and "v_RCB2" in c
+        # 2 bias + 4 per stage x 2 stages = 10 devices, no bypass FETs
+        assert len(ports.mission_devices) == 10

@@ -1,0 +1,120 @@
+"""Tests for the offset comparator (Fig 5) and window comparators
+(Figs 6, 9)."""
+
+import pytest
+
+from repro.analog import Circuit, dc_operating_point
+from repro.circuits import (
+    build_offset_comparator,
+    build_window_comparator,
+    comparator_output,
+    evaluate_cp_bist,
+    measure_trip_offset,
+    window_comparator_output,
+)
+
+
+class TestOffsetComparator:
+    def test_healthy_30mv_input_trips(self):
+        """Paper: fault-free comparator input is 30 mV > 15 mV offset."""
+        assert comparator_output(+30e-3) == 1
+
+    def test_zero_input_does_not_trip(self):
+        assert comparator_output(0.0) == 0
+
+    def test_negative_input_does_not_trip(self):
+        assert comparator_output(-30e-3) == 0
+
+    def test_positive_polarity_offset_in_range(self):
+        """Programmed offset lands near the paper's +15 mV (10..25 mV)."""
+        off = measure_trip_offset(offset_polarity=+1)
+        assert 10e-3 < off < 25e-3
+
+    def test_negative_polarity_offset_in_range(self):
+        off = measure_trip_offset(offset_polarity=-1)
+        assert -25e-3 < off < -8e-3
+
+    def test_mirrored_polarity_flips_sign(self):
+        assert comparator_output(-30e-3, offset_polarity=-1) == 0
+        assert comparator_output(+30e-3, offset_polarity=-1) == 1
+
+    def test_offset_stable_across_common_mode(self):
+        """0.55..0.65 V common mode moves the trip point < 10 mV."""
+        offs = [measure_trip_offset(v_cm=cm) for cm in (0.55, 0.60, 0.65)]
+        assert max(offs) - min(offs) < 10e-3
+
+    def test_device_inventory(self):
+        """Fig 5 structure: 5 OTA transistors + 2 inverter transistors."""
+        c = Circuit()
+        c.add_vsource("vdd", "0", 1.2, name="VDD")
+        c.add_vsource("a", "0", 0.6, name="VA")
+        c.add_vsource("b", "0", 0.6, name="VB")
+        ports = build_offset_comparator(c, "x", "a", "b", "out")
+        assert len(ports.devices) == 7
+
+    def test_wide_device_is_bigger(self):
+        """The paper's 0.8u/0.5u against 0.5u/0.5u mismatch is present."""
+        c = Circuit()
+        c.add_vsource("vdd", "0", 1.2, name="VDD")
+        c.add_vsource("a", "0", 0.6, name="VA")
+        c.add_vsource("b", "0", 0.6, name="VB")
+        build_offset_comparator(c, "x", "a", "b", "out")
+        w_inn = c["x_MINN"].w
+        w_inp = c["x_MINP"].w
+        assert w_inn == pytest.approx(0.8e-6)
+        assert w_inp == pytest.approx(0.5e-6)
+
+
+class TestWindowComparator:
+    def test_inside_window_is_00(self):
+        assert window_comparator_output(0.0) == (0, 0)
+
+    def test_above_window(self):
+        assert window_comparator_output(+40e-3) == (1, 0)
+
+    def test_below_window(self):
+        assert window_comparator_output(-40e-3) == (0, 1)
+
+    def test_healthy_signal_levels_resolve(self):
+        """+-30 mV (the design swing seen differentially) is outside."""
+        assert window_comparator_output(+30e-3) == (1, 0)
+        assert window_comparator_output(-30e-3) == (0, 1)
+
+    def test_never_both_asserted(self):
+        for vd in (-0.1, -0.02, 0.0, 0.02, 0.1):
+            hi, lo = window_comparator_output(vd)
+            assert not (hi and lo)
+
+    def test_device_count_is_two_comparators(self):
+        c = Circuit()
+        c.add_vsource("vdd", "0", 1.2, name="VDD")
+        c.add_vsource("a", "0", 0.6, name="VA")
+        c.add_vsource("b", "0", 0.6, name="VB")
+        ports = build_window_comparator(c, "w", "a", "b", "hi", "lo")
+        assert len(ports.devices) == 14
+
+
+class TestCPBistWindow:
+    def test_tracking_vp_passes(self):
+        """V_p within ~50 mV of V_c (healthy amp) -> no flag."""
+        v = evaluate_cp_bist(v_c=0.6, v_p=0.56)
+        assert not v.fault_flag
+
+    def test_drifted_vp_flags_high(self):
+        v = evaluate_cp_bist(v_c=0.6, v_p=0.95)
+        assert v.fault_flag
+        assert v.hi == 1
+
+    def test_drifted_vp_flags_low(self):
+        v = evaluate_cp_bist(v_c=0.6, v_p=0.2)
+        assert v.fault_flag
+        assert v.lo == 1
+
+    def test_window_wider_than_termination_window(self):
+        """150 mV window: +-100 mV should still be inside."""
+        assert not evaluate_cp_bist(v_c=0.6, v_p=0.7).fault_flag
+        assert not evaluate_cp_bist(v_c=0.6, v_p=0.5).fault_flag
+
+    def test_rail_drift_always_flagged(self):
+        assert evaluate_cp_bist(v_c=0.6, v_p=1.2).fault_flag
+        assert evaluate_cp_bist(v_c=0.6, v_p=0.0).fault_flag

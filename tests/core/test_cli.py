@@ -1,0 +1,73 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_eye_defaults(self):
+        args = build_parser().parse_args(["eye"])
+        assert args.rate == 2.5e9
+        assert args.length_mm == 10.0
+
+    def test_lock_options(self):
+        args = build_parser().parse_args(
+            ["lock", "--phase", "3", "--trace"])
+        assert args.phase == 3
+        assert args.trace
+
+    def test_netlist_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["netlist", "flux_capacitor"])
+
+
+class TestCommands:
+    def test_eye_passes_at_paper_point(self, capsys):
+        assert main(["eye"]) == 0
+        out = capsys.readouterr().out
+        assert "equalized" in out and "CLOSED" in out
+
+    def test_eye_fails_when_link_infeasible(self, capsys):
+        # 20 mm at 4 Gbps: even the FFE cannot keep the eye open
+        rc = main(["eye", "--rate", "4e9", "--length-mm", "20"])
+        assert rc == 1
+
+    def test_overhead(self, capsys):
+        assert main(["overhead", "-v"]) == 0
+        out = capsys.readouterr().out
+        assert "Flip-flop" in out and "provenance" in out
+
+    def test_dc(self, capsys):
+        assert main(["dc"]) == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_lock_with_trace(self, capsys):
+        assert main(["lock", "--phase", "2", "--trace"]) == 0
+        out = capsys.readouterr().out
+        assert "locked              : True" in out
+        assert "# t_ns vc_V phase_idx" in out
+
+    def test_netlist_to_stdout(self, capsys):
+        assert main(["netlist", "comparator"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("*")
+        assert ".end" in out
+
+    def test_netlist_to_file_roundtrips(self, tmp_path, capsys):
+        path = tmp_path / "vcdl.sp"
+        assert main(["netlist", "vcdl", "-o", str(path)]) == 0
+        from repro.analog import load_spice
+
+        c = load_spice(str(path))
+        assert len(c.elements_of_type(type(c["vcdl_MN0"]))) >= 10
+
+    def test_coverage_sampled(self, capsys):
+        assert main(["coverage", "--sample", "6", "--seed", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "Test tier" in out
+        assert "stratified sample" in out

@@ -1,0 +1,77 @@
+"""Tests for the text report renderers."""
+
+import pytest
+
+from repro.core.report import (
+    pct,
+    render_headline,
+    render_table,
+    render_table1,
+)
+from repro.core.results import CampaignSummary
+from repro.faults import CampaignResult, DetectionRecord, FaultKind, StructuralFault
+
+
+def make_summary():
+    """A tiny synthetic campaign covering every defect class."""
+    records = []
+    for i, kind in enumerate(FaultKind):
+        dev = f"d{i}"
+        rec = DetectionRecord(StructuralFault(dev, kind, "tx"),
+                              dc=(i % 2 == 0), scan=(i % 3 == 0),
+                              bist=(i % 2 == 1))
+        rec.errors = []
+        records.append(rec)
+    return CampaignSummary.from_result(CampaignResult(records))
+
+
+class TestRenderTable:
+    def test_column_alignment(self):
+        text = render_table(("a", "bb"), [("x", 1), ("yyyy", 22)])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        # separator row matches header widths
+        assert set(lines[1]) <= {"-", " "}
+
+    def test_title_prepended(self):
+        text = render_table(("c",), [(1,)], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_pct(self):
+        assert pct(0.504) == "50.4%"
+        assert pct(1.0) == "100.0%"
+
+
+class TestRenderHeadline:
+    def test_contains_three_tiers(self):
+        text = render_headline(make_summary())
+        for tier in ("DC test", "DC + scan", "DC + scan + BIST"):
+            assert tier in text
+
+    def test_paper_column_present(self):
+        text = render_headline(make_summary())
+        assert "50.4%" in text and "94.8%" in text
+
+
+class TestRenderTable1:
+    def test_all_defect_rows(self):
+        text = render_table1(make_summary())
+        for label in ("Gate open", "Drain open", "Capacitor short",
+                      "Total"):
+            assert label in text
+
+    def test_det_total_column(self):
+        text = render_table1(make_summary())
+        assert "1/1" in text or "0/1" in text
+
+
+class TestCampaignSummary:
+    def test_from_result_cumulative(self):
+        s = make_summary()
+        assert s.dc_coverage <= s.scan_coverage <= s.bist_coverage
+
+    def test_by_kind_totals(self):
+        s = make_summary()
+        total = sum(t for _, t, _ in
+                    ((d, t, c) for d, t, c in s.by_kind.values()))
+        assert total == len(list(FaultKind))

@@ -1,0 +1,109 @@
+"""Tests for the coverage accounting layer (no circuit simulation)."""
+
+import pytest
+
+from repro.dft.coverage import (
+    CoverageReport,
+    PAPER_TABLE1,
+    build_fault_universe,
+)
+from repro.faults import (
+    CampaignResult,
+    DetectionRecord,
+    FaultKind,
+    StructuralFault,
+    universe_summary,
+)
+
+
+@pytest.fixture(scope="module")
+def universe():
+    return build_fault_universe()
+
+
+class TestUniverseComposition:
+    def test_total_in_expected_band(self, universe):
+        assert 300 <= len(universe) <= 400
+
+    def test_block_sizes(self, universe):
+        s = universe_summary(universe)
+        assert s["by_block"]["tx"] == 76           # 12 FETs x6 + 4 caps
+        assert s["by_block"]["termination"] == 24  # 4 TG FETs x6
+        assert s["by_block"]["window_comp"] == 84  # 14 FETs x6
+        assert s["by_block"]["cp"] == 92           # 15 FETs x6 + 2 caps
+        assert s["by_block"]["vcdl"] == 60         # 10 FETs x6
+
+    def test_kind_balance(self, universe):
+        s = universe_summary(universe)
+        # each MOSFET kind appears once per device
+        assert s["by_kind"]["Gate open"] == s["by_kind"]["Drain open"]
+        assert s["by_kind"]["Capacitor short"] == 6
+
+    def test_roles_populated(self, universe):
+        missing = [f for f in universe if f.kind.table_label !=
+                   "Capacitor short" and not f.role]
+        assert missing == []
+
+
+class TestCoverageReportMath:
+    def _report(self, detected_flags):
+        """Build a synthetic report: one fault per defect class."""
+        records = []
+        for kind, flag in zip(FaultKind, detected_flags):
+            rec = DetectionRecord(StructuralFault("d", kind, "tx"),
+                                  dc=flag)
+            rec.errors = []
+            records.append(rec)
+        return CoverageReport(result=CampaignResult(records))
+
+    def test_tier_properties(self):
+        rep = self._report([True] * 7)
+        assert rep.dc == rep.scan == rep.bist == 1.0
+
+    def test_table1_rows_cover_paper_labels(self):
+        rep = self._report([True, False, True, False, True, False, True])
+        labels = [r[0] for r in rep.table1_rows()]
+        assert labels[:-1] == list(PAPER_TABLE1)
+        assert labels[-1] == "Total"
+
+    def test_total_row_consistent(self):
+        rep = self._report([True, False, True, False, True, False, True])
+        rows = rep.table1_rows()
+        total = rows[-1]
+        assert total[1] == sum(r[1] for r in rows[:-1])
+        assert total[2] == sum(r[2] for r in rows[:-1])
+
+    def test_formatters_render(self):
+        rep = self._report([True] * 7)
+        assert "Gate open" in rep.format_table1()
+        assert "DC test" in rep.format_headline()
+
+    def test_headline_rows_reference_paper(self):
+        rep = self._report([False] * 7)
+        rows = rep.headline_rows()
+        assert rows[0][2] == pytest.approx(0.504)
+        assert rows[2][2] == pytest.approx(0.948)
+
+
+class TestCampaignSetAlgebraAccounting:
+    def test_detected_by_is_per_tier_not_cumulative(self):
+        rec = DetectionRecord(
+            StructuralFault("x", FaultKind.DRAIN_OPEN, "cp"),
+            dc=True, scan=False, bist=True)
+        rec.errors = []
+        result = CampaignResult([rec])
+        assert result.detected_by("dc")
+        assert not result.detected_by("scan")
+        assert result.detected_by("bist")
+
+    def test_coverage_by_block(self):
+        recs = []
+        for i, blk in enumerate(("tx", "tx", "cp")):
+            r = DetectionRecord(
+                StructuralFault(f"d{i}", FaultKind.DRAIN_OPEN, blk),
+                dc=(i == 0))
+            r.errors = []
+            recs.append(r)
+        by_block = CampaignResult(recs).coverage_by_block()
+        assert by_block["tx"] == (1, 2, 0.5)
+        assert by_block["cp"] == (0, 1, 0.0)

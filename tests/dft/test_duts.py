@@ -1,0 +1,95 @@
+"""Tests for the shared DUT benches."""
+
+import pytest
+
+from repro.dft.duts import (
+    VC_HOLD,
+    build_receiver_dut,
+    build_toggle_dut,
+    build_vcdl_dut,
+)
+
+
+@pytest.fixture(scope="module")
+def dut():
+    return build_receiver_dut()
+
+
+class TestReceiverDUT:
+    def test_quiet_signature_is_all_clear(self, dut):
+        dut.set_condition()
+        op = dut.solve()
+        obs = dut.observe(op)
+        assert obs["converged"] == 1
+        assert (obs["win_hi"], obs["win_lo"]) == (0, 0)
+        assert (obs["bist_hi"], obs["bist_lo"]) == (0, 0)
+
+    def test_scan_up_drives_vc_high(self, dut):
+        dut.set_condition(scan=True, up=1)
+        op = dut.solve()
+        assert op.v("cp_vc") > 1.1
+        assert dut.observe(op)["win_hi"] == 1
+
+    def test_scan_dn_drives_vc_low(self, dut):
+        dut.set_condition(scan=True, dn=1)
+        op = dut.solve()
+        assert op.v("cp_vc") < 0.1
+        assert dut.observe(op)["win_lo"] == 1
+
+    def test_forced_mid_reads_in_window(self, dut):
+        """Section II-B: scan forces the window input mid -> '00'."""
+        dut.set_condition(scan=True, force_mid=True)
+        op = dut.solve()
+        obs = dut.observe(op)
+        assert (obs["win_hi"], obs["win_lo"]) == (0, 0)
+
+    def test_hold_pins_vc(self, dut):
+        dut.set_condition(hold=True)
+        op = dut.solve()
+        assert op.v("cp_vc") == pytest.approx(VC_HOLD, abs=0.02)
+
+    def test_hold_current_measures_pump(self, dut):
+        dut.set_condition(hold=True, up=1)
+        op = dut.solve()
+        i_up = dut.hold_current(op)
+        assert 0.5e-6 < abs(i_up) < 10e-6
+
+    def test_strong_pump_conditions(self, dut):
+        dut.set_condition(scan=True, up_st=1)
+        op = dut.solve()
+        assert op.v("cp_vc") > 1.1
+        dut.set_condition(scan=True, dn_st=1)
+        op = dut.solve()
+        assert op.v("cp_vc") < 0.1
+
+    def test_control_sources_have_driver_impedance(self, dut):
+        assert "RDRV_up_b" in dut.circuit
+        assert "RDRV_dn" in dut.circuit
+
+
+class TestToggleDUT:
+    def test_is_a_full_link(self):
+        td = build_toggle_dut()
+        assert "tx_p_weak_MP" in td.circuit
+        assert "term_tgp_MN" in td.circuit
+
+    def test_data_sources_toggle(self):
+        td = build_toggle_dut(toggle_freq=100e6)
+        wf = td.circuit["VDATA"].waveform
+        assert wf(1e-9) > 1.0      # high phase
+        assert wf(6e-9) < 0.2      # low phase
+        wfb = td.circuit["VDATAB"].waveform
+        assert wfb(1e-9) < 0.2
+
+
+class TestVCDLDUT:
+    def test_static_transfer_follows_input(self):
+        dut = build_vcdl_dut()
+        dut.set_input(0)
+        assert dut.observe() == 0
+        dut.set_input(1)
+        assert dut.observe() == 1
+
+    def test_ports_expose_mission_devices(self):
+        dut = build_vcdl_dut()
+        assert len(dut.ports.mission_devices) == 10

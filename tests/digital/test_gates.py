@@ -1,0 +1,131 @@
+"""Unit tests for combinational gates and 3-valued evaluation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.digital import Gate, LogicCircuit, Mux2, from_bits, to_bits
+
+
+def eval_gate(kind, values):
+    c = LogicCircuit()
+    ins = [f"i{k}" for k in range(len(values))]
+    for net, v in zip(ins, values):
+        c.add_input(net, v)
+    c.add_gate(kind, ins, "out")
+    c.settle()
+    return c.peek("out")
+
+
+class TestTruthTables:
+    @pytest.mark.parametrize("a,b,expect", [(0, 0, 0), (0, 1, 0), (1, 0, 0), (1, 1, 1)])
+    def test_and(self, a, b, expect):
+        assert eval_gate("and", [a, b]) == expect
+
+    @pytest.mark.parametrize("a,b,expect", [(0, 0, 1), (0, 1, 1), (1, 0, 1), (1, 1, 0)])
+    def test_nand(self, a, b, expect):
+        assert eval_gate("nand", [a, b]) == expect
+
+    @pytest.mark.parametrize("a,b,expect", [(0, 0, 0), (0, 1, 1), (1, 0, 1), (1, 1, 1)])
+    def test_or(self, a, b, expect):
+        assert eval_gate("or", [a, b]) == expect
+
+    @pytest.mark.parametrize("a,b,expect", [(0, 0, 1), (0, 1, 0), (1, 0, 0), (1, 1, 0)])
+    def test_nor(self, a, b, expect):
+        assert eval_gate("nor", [a, b]) == expect
+
+    @pytest.mark.parametrize("a,b,expect", [(0, 0, 0), (0, 1, 1), (1, 0, 1), (1, 1, 0)])
+    def test_xor(self, a, b, expect):
+        assert eval_gate("xor", [a, b]) == expect
+
+    @pytest.mark.parametrize("a,b,expect", [(0, 0, 1), (0, 1, 0), (1, 0, 0), (1, 1, 1)])
+    def test_xnor(self, a, b, expect):
+        assert eval_gate("xnor", [a, b]) == expect
+
+    @pytest.mark.parametrize("a,expect", [(0, 1), (1, 0)])
+    def test_inv(self, a, expect):
+        assert eval_gate("inv", [a]) == expect
+
+    @pytest.mark.parametrize("a", [0, 1])
+    def test_buf(self, a):
+        assert eval_gate("buf", [a]) == a
+
+    def test_three_input_and(self):
+        assert eval_gate("and", [1, 1, 1]) == 1
+        assert eval_gate("and", [1, 0, 1]) == 0
+
+
+class TestXPropagation:
+    def test_and_with_controlling_zero(self):
+        assert eval_gate("and", [0, None]) == 0
+
+    def test_and_with_x_undetermined(self):
+        assert eval_gate("and", [1, None]) is None
+
+    def test_or_with_controlling_one(self):
+        assert eval_gate("or", [1, None]) == 1
+
+    def test_xor_with_x_is_x(self):
+        assert eval_gate("xor", [1, None]) is None
+
+    def test_inv_of_x_is_x(self):
+        assert eval_gate("inv", [None]) is None
+
+
+class TestGateValidation:
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            Gate("g", "maj", ["a", "b"], "o")
+
+    def test_inv_arity(self):
+        with pytest.raises(ValueError):
+            Gate("g", "inv", ["a", "b"], "o")
+
+    def test_and_needs_two(self):
+        with pytest.raises(ValueError):
+            Gate("g", "and", ["a"], "o")
+
+
+class TestMux2:
+    @pytest.mark.parametrize("a,b,s,expect", [
+        (0, 1, 0, 0), (0, 1, 1, 1), (1, 0, 0, 1), (1, 0, 1, 0)])
+    def test_select(self, a, b, s, expect):
+        c = LogicCircuit()
+        for net, v in (("a", a), ("b", b), ("s", s)):
+            c.add_input(net, v)
+        c.add_mux2("a", "b", "s", "out")
+        c.settle()
+        assert c.peek("out") == expect
+
+    def test_x_select_equal_inputs(self):
+        c = LogicCircuit()
+        c.add_input("a", 1)
+        c.add_input("b", 1)
+        c.add_input("s", None)
+        c.add_mux2("a", "b", "s", "out")
+        c.settle()
+        assert c.peek("out") == 1
+
+    def test_x_select_different_inputs(self):
+        c = LogicCircuit()
+        c.add_input("a", 0)
+        c.add_input("b", 1)
+        c.add_input("s", None)
+        c.add_mux2("a", "b", "s", "out")
+        c.settle()
+        assert c.peek("out") is None
+
+
+class TestBitHelpers:
+    @given(st.integers(min_value=0, max_value=1023))
+    @settings(max_examples=30)
+    def test_roundtrip(self, v):
+        assert from_bits(to_bits(v, 10)) == v
+
+    def test_to_bits_overflow(self):
+        with pytest.raises(ValueError):
+            to_bits(4, 2)
+
+    def test_from_bits_rejects_x(self):
+        with pytest.raises(ValueError):
+            from_bits([1, None])

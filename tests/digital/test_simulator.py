@@ -1,0 +1,199 @@
+"""Unit tests for the logic simulator: settling, clocking, latches, forces."""
+
+import pytest
+
+from repro.digital import LogicCircuit, SimulationError
+
+
+class TestSettle:
+    def test_gate_chain_propagates(self):
+        c = LogicCircuit()
+        c.add_input("a", 1)
+        c.add_gate("inv", ["a"], "n1")
+        c.add_gate("inv", ["n1"], "n2")
+        c.add_gate("inv", ["n2"], "n3")
+        c.settle()
+        assert c.peek("n3") == 0
+
+    def test_oscillating_loop_raises(self):
+        c = LogicCircuit()
+        c.add_gate("inv", ["x"], "x2")
+        c.add_gate("buf", ["x2"], "x")
+        # ring oscillator: never settles
+        with pytest.raises(SimulationError, match="did not settle"):
+            # seed a concrete value so it actually toggles
+            c.values["x"] = 0
+            c.settle()
+
+    def test_stable_feedback_latch_settles(self):
+        """SR-style NOR latch with inputs holding it stable settles."""
+        c = LogicCircuit()
+        c.add_input("s", 0)
+        c.add_input("r", 1)  # reset asserted: q = 0
+        c.add_gate("nor", ["r", "qb"], "q")
+        c.add_gate("nor", ["s", "q"], "qb")
+        c.settle()
+        assert c.peek("q") == 0
+        assert c.peek("qb") == 1
+
+    def test_poke_requires_declared_input(self):
+        c = LogicCircuit()
+        c.add_gate("inv", ["a"], "b")
+        with pytest.raises(SimulationError):
+            c.poke("a", 1)
+
+    def test_peek_unknown_net(self):
+        c = LogicCircuit()
+        with pytest.raises(SimulationError):
+            c.peek("ghost")
+
+    def test_duplicate_component_name(self):
+        c = LogicCircuit()
+        c.add_gate("inv", ["a"], "b", name="g1")
+        with pytest.raises(SimulationError):
+            c.add_gate("inv", ["b"], "c", name="g1")
+
+
+class TestFlipFlops:
+    def test_dff_captures_on_tick(self):
+        c = LogicCircuit()
+        c.add_input("d", 1)
+        c.add_dff("d", "q")
+        c.settle()
+        assert c.peek("q") == 0  # init
+        c.tick()
+        assert c.peek("q") == 1
+
+    def test_shift_register_moves_one_per_tick(self):
+        c = LogicCircuit()
+        c.add_input("d", 1)
+        c.add_dff("d", "q1")
+        c.add_dff("q1", "q2")
+        c.add_dff("q2", "q3")
+        c.tick()
+        assert [c.peek("q1"), c.peek("q2"), c.peek("q3")] == [1, 0, 0]
+        c.poke("d", 0)
+        c.tick()
+        assert [c.peek("q1"), c.peek("q2"), c.peek("q3")] == [0, 1, 0]
+        c.tick()
+        assert [c.peek("q1"), c.peek("q2"), c.peek("q3")] == [0, 0, 1]
+
+    def test_synchronous_reset(self):
+        c = LogicCircuit()
+        c.add_input("d", 1)
+        c.add_input("rst", 0)
+        c.add_dff("d", "q", reset="rst")
+        c.tick()
+        assert c.peek("q") == 1
+        c.poke("rst", 1)
+        c.tick()
+        assert c.peek("q") == 0
+
+    def test_separate_clock_domains(self):
+        c = LogicCircuit()
+        c.add_input("d", 1)
+        c.add_dff("d", "qa", clock="clka")
+        c.add_dff("d", "qb", clock="clkb")
+        c.tick("clka")
+        assert c.peek("qa") == 1
+        assert c.peek("qb") == 0
+        c.tick("clkb")
+        assert c.peek("qb") == 1
+
+    def test_tick_cycles_argument(self):
+        c = LogicCircuit()
+        c.add_input("d", 1)
+        c.add_gate("xor", ["q", "d"], "nq")
+        c.add_dff("nq", "q")
+        c.tick(cycles=5)  # toggle flop: odd number of ticks -> 1
+        assert c.peek("q") == 1
+
+    def test_reset_state(self):
+        c = LogicCircuit()
+        c.add_input("d", 1)
+        c.add_dff("d", "q")
+        c.tick()
+        c.reset_state(0)
+        assert c.peek("q") == 0
+
+
+class TestLatch:
+    def test_transparent_when_enabled(self):
+        c = LogicCircuit()
+        c.add_input("d", 0)
+        c.add_input("en", 1)
+        c.add_latch("d", "q", "en")
+        c.settle()
+        assert c.peek("q") == 0
+        c.poke("d", 1)
+        c.settle()
+        assert c.peek("q") == 1
+
+    def test_holds_when_disabled(self):
+        c = LogicCircuit()
+        c.add_input("d", 1)
+        c.add_input("en", 1)
+        c.add_latch("d", "q", "en")
+        c.settle()
+        c.poke("en", 0)
+        c.poke("d", 0)
+        c.settle()
+        assert c.peek("q") == 1  # held
+
+
+class TestForces:
+    def test_force_overrides_driver(self):
+        c = LogicCircuit()
+        c.add_input("a", 1)
+        c.add_gate("buf", ["a"], "b")
+        c.force("b", 0)
+        c.settle()
+        assert c.peek("b") == 0
+
+    def test_release_restores(self):
+        c = LogicCircuit()
+        c.add_input("a", 1)
+        c.add_gate("buf", ["a"], "b")
+        c.force("b", 0)
+        c.settle()
+        c.release("b")
+        c.settle()
+        assert c.peek("b") == 1
+
+    def test_force_unknown_net_raises(self):
+        c = LogicCircuit()
+        with pytest.raises(SimulationError):
+            c.force("ghost", 1)
+
+    def test_force_propagates_downstream(self):
+        c = LogicCircuit()
+        c.add_input("a", 0)
+        c.add_gate("buf", ["a"], "b")
+        c.add_gate("inv", ["b"], "y")
+        c.force("b", 1)
+        c.settle()
+        assert c.peek("y") == 0
+
+
+class TestIntrospection:
+    def test_flops_by_clock(self):
+        c = LogicCircuit()
+        c.add_input("d")
+        c.add_dff("d", "q1", clock="a")
+        c.add_dff("d", "q2", clock="b")
+        assert len(c.flops()) == 2
+        assert len(c.flops("a")) == 1
+
+    def test_component_lookup(self):
+        c = LogicCircuit()
+        c.add_gate("inv", ["a"], "b", name="inv0")
+        assert c.component("inv0").name == "inv0"
+        with pytest.raises(SimulationError):
+            c.component("nope")
+
+    def test_snapshot_is_copy(self):
+        c = LogicCircuit()
+        c.add_input("a", 1)
+        snap = c.snapshot()
+        c.poke("a", 0)
+        assert snap["a"] == 1

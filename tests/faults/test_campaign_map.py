@@ -1,0 +1,145 @@
+"""Tests for the campaign machinery and the behavioural fault mapping."""
+
+import pytest
+
+from repro.faults import (
+    CampaignResult,
+    DetectionRecord,
+    FaultCampaign,
+    FaultKind,
+    StructuralFault,
+    map_fault_to_knobs,
+)
+
+
+def F(dev, kind, block="cp", role=""):
+    return StructuralFault(dev, kind, block, role)
+
+
+class TestCampaign:
+    def _universe(self):
+        return [F(f"d{i}", FaultKind.DRAIN_OPEN) for i in range(4)]
+
+    def test_tiers_run_in_order_and_accumulate(self):
+        campaign = FaultCampaign()
+        campaign.add_tier("dc", lambda f: f.device == "d0")
+        campaign.add_tier("scan", lambda f: f.device in ("d0", "d1"))
+        campaign.add_tier("bist", lambda f: f.device == "d2")
+        res = campaign.run(self._universe())
+        assert res.cumulative_coverage("dc") == 0.25
+        assert res.cumulative_coverage("scan") == 0.5
+        assert res.cumulative_coverage("bist") == 0.75
+        assert res.overall_coverage == 0.75
+
+    def test_applies_predicate_limits_tier(self):
+        campaign = FaultCampaign()
+        campaign.add_tier("dc", lambda f: True,
+                          applies=lambda f: f.device == "d3")
+        res = campaign.run(self._universe())
+        assert res.detected_by("dc") == {self._universe()[3]}
+
+    def test_invalid_tier_name(self):
+        campaign = FaultCampaign()
+        with pytest.raises(ValueError):
+            campaign.add_tier("turbo", lambda f: True)
+
+    def test_detector_exception_is_not_detection(self):
+        campaign = FaultCampaign()
+
+        def boom(fault):
+            raise RuntimeError("sim exploded")
+
+        campaign.add_tier("dc", boom)
+        res = campaign.run(self._universe()[:1])
+        assert res.overall_coverage == 0.0
+        assert res.records[0].errors
+
+    def test_set_algebra(self):
+        campaign = FaultCampaign()
+        campaign.add_tier("scan", lambda f: f.device in ("d0", "d1"))
+        campaign.add_tier("bist", lambda f: f.device in ("d1", "d2"))
+        res = campaign.run(self._universe())
+        assert res.sets_intersect_not_nested("scan", "bist")
+
+    def test_nested_sets_fail_the_claim(self):
+        campaign = FaultCampaign()
+        campaign.add_tier("scan", lambda f: f.device in ("d0", "d1"))
+        campaign.add_tier("bist", lambda f: f.device == "d1")
+        res = campaign.run(self._universe())
+        assert not res.sets_intersect_not_nested("scan", "bist")
+
+    def test_coverage_by_kind(self):
+        u = [F("a", FaultKind.DRAIN_OPEN), F("b", FaultKind.GATE_OPEN)]
+        campaign = FaultCampaign()
+        campaign.add_tier("dc", lambda f: f.kind == FaultKind.DRAIN_OPEN)
+        res = campaign.run(u)
+        by_kind = res.coverage_by_kind()
+        assert by_kind["Drain open"] == (1, 1, 1.0)
+        assert by_kind["Gate open"] == (0, 1, 0.0)
+
+    def test_progress_callback(self):
+        seen = []
+        campaign = FaultCampaign()
+        campaign.add_tier("dc", lambda f: False)
+        campaign.run(self._universe(), progress=lambda i, n: seen.append((i, n)))
+        assert seen == [(1, 4), (2, 4), (3, 4), (4, 4)]
+
+    def test_detection_record_first_tier(self):
+        r = DetectionRecord(F("x", FaultKind.DRAIN_OPEN), scan=True,
+                            bist=True)
+        assert r.first_tier() == "scan"
+        assert r.detected
+        assert DetectionRecord(F("x", FaultKind.DRAIN_OPEN)).first_tier() is None
+
+
+class TestBehaviorMap:
+    def test_weak_switch_open_kills_up_path(self):
+        k = map_fault_to_knobs(F("cp_wk_MSWU", FaultKind.DRAIN_OPEN,
+                                 role="cp_weak_sw"))
+        assert k == {"i_up_scale": 0.0}
+
+    def test_weak_switch_ds_short_leaks_up(self):
+        k = map_fault_to_knobs(F("cp_wk_MSWU", FaultKind.DRAIN_SOURCE_SHORT,
+                                 role="cp_weak_sw"))
+        assert k["leak_current"] < 0  # constant charge current
+
+    def test_source_gate_open_is_parametric_escape(self):
+        k = map_fault_to_knobs(F("cp_wk_MSRC", FaultKind.GATE_OPEN,
+                                 role="cp_weak_src"))
+        assert k is None
+
+    def test_source_ds_short_scales_current(self):
+        k = map_fault_to_knobs(F("cp_wk_MSRC", FaultKind.DRAIN_SOURCE_SHORT,
+                                 role="cp_weak_src"))
+        assert k == {"i_up_scale": 8.0}
+
+    def test_strong_switch_open_disables_strong_pump(self):
+        k = map_fault_to_knobs(F("cp_st_MSWU", FaultKind.DRAIN_OPEN,
+                                 role="cp_strong_sw"))
+        assert k == {"strong_up_dead": True}
+
+    def test_balance_fault_drifts_vp(self):
+        k = map_fault_to_knobs(F("cp_MBALP", FaultKind.SOURCE_OPEN,
+                                 role="cp_balance"))
+        assert k["vp_drift"] > 0
+        assert k["sampling_jitter_rms"] > 0
+
+    def test_amp_tail_gate_open_escapes(self):
+        k = map_fault_to_knobs(F("cp_amp_MT", FaultKind.GATE_OPEN,
+                                 role="cp_amp"))
+        assert k is None
+
+    def test_filter_cap_short_blocks_integration(self):
+        k = map_fault_to_knobs(F("cp_CVC", FaultKind.CAP_SHORT,
+                                 role="cp_filter"))
+        assert k["i_up_scale"] == 0.0 and k["i_dn_scale"] == 0.0
+
+    def test_vcdl_stage_fault_kills_clock(self):
+        k = map_fault_to_knobs(F("vcdl_MN0", FaultKind.DRAIN_OPEN,
+                                 block="vcdl", role="vcdl_stage"))
+        assert k == {"vcdl_dead": True}
+
+    def test_tx_faults_have_no_loop_knob(self):
+        k = map_fault_to_knobs(F("tx_p_weak_MP", FaultKind.DRAIN_OPEN,
+                                 block="tx", role="tx_weak"))
+        assert k is None

@@ -1,0 +1,67 @@
+"""Injection smoke tests across every mission block's netlists.
+
+Property: every fault in the universe injects cleanly into its block's
+bench and the faulted operating point either converges or fails in a
+bounded way (the campaign treats both as signal, never as a crash).
+"""
+
+import pytest
+
+from repro.analog import dc_operating_point
+from repro.dft.coverage import build_fault_universe
+from repro.dft.duts import build_receiver_dut, build_vcdl_dut
+from repro.faults import inject_fault, stratified_sample
+
+
+@pytest.fixture(scope="module")
+def universe():
+    return build_fault_universe()
+
+
+class TestInjectionTargets:
+    def test_link_faults_inject_into_full_link(self, universe):
+        from repro.circuits import build_full_link
+
+        sample = [f for f in stratified_sample(universe, 40, seed=9)
+                  if f.block in ("tx", "termination")]
+        assert sample
+        for fault in sample:
+            circuit = inject_fault(build_full_link().circuit, fault)
+            # injection adds at least one element (fault hardware)
+            assert any(e.name.startswith("FLT_") for e in circuit)
+
+    def test_receiver_faults_inject_into_receiver_dut(self, universe):
+        sample = [f for f in stratified_sample(universe, 40, seed=9)
+                  if f.block in ("cp", "window_comp")]
+        assert sample
+        for fault in sample:
+            dut = build_receiver_dut()
+            faulted = inject_fault(dut.circuit, fault)
+            assert any(e.name.startswith("FLT_") for e in faulted)
+
+    def test_vcdl_faults_inject_into_vcdl_dut(self, universe):
+        sample = [f for f in universe if f.block == "vcdl"][:12]
+        for fault in sample:
+            dut = build_vcdl_dut()
+            faulted = inject_fault(dut.circuit, fault)
+            assert any(e.name.startswith("FLT_") for e in faulted)
+
+    def test_faulted_receiver_solves_or_reports(self, universe):
+        """No fault may crash the solver: converged is a bool either way."""
+        sample = [f for f in stratified_sample(universe, 24, seed=3)
+                  if f.block in ("cp", "window_comp")][:8]
+        for fault in sample:
+            dut = build_receiver_dut()
+            dut.circuit = inject_fault(dut.circuit, fault)
+            dut.set_condition()
+            op = dut.solve()
+            assert op.converged in (True, False)
+
+    def test_fault_names_unique_per_injection(self, universe):
+        """Injected element names never collide with mission elements."""
+        from repro.circuits import build_full_link
+
+        fault = next(f for f in universe if f.block == "tx")
+        circuit = inject_fault(build_full_link().circuit, fault)
+        names = [e.name for e in circuit]
+        assert len(names) == len(set(names))

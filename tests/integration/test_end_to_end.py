@@ -1,0 +1,151 @@
+"""End-to-end integration tests across subsystem boundaries.
+
+These exercise the seams the unit suites cannot: calibration constants
+flowing from transistor benches into the behavioural loop, fault tiers
+agreeing on block ownership, and the public API wiring it all together.
+"""
+
+import math
+
+import pytest
+
+from repro import LinkConfig, TestableLink
+from repro.faults import FaultKind, StructuralFault
+
+
+@pytest.fixture(scope="module")
+def link():
+    return TestableLink(LinkConfig())
+
+
+class TestCalibrationConsistency:
+    """The behavioural loop parameters must match the transistor cells
+    they claim to be calibrated against."""
+
+    def test_vcdl_curve_matches_netlist(self):
+        from repro.circuits import measure_vcdl_delay
+        from repro.link import LinkParams
+
+        p = LinkParams()
+        for vc in (0.45, 0.60, 0.75):
+            measured = measure_vcdl_delay(vc)
+            assert p.vcdl_delay(vc) == pytest.approx(measured, abs=10e-12)
+
+    def test_pump_currents_match_netlist(self):
+        from repro.dft.duts import build_receiver_dut
+        from repro.link import LinkParams
+
+        p = LinkParams()
+        dut = build_receiver_dut()
+        dut.set_condition(hold=True, up=1)
+        i_up = abs(dut.hold_current(dut.solve()))
+        dut.set_condition(hold=True, dn=1)
+        i_dn = abs(dut.hold_current(dut.solve()))
+        assert p.i_up == pytest.approx(i_up, rel=0.1)
+        assert p.i_dn == pytest.approx(i_dn, rel=0.1)
+
+    def test_window_thresholds_match_netlist(self):
+        """The behavioural 0.45/0.75 window equals the measured trip
+        points of the wide window comparator on V_c."""
+        from repro.dft.bist import BISTTest
+        from repro.dft.dc_test import DCTest
+        from repro.link import LinkParams
+
+        dc = DCTest()
+        bist = BISTTest(retention_receiver=dc._retention_receiver)
+        th_lo, th_hi = bist._measure_window_thresholds(None)
+        p = LinkParams()
+        assert th_lo == pytest.approx(p.v_window_lo, abs=0.06)
+        assert th_hi == pytest.approx(p.v_window_hi, abs=0.06)
+
+    def test_comparator_offset_vs_channel_swing(self):
+        """DC-test geometry: healthy arm deviation must clear the
+        comparator trip with margin, and half of it must not."""
+        from repro.analog import dc_operating_point
+        from repro.circuits import build_full_link, measure_trip_offset
+
+        link = build_full_link()
+        link.apply_data(1)
+        op = dc_operating_point(link.circuit)
+        dev_p = op.v("rx_p") - op.v(link.term.vcm)
+        trip = measure_trip_offset(offset_polarity=+1)
+        assert dev_p > trip * 1.3          # healthy: solid margin
+        assert dev_p / 2 < trip * 1.3      # a halved arm is ambiguous+
+
+
+class TestTierOwnership:
+    """Every fault in the universe is observable by at least one tier
+    that claims its block."""
+
+    def test_every_block_has_a_tier(self, link):
+        from repro.dft.bist import BISTTest
+        from repro.dft.dc_test import DCTest
+        from repro.dft.scan_test import ScanTest
+
+        dc = link.dc_tier
+        scan = link.scan_tier
+        bist = link.bist_tier
+        for fault in link.fault_universe():
+            covered = (dc.applies_to(fault) or scan.applies_to(fault)
+                       or bist.applies_to(fault))
+            assert covered, fault
+
+    def test_universe_blocks_are_the_designed_five(self, link):
+        blocks = {f.block for f in link.fault_universe()}
+        assert blocks == {"tx", "termination", "cp", "window_comp",
+                          "vcdl"}
+
+    def test_universe_is_duplicate_free(self, link):
+        universe = link.fault_universe()
+        assert len({str(f) for f in universe}) == len(universe)
+
+
+class TestPublicApiSeams:
+    def test_sampled_campaign_tiers_are_cumulative(self, link):
+        summary = link.run_fault_campaign(sample=10, seed=11)
+        assert summary.dc_coverage <= summary.scan_coverage <= \
+            summary.bist_coverage
+
+    def test_config_propagates_to_loop(self):
+        cfg = LinkConfig(data_rate=1.25e9, n_dll_phases=8,
+                         divider_ratio=8)
+        link = TestableLink(cfg)
+        r = link.lock(initial_phase=2)
+        assert r.locked
+        # the loop really ran at the new operating point
+        assert r.final_phase_index < 8
+
+    def test_eye_and_lock_agree_on_bit_time(self):
+        cfg = LinkConfig(data_rate=2.0e9)
+        link = TestableLink(cfg)
+        eye = link.eye()
+        assert eye.bit_time == pytest.approx(cfg.bit_time)
+
+    def test_bist_with_injected_fault_matches_tier(self, link):
+        f = StructuralFault("cp_amp_MT", FaultKind.DRAIN_OPEN, "cp",
+                            "cp_amp")
+        res = link.run_bist(fault=f)
+        assert not res.passed               # the amp fault is caught
+        assert link.bist_tier.detect(f)     # ... by the same tier logic
+
+
+class TestScanChainGeometry:
+    """Section II-A: chain A length depends on the CDC selection."""
+
+    def test_chain_a_grows_with_full_cycle_selection(self):
+        from repro.link import ClockDomainCrossing, LinkParams
+
+        cdc = ClockDomainCrossing(LinkParams())
+        lengths = {cdc.scan_chain_a_extra_bits(k) for k in range(10)}
+        assert lengths == {0, 1}    # both selections occur across taps
+
+    def test_digital_chain_a_matches_paper_structure(self):
+        """TX(4) + PD(4) + CDC(1): the fabric's chain A is the paper's
+        data path."""
+        from repro.dft.digital_scan import build_digital_fabric
+
+        fab = build_digital_fabric()
+        names = [c.name for c in fab.chain_a.cells]
+        assert names[0] == "tx_ff_data"
+        assert names[-1] == "cdc_ff"
+        assert sum(1 for n in names if n.startswith("pd_")) == 4

@@ -1,0 +1,197 @@
+"""Tests for the gate-level link fabric: TX digital side, Alexander PD,
+ring counter, lock detector."""
+
+import pytest
+
+from repro.circuits import build_alexander_pd, pd_decision
+from repro.circuits.phase_detector import CLK_SAMPLE, CLK_SAMPLE_B
+from repro.digital import LogicCircuit
+from repro.link import build_lock_detector, build_ring_counter
+from repro.link.transmitter import CLK_TX, build_transmitter_digital
+
+
+class TestTransmitterDigital:
+    def _build(self):
+        c = LogicCircuit()
+        c.add_input("din", 0)
+        c.add_input("si", 0)
+        c.add_input("sen", 0)
+        c.add_input("hc_en", 0)
+        ports = build_transmitter_digital(c, "tx", "din", "si", "sen",
+                                          "hc_en")
+        return c, ports
+
+    def test_four_scan_cells(self):
+        _, ports = self._build()
+        assert len(ports.scan_cells) == 4
+
+    def test_data_propagates_through_latch(self):
+        c, ports = self._build()
+        c.poke("din", 1)
+        c.tick(CLK_TX)
+        assert c.peek(ports.to_driver) == 1  # latch transparent
+
+    def test_tap_is_one_cycle_delayed(self):
+        c, ports = self._build()
+        c.poke("din", 1)
+        c.tick(CLK_TX)
+        assert c.peek(ports.to_tap_driver) == 0
+        c.tick(CLK_TX)
+        assert c.peek(ports.to_tap_driver) == 1
+
+    def test_half_cycle_latch_holds_when_engaged(self):
+        c, ports = self._build()
+        c.poke("din", 1)
+        c.tick(CLK_TX)
+        assert c.peek(ports.to_driver) == 1
+        c.poke("hc_en", 1)   # engage: latch opaque
+        c.poke("din", 0)
+        c.tick(CLK_TX)
+        assert c.peek(ports.to_driver) == 1  # held
+
+    def test_probe_ffs_capture_driver_nodes(self):
+        c, ports = self._build()
+        c.poke("din", 1)
+        c.tick(CLK_TX)   # q_data=1, drv_main=0
+        c.tick(CLK_TX)   # probes capture
+        assert c.peek(ports.probe_main) == 0  # inverted data
+        # tap lags one more cycle
+        c.tick(CLK_TX)
+        assert c.peek(ports.probe_tap) == 0
+
+
+class TestAlexanderPDGateLevel:
+    def _build(self):
+        c = LogicCircuit()
+        c.add_input("din", 0)
+        c.add_input("si", 0)
+        c.add_input("sen", 0)
+        ports = build_alexander_pd(c, "pd", "din", "si", "sen")
+        return c, ports
+
+    def test_four_scan_cells(self):
+        _, ports = self._build()
+        assert len(ports.scan_cells) == 4
+
+    def test_up_when_edge_agrees_with_next_bit(self):
+        """Late sampling: the edge flop already caught the new bit."""
+        c, ports = self._build()
+        # preload: center_prev=0, edge=1, center=1
+        ports.scan_cells[0].state = 1   # center (bit n+1)
+        ports.scan_cells[1].state = 0   # center_prev (bit n)
+        ports.scan_cells[3].state = 1   # edge (retimed)
+        c.settle()
+        assert c.peek(ports.up) == 1
+        assert c.peek(ports.dn) == 0
+
+    def test_dn_when_edge_agrees_with_prev_bit(self):
+        c, ports = self._build()
+        ports.scan_cells[0].state = 1
+        ports.scan_cells[1].state = 0
+        ports.scan_cells[3].state = 0
+        c.settle()
+        assert c.peek(ports.up) == 0
+        assert c.peek(ports.dn) == 1
+
+    def test_no_transition_quiet(self):
+        c, ports = self._build()
+        for cell in ports.scan_cells:
+            cell.state = 1
+        c.settle()
+        assert c.peek(ports.up) == 0
+        assert c.peek(ports.dn) == 0
+
+    def test_sampling_clocks_are_separate_domains(self):
+        c, ports = self._build()
+        c.poke("din", 1)
+        c.tick(CLK_SAMPLE)
+        assert ports.scan_cells[0].state == 1   # center flop took it
+        assert ports.scan_cells[2].state == 0   # edge flop untouched
+        c.tick(CLK_SAMPLE_B)
+        assert ports.scan_cells[2].state == 1
+
+    def test_matches_reference_table(self):
+        for a in (0, 1):
+            for t in (0, 1):
+                for b in (0, 1):
+                    up, dn = pd_decision(a, t, b)
+                    assert up == (a ^ t)
+                    assert dn == (t ^ b)
+
+
+class TestRingCounterGateLevel:
+    def _build(self, n=4):
+        c = LogicCircuit()
+        c.add_input("si", 0)
+        c.add_input("sen", 0)
+        c.add_input("up", 1)
+        c.add_input("en", 0)
+        cells = build_ring_counter(c, "rc", n, "si", "sen", "up", "en")
+        return c, cells
+
+    def test_initial_state_one_hot(self):
+        c, cells = self._build()
+        assert [x.state for x in cells] == [1, 0, 0, 0]
+
+    def test_rotates_up_when_enabled(self):
+        c, cells = self._build()
+        c.poke("en", 1)
+        c.poke("up", 1)
+        c.tick("clk_div")
+        assert [x.state for x in cells] == [0, 1, 0, 0]
+        c.tick("clk_div")
+        assert [x.state for x in cells] == [0, 0, 1, 0]
+
+    def test_rotates_down(self):
+        c, cells = self._build()
+        c.poke("en", 1)
+        c.poke("up", 0)
+        c.tick("clk_div")
+        assert [x.state for x in cells] == [0, 0, 0, 1]
+
+    def test_holds_when_disabled(self):
+        c, cells = self._build()
+        c.poke("en", 0)
+        c.tick("clk_div", cycles=3)
+        assert [x.state for x in cells] == [1, 0, 0, 0]
+
+    def test_wraps_around(self):
+        c, cells = self._build()
+        c.poke("en", 1)
+        c.poke("up", 1)
+        c.tick("clk_div", cycles=4)
+        assert [x.state for x in cells] == [1, 0, 0, 0]
+
+
+class TestLockDetectorGateLevel:
+    def _build(self, bits=3):
+        c = LogicCircuit()
+        c.add_input("si", 0)
+        c.add_input("sen", 0)
+        c.add_input("req", 0)
+        cells = build_lock_detector(c, "ld", bits, "si", "sen", "req")
+        return c, cells
+
+    def _value(self, cells):
+        return sum((cell.state or 0) << i for i, cell in enumerate(cells))
+
+    def test_counts_requests(self):
+        c, cells = self._build()
+        c.poke("req", 1)
+        for expect in (1, 2, 3, 4, 5):
+            c.tick("clk_div")
+            assert self._value(cells) == expect
+
+    def test_holds_without_request(self):
+        c, cells = self._build()
+        c.poke("req", 1)
+        c.tick("clk_div", cycles=2)
+        c.poke("req", 0)
+        c.tick("clk_div", cycles=5)
+        assert self._value(cells) == 2
+
+    def test_saturates_at_seven(self):
+        c, cells = self._build()
+        c.poke("req", 1)
+        c.tick("clk_div", cycles=12)
+        assert self._value(cells) == 7

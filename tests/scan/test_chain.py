@@ -1,0 +1,112 @@
+"""Unit tests for scan chains: shifting, load/unload, capture."""
+
+import pytest
+
+from repro.digital import LogicCircuit, SimulationError
+from repro.scan import ScanChain
+
+
+def build_chain(n=4, with_logic=False):
+    """A chain of n cells; optionally an XOR cone feeding cell 0."""
+    c = LogicCircuit()
+    c.add_input("sen", 0)
+    c.add_input("sin", 0)
+    chain = ScanChain(c, "T", scan_in="sin", scan_enable="sen")
+    if with_logic:
+        c.add_input("a", 0)
+        c.add_input("b", 0)
+        c.add_gate("xor", ["a", "b"], "xor_out")
+        chain.append_cell("xor_out", "q0")
+        start = 1
+    else:
+        chain.append_cell("d0", "q0")
+        c.add_input("d0", 0)
+        start = 1
+    for i in range(start, n):
+        c.add_input(f"d{i}", 0)
+        chain.append_cell(f"d{i}", f"q{i}")
+    return c, chain
+
+
+class TestShift:
+    def test_chain_length(self):
+        _, chain = build_chain(5)
+        assert chain.length == 5
+        assert chain.scan_out_net == "q4"
+
+    def test_empty_chain_has_no_scan_out(self):
+        c = LogicCircuit()
+        chain = ScanChain(c, "E", scan_in="si", scan_enable="se")
+        with pytest.raises(SimulationError):
+            chain.scan_out_net
+
+    def test_load_unload_roundtrip(self):
+        _, chain = build_chain(4)
+        chain.load([1, 0, 1, 1])
+        assert chain.state() == [1, 0, 1, 1]
+        assert chain.unload() == [1, 0, 1, 1]
+
+    def test_shift_moves_one_bit_per_tick(self):
+        _, chain = build_chain(3)
+        chain.shift_in([1])
+        assert chain.state() == [1, 0, 0]
+        chain.shift_in([0])
+        assert chain.state() == [0, 1, 0]
+        chain.shift_in([0])
+        assert chain.state() == [0, 0, 1]
+
+    def test_shift_out_returns_scan_order(self):
+        _, chain = build_chain(3)
+        chain.load([1, 0, 1])  # cells[0]=1, cells[1]=0, cells[2]=1
+        out = chain.shift_out()
+        # scan-out order: last cell first
+        assert out == [1, 0, 1]
+
+    def test_load_validates_length(self):
+        _, chain = build_chain(3)
+        with pytest.raises(SimulationError):
+            chain.load([1, 0])
+
+    def test_shift_disables_enable_after(self):
+        c, chain = build_chain(3)
+        chain.shift_in([1, 1, 1])
+        assert c.peek("sen") == 0
+
+
+class TestCapture:
+    def test_capture_takes_functional_data(self):
+        c, chain = build_chain(4, with_logic=True)
+        c.poke("a", 1)
+        c.poke("b", 0)
+        chain.capture()
+        assert chain.state()[0] == 1  # xor(1,0)
+
+    def test_capture_not_shifting(self):
+        c, chain = build_chain(4, with_logic=True)
+        chain.load([0, 1, 1, 0])
+        c.poke("a", 1)
+        c.poke("b", 1)
+        for i in range(1, 4):
+            c.poke(f"d{i}", chain.state()[i])  # hold d = q
+        chain.capture()
+        st = chain.state()
+        assert st[0] == 0  # xor(1,1)
+        assert st[1:] == [1, 1, 0]  # captured their (held) D inputs
+
+
+class TestAdoptCell:
+    def test_adopt_rewires_scan_path(self):
+        c = LogicCircuit()
+        c.add_input("sen", 0)
+        c.add_input("sin", 0)
+        c.add_input("d", 0)
+        cell = c.add_scan_dff("d", "q", scan_in="unused", scan_enable="unused2",
+                              name="orphan")
+        c.add_input("unused", 0)
+        c.add_input("unused2", 0)
+        chain = ScanChain(c, "A", scan_in="sin", scan_enable="sen")
+        chain.adopt_cell(cell)
+        assert cell.scan_in == "sin"
+        assert cell.scan_enable == "sen"
+        chain.load([1])
+        assert cell.state == 1

@@ -1,0 +1,153 @@
+"""Unit tests for the scan controller protocol and the greedy ATPG."""
+
+import pytest
+
+from repro.digital import LogicCircuit
+from repro.scan import ScanChain, ScanController, generate_patterns
+
+
+def combo_dut():
+    """Small scan-wrapped cone: two scan cells feed an AND observed by a
+    third scan cell."""
+    c = LogicCircuit()
+    c.add_input("sen", 0)
+    c.add_input("sin", 0)
+    chain = ScanChain(c, "A", scan_in="sin", scan_enable="sen")
+    chain.append_cell("fb0", "q0")   # fb0/fb1 just hold state (loopback)
+    chain.append_cell("fb1", "q1")
+    c.add_gate("buf", ["q0"], "fb0")
+    c.add_gate("buf", ["q1"], "fb1")
+    c.add_gate("and", ["q0", "q1"], "and_out")
+    chain.append_cell("and_out", "q2")
+    return c, chain
+
+
+class TestController:
+    def test_run_pattern_pass(self):
+        c, chain = combo_dut()
+        ctrl = ScanController()
+        ctrl.register(chain)
+        res = ctrl.run_pattern("A", [1, 1, 0], expected=[1, 1, 1])
+        assert res.passed is True
+        assert res.captured == [1, 1, 1]
+
+    def test_run_pattern_dont_care(self):
+        c, chain = combo_dut()
+        ctrl = ScanController()
+        ctrl.register(chain)
+        res = ctrl.run_pattern("A", [1, 0, 0], expected=[None, None, 0])
+        assert res.passed is True
+
+    def test_run_pattern_fail_detected(self):
+        c, chain = combo_dut()
+        c.force("and_out", 1)  # stuck-at-1 on the AND output
+        ctrl = ScanController()
+        ctrl.register(chain)
+        res = ctrl.run_pattern("A", [0, 1, 0], expected=[0, 1, 0])
+        assert res.passed is False
+
+    def test_no_expectation_means_unknown(self):
+        c, chain = combo_dut()
+        ctrl = ScanController()
+        ctrl.register(chain)
+        res = ctrl.run_pattern("A", [0, 0, 0])
+        assert res.passed is None
+
+    def test_duplicate_chain_rejected(self):
+        c, chain = combo_dut()
+        ctrl = ScanController()
+        ctrl.register(chain)
+        with pytest.raises(ValueError):
+            ctrl.register(chain)
+
+    def test_run_test_set_and_all_passed(self):
+        c, chain = combo_dut()
+        ctrl = ScanController()
+        ctrl.register(chain)
+        results = ctrl.run_test_set("A", [
+            ([1, 1, 0], [1, 1, 1]),
+            ([0, 1, 0], [0, 1, 0]),
+        ])
+        assert ctrl.all_passed(results)
+
+
+class TestFlush:
+    def test_flush_passes_on_healthy_chain(self):
+        c, chain = combo_dut()
+        ctrl = ScanController()
+        ctrl.register(chain)
+        assert ctrl.flush_test("A") is True
+
+    def test_flush_fails_with_broken_cell(self):
+        c, chain = combo_dut()
+        # scan path break: cell 1's scan input stuck at 0
+        c.force("q0", 0)
+        ctrl = ScanController()
+        ctrl.register(chain)
+        assert ctrl.flush_test("A", pattern=[1, 1, 1]) is False
+
+    def test_flush_fails_when_chain_not_clocked(self):
+        """Paper's switch-matrix test: an unclocked chain fails flush."""
+        c, chain = combo_dut()
+        ctrl = ScanController()
+        ctrl.register(chain)
+
+        # simulate "no DLL phase selected": neuter tick for this domain by
+        # moving all cells to a clock that is never ticked
+        for cell in chain.cells:
+            cell.clock = "dead_clk"
+        assert ctrl.flush_test("A", pattern=[1, 0, 1]) is False
+
+    def test_custom_flush_pattern(self):
+        c, chain = combo_dut()
+        ctrl = ScanController()
+        ctrl.register(chain)
+        assert ctrl.flush_test("A", pattern=[1, 1, 0]) is True
+
+
+class TestATPG:
+    def test_full_coverage_on_xor_cone(self):
+        def factory():
+            c = LogicCircuit()
+            c.add_input("a", 0)
+            c.add_input("b", 0)
+            c.add_gate("xor", ["a", "b"], "y")
+            return c
+
+        patterns, coverage = generate_patterns(factory, ["a", "b"], ["y"])
+        assert coverage == 1.0
+        assert 1 <= len(patterns) <= 4
+
+    def test_compaction_keeps_few_patterns(self):
+        def factory():
+            c = LogicCircuit()
+            for n in ("a", "b", "ci"):
+                c.add_input(n, 0)
+            # full adder
+            c.add_gate("xor", ["a", "b"], "p")
+            c.add_gate("xor", ["p", "ci"], "sum")
+            c.add_gate("and", ["a", "b"], "g")
+            c.add_gate("and", ["p", "ci"], "pc")
+            c.add_gate("or", ["g", "pc"], "cout")
+            return c
+
+        patterns, coverage = generate_patterns(
+            factory, ["a", "b", "ci"], ["sum", "cout"])
+        assert coverage == 1.0
+        assert len(patterns) <= 6  # far fewer than 8 exhaustive
+
+    def test_random_mode_for_wide_inputs(self):
+        def factory():
+            c = LogicCircuit()
+            ins = [f"i{k}" for k in range(10)]
+            for n in ins:
+                c.add_input(n, 0)
+            c.add_gate("and", ins[:5], "y1")
+            c.add_gate("or", ins[5:], "y2")
+            c.add_gate("xor", ["y1", "y2"], "y")
+            return c
+
+        ins = [f"i{k}" for k in range(10)]
+        patterns, coverage = generate_patterns(factory, ins, ["y"],
+                                               max_random=128)
+        assert coverage > 0.9

@@ -1,0 +1,122 @@
+"""Tests for the foreground baseline ([4]) and drift tracking."""
+
+import pytest
+
+from repro.link import LinkParams
+from repro.synchronizer.baseline import (
+    ForegroundReceiver,
+    quantization_error_sweep,
+)
+from repro.synchronizer.drift import (
+    DriftComparison,
+    compare_under_drift,
+    linear_drift,
+    run_background_through_drift,
+    run_foreground_through_drift,
+    sinusoidal_drift,
+)
+
+
+class TestForegroundBaseline:
+    def test_uncalibrated_receiver_raises(self):
+        rx = ForegroundReceiver()
+        with pytest.raises(RuntimeError):
+            rx.sampling_phase()
+
+    def test_calibration_picks_best_tap(self):
+        rx = ForegroundReceiver()
+        rx.calibrate()
+        # the chosen tap must be at least as good as every other tap
+        for k in range(rx.params.n_phases):
+            alt = ForegroundReceiver(params=rx.params)
+            alt.chosen_tap = k
+            assert abs(rx.phase_error()) <= abs(alt.phase_error()) + 1e-15
+
+    def test_residual_error_within_quantization_bound(self):
+        rx = ForegroundReceiver()
+        cal = rx.calibrate()
+        assert cal.residual_error <= rx.quantization_bound + 1e-15
+
+    def test_calibration_takes_the_link_offline(self):
+        rx = ForegroundReceiver()
+        cal = rx.calibrate()
+        assert cal.offline_cycles == 10 * rx.cycles_per_tap
+        assert cal.offline_cycles > 0   # "breaking normal operation"
+
+    def test_quantization_sweep_reaches_the_bound(self):
+        """Worst-case eye position leaves half a phase step of error —
+        the [4] limitation the paper quotes."""
+        errs = quantization_error_sweep(steps=40)
+        worst = max(abs(e) for e in errs)
+        bound = ForegroundReceiver().quantization_bound
+        assert worst == pytest.approx(bound, rel=0.15)
+        # and the error is a sawtooth: both signs appear
+        assert min(errs) < 0 < max(errs)
+
+    def test_background_loop_beats_quantization(self):
+        """The paper's receiver nulls the error the baseline cannot."""
+        from repro.synchronizer import run_synchronizer
+
+        r = run_synchronizer(LinkParams(initial_phase_index=0))
+        assert abs(r.phase_error) < ForegroundReceiver().quantization_bound / 4
+
+    def test_in_margin_logic(self):
+        rx = ForegroundReceiver()
+        rx.calibrate()
+        assert rx.in_margin(rx.params.eye_center)
+        shifted = (rx.params.eye_center
+                   + rx.params.eye_half_width * 1.5) % rx.params.bit_time
+        assert not rx.in_margin(shifted)
+
+
+class TestDriftScenarios:
+    def test_linear_drift_shape(self):
+        d = linear_drift(2e-6)
+        assert d(0.0) == 0.0
+        assert d(1e-6) == pytest.approx(2e-12)
+
+    def test_sinusoidal_drift_shape(self):
+        d = sinusoidal_drift(amplitude=50e-12, period=10e-6)
+        assert d(0.0) == pytest.approx(0.0, abs=1e-18)
+        assert d(2.5e-6) == pytest.approx(50e-12, rel=1e-6)
+
+    def test_background_tracks_slow_drift(self):
+        res = run_background_through_drift(linear_drift(2e-6),
+                                           duration=10e-6)
+        assert res.stays_in_margin
+        assert res.max_abs_error < 30e-12   # stays near the eye centre
+
+    def test_foreground_accumulates_drift(self):
+        res = run_foreground_through_drift(linear_drift(8e-6),
+                                           duration=30e-6)
+        assert not res.stays_in_margin      # 240 ps > the 140 ps margin
+
+    def test_comparison_demonstrates_the_papers_argument(self):
+        cmp = compare_under_drift(linear_drift(8e-6), duration=30e-6)
+        assert cmp.background_tracks
+        assert cmp.foreground_fails
+        assert cmp.advantage_demonstrated
+
+    def test_background_takes_coarse_steps_through_large_drift(self):
+        """Drift beyond the VCDL range forces background coarse steps —
+        without interrupting service."""
+        p = LinkParams()
+        res = run_background_through_drift(linear_drift(8e-6),
+                                           duration=30e-6, params=p)
+        # 240 ps of drift with a 58 ps fine range: must have re-stepped,
+        # and the error stayed bounded the whole way
+        assert res.max_abs_error < p.eye_half_width
+
+    def test_sinusoidal_wander_tracked(self):
+        res = run_background_through_drift(
+            sinusoidal_drift(amplitude=30e-12, period=8e-6),
+            duration=16e-6)
+        assert res.stays_in_margin
+
+    def test_result_accessors_on_empty(self):
+        from repro.synchronizer.drift import DriftRunResult
+
+        empty = DriftRunResult(time=[], error=[], eye_margin=1e-12)
+        assert empty.max_abs_error == 0.0
+        assert empty.fraction_out_of_margin == 0.0
+        assert empty.stays_in_margin

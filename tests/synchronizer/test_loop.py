@@ -1,0 +1,159 @@
+"""Tests for the closed-loop synchronizer (the Fig 2 machinery)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.link import LinkParams
+from repro.synchronizer import (
+    LOCK_BUDGET_S,
+    SynchronizerLoop,
+    coarse_correction_bound,
+    jitter_from_vp_drift,
+    lock_sweep,
+    run_synchronizer,
+    sampling_jitter_knob,
+)
+
+
+class TestHealthyLock:
+    def test_locks_from_default_start(self):
+        r = run_synchronizer()
+        assert r.locked
+        assert r.bist_pass
+
+    def test_phase_error_small_after_lock(self):
+        r = run_synchronizer()
+        assert abs(r.phase_error) < 0.1 * LinkParams().bit_time
+
+    def test_final_vc_in_window(self):
+        r = run_synchronizer()
+        p = LinkParams()
+        assert p.v_window_lo <= r.final_vc <= p.v_window_hi
+
+    @pytest.mark.parametrize("start", [0, 2, 5, 8])
+    def test_locks_from_any_phase(self, start):
+        r = run_synchronizer(LinkParams(initial_phase_index=start))
+        assert r.locked and r.bist_pass
+
+    def test_lock_within_paper_budget_all_phases(self):
+        """Section III: lock within 2 us from any initial condition."""
+        sweep = lock_sweep()
+        assert sweep.all_within_budget
+        assert sweep.worst_lock_time <= LOCK_BUDGET_S
+
+    def test_coarse_corrections_within_bound(self):
+        """No more than n_phases/2 corrections from any start."""
+        sweep = lock_sweep()
+        assert sweep.max_coarse_corrections <= coarse_correction_bound()
+
+    def test_far_phase_needs_more_corrections(self):
+        near = run_synchronizer(LinkParams(initial_phase_index=0))
+        far = run_synchronizer(LinkParams(initial_phase_index=5))
+        assert far.coarse_corrections > near.coarse_corrections
+
+    def test_trace_records_fig2_series(self):
+        r = run_synchronizer(LinkParams(initial_phase_index=5))
+        t, vc, idx, phase = r.trace.as_arrays()
+        assert len(t) == len(vc) == len(idx)
+        # V_c stays within the rails and visits the window bounds
+        assert vc.min() >= 0.0 and vc.max() <= 1.2
+        # the coarse phase actually staircases (several distinct values)
+        assert len(set(idx.tolist())) >= 3
+
+    def test_vc_sawtooth_present(self):
+        """During acquisition V_c repeatedly hits a window bound and is
+        reset: its trace has multiple local extrema near the bound."""
+        p = LinkParams(initial_phase_index=5)
+        r = run_synchronizer(p)
+        t, vc, _, _ = r.trace.as_arrays()
+        crossings = np.sum((vc[:-1] < p.v_window_hi)
+                           & (vc[1:] >= p.v_window_hi)) + \
+            np.sum((vc[:-1] > p.v_window_lo) & (vc[1:] <= p.v_window_lo))
+        assert r.coarse_corrections >= 2
+        assert crossings >= r.coarse_corrections - 1
+
+    def test_deterministic_for_same_seed(self):
+        r1 = run_synchronizer(seed=11)
+        r2 = run_synchronizer(seed=11)
+        assert r1.lock_time == r2.lock_time
+        assert r1.trace.vc == r2.trace.vc
+
+
+class TestFaultyLoopBehaviour:
+    def test_dead_vcdl_never_locks(self):
+        r = run_synchronizer(LinkParams(vcdl_dead=True))
+        assert not r.locked
+        assert not r.bist_pass
+
+    def test_stuck_pd_up_fails(self):
+        r = run_synchronizer(LinkParams(pd_stuck="up"))
+        assert not r.bist_pass
+
+    def test_quiet_pd_fails(self):
+        r = run_synchronizer(LinkParams(pd_stuck="quiet"))
+        assert not r.bist_pass
+
+    def test_dead_up_pump_fails(self):
+        r = run_synchronizer(LinkParams(i_up_scale=0.0,
+                                        initial_phase_index=3))
+        assert not r.bist_pass
+
+    def test_stuck_ring_counter_fails_when_correction_needed(self):
+        r = run_synchronizer(LinkParams(ring_counter_stuck=True,
+                                        initial_phase_index=5))
+        assert not r.bist_pass
+
+    def test_dead_divider_fails(self):
+        """No coarse clock: window never evaluated, no lock declared."""
+        r = run_synchronizer(LinkParams(divider_dead=True,
+                                        initial_phase_index=5))
+        assert not r.bist_pass
+
+    def test_dead_strong_pump_fails_when_needed(self):
+        r = run_synchronizer(LinkParams(strong_dn_dead=True,
+                                        strong_up_dead=True,
+                                        initial_phase_index=5))
+        assert not r.bist_pass
+
+    def test_window_stuck_high_fails(self):
+        r = run_synchronizer(LinkParams(window_hi_stuck=1))
+        assert not r.bist_pass
+
+    def test_dead_switch_phase_fails_if_path_crosses_it(self):
+        """The loop walks through the dead phase and loses its clock."""
+        r = run_synchronizer(LinkParams(initial_phase_index=2,
+                                        switch_matrix_dead_phase=1))
+        assert not r.bist_pass
+
+    def test_heavy_jitter_still_locks_but_noisier(self):
+        """Moderate V_p-induced jitter does not break lock (the paper's
+        point: such faults degrade margin, caught by CP-BIST not the
+        lock detector)."""
+        knob = sampling_jitter_knob(0.4)
+        r = run_synchronizer(LinkParams(sampling_jitter_rms=knob))
+        assert r.locked
+
+    def test_small_leak_tolerated(self):
+        r = run_synchronizer(LinkParams(leak_current=0.05e-6))
+        assert r.locked
+
+
+class TestJitterModel:
+    def test_zero_drift_zero_jitter(self):
+        est = jitter_from_vp_drift(0.0)
+        assert est.jitter_rms == 0.0
+
+    def test_jitter_monotone_in_drift(self):
+        j1 = jitter_from_vp_drift(0.1).jitter_rms
+        j2 = jitter_from_vp_drift(0.4).jitter_rms
+        assert j2 > j1 > 0.0
+
+    def test_jitter_fraction_of_ui_reasonable(self):
+        est = jitter_from_vp_drift(0.5)
+        assert est.jitter_ui < 0.5
+
+    def test_knob_equals_estimate(self):
+        assert sampling_jitter_knob(0.3) == pytest.approx(
+            jitter_from_vp_drift(0.3).jitter_rms)
