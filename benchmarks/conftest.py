@@ -6,18 +6,29 @@ once per session and is cached here; the bench that owns it
 (``test_bench_table1_coverage``) times the full run, the others time
 their own analysis on the cached result.
 
-Set ``REPRO_CAMPAIGN_SAMPLE=<n>`` to run the campaign on a random
-*n*-fault sample (coarser percentages, much faster smoke runs).
+Environment knobs:
+
+* ``REPRO_CAMPAIGN_SAMPLE=<n>`` — run the campaign on a random *n*-fault
+  sample (coarser percentages, much faster smoke runs);
+* ``REPRO_CAMPAIGN_WORKERS=<n>`` — fan the campaign out over *n* worker
+  processes (results are identical to a serial run).
+
+Every session also writes ``BENCH_PR1.json`` next to this file: per-bench
+wall time plus the engine's profiling counters, so performance PRs have a
+before/after record.
 """
 
 from __future__ import annotations
 
+import json
 import os
 import random
+import time
 
 import pytest
 
 _campaign_cache = {}
+_bench_times = {}
 
 
 def get_campaign_report():
@@ -30,10 +41,36 @@ def get_campaign_report():
         if sample:
             n = min(int(sample), len(universe))
             universe = random.Random(2016).sample(universe, n)
-        _campaign_cache["report"] = run_paper_campaign(universe)
+        workers = int(os.environ.get("REPRO_CAMPAIGN_WORKERS", "0")) or None
+        _campaign_cache["report"] = run_paper_campaign(universe,
+                                                       workers=workers)
     return _campaign_cache["report"]
 
 
 @pytest.fixture(scope="session")
 def campaign_report():
     return get_campaign_report()
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    t0 = time.perf_counter()
+    yield
+    _bench_times[item.nodeid] = round(time.perf_counter() - t0, 4)
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not _bench_times:
+        return
+    from repro.core.profiling import COUNTERS
+
+    payload = {
+        "campaign_sample": os.environ.get("REPRO_CAMPAIGN_SAMPLE"),
+        "campaign_workers": os.environ.get("REPRO_CAMPAIGN_WORKERS"),
+        "bench_wall_s": _bench_times,
+        "counters": COUNTERS.snapshot(),
+    }
+    path = os.path.join(os.path.dirname(__file__), "BENCH_PR1.json")
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")

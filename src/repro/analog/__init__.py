@@ -7,6 +7,7 @@ why this substitutes for the paper's UMC 130 nm + commercial-SPICE flow.
 """
 
 from .ac import ACResult, ac_analysis, logspace_freqs
+from .assembly import CompiledAssembly, LinearSolverCache, get_compiled
 from .corners import (
     ALL_CORNERS,
     FF,
@@ -74,6 +75,7 @@ from .transient import (
 
 __all__ = [
     "ACResult", "ac_analysis", "logspace_freqs",
+    "CompiledAssembly", "LinearSolverCache", "get_compiled",
     "ALL_CORNERS", "FF", "FS", "MismatchSpec", "ProcessCorner", "SF",
     "SS", "TT", "get_corner", "monte_carlo", "sweep_corners",
     "EdgeSummary", "MeasureError", "crossings", "fall_time", "overshoot",

@@ -82,12 +82,18 @@ def ac_analysis(circuit: Circuit, input_source: str,
 
     src.ac_magnitude = 1.0
     try:
+        # Every stamp is affine in omega (only capacitor susceptances
+        # depend on it, linearly), so two reference assemblies pin down
+        # the whole sweep: A(w) = A0 + j*w*C.
+        xz = np.zeros(n_total, dtype=complex)
+        A0, b = assemble(circuit, node_index, n_total, xz, "ac",
+                         xop=xop, omega=0.0, dtype=complex)
+        A1, _ = assemble(circuit, node_index, n_total, xz, "ac",
+                         xop=xop, omega=1.0, dtype=complex)
+        cmat = (A1 - A0).imag
         for k, f in enumerate(freqs):
             omega = 2.0 * np.pi * f
-            A, b = assemble(circuit, node_index, n_total,
-                            np.zeros(n_total, dtype=complex), "ac",
-                            xop=xop, omega=omega, dtype=complex)
-            x = solve_linear(A, b)
+            x = solve_linear(A0 + (1j * omega) * cmat, b)
             for name, i in node_index.items():
                 waves[name][k] = x[i]
     finally:

@@ -15,9 +15,11 @@ from typing import Dict, Optional
 
 import numpy as np
 
+from .._profiling import COUNTERS
+from .assembly import get_compiled
 from .devices import CurrentSource, VoltageSource
 from .netlist import Circuit
-from .solver import SolverError, assemble, build_index, node_voltages, solve_linear
+from .solver import SolverError, build_index, node_voltages
 
 MAX_NEWTON_ITER = 200
 VOLTAGE_TOL = 1e-9
@@ -54,11 +56,14 @@ def _newton(circuit: Circuit, node_index, n_total, x0, gmin: float,
     """Damped Newton iteration; returns (x, converged, iterations)."""
     x = x0.copy()
     scaled = _scale_sources(circuit, source_scale)
+    compiled = get_compiled(circuit, "dc", node_index=node_index,
+                            n_total=n_total, gmin=gmin)
     try:
         for it in range(1, max_iter + 1):
-            A, b = assemble(circuit, node_index, n_total, x, "dc", gmin=gmin)
+            COUNTERS.newton_iterations += 1
+            A, b = compiled.assemble(x)
             try:
-                x_new = solve_linear(A, b)
+                x_new = compiled.solve(A, b)
             except SolverError:
                 return x, False, it
             dx = x_new - x

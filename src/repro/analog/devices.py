@@ -27,6 +27,13 @@ from typing import Dict, Optional
 
 import numpy as np
 
+GROUND_NAMES = ("0", "gnd", "GND", "vss", "VSS")
+
+
+def is_ground(node: str) -> bool:
+    """Return True when *node* names the ground reference."""
+    return node in GROUND_NAMES
+
 
 class StampContext:
     """Assembly state handed to each element's ``stamp`` method.
@@ -68,9 +75,7 @@ class StampContext:
 
     def idx(self, node: str) -> int:
         """Matrix row/column of *node*, or -1 for ground."""
-        from .netlist import is_ground
-
-        if is_ground(node):
+        if node in GROUND_NAMES:
             return -1
         return self.node_index[node]
 

@@ -95,6 +95,18 @@ class MOSFET(Element):
     def is_nmos(self) -> bool:
         return self.params.polarity == "n"
 
+    def ekv_params(self):
+        """``(sign, vt0, slope_n, beta, lam)`` for the vectorised fast path.
+
+        ``beta`` folds the geometry in (``2 n K (W/L) phi_t^2``); the
+        compiled assembler reads these once per plan, so parameter edits
+        after a solve require ``Circuit.touch()``.
+        """
+        p = self.params
+        sign = 1.0 if p.polarity == "n" else -1.0
+        beta = 2.0 * p.slope_n * p.kp * (self.w / self.l) * PHI_T * PHI_T
+        return sign, p.vt0, p.slope_n, beta, p.lam
+
     def ids(self, vg: float, vd: float, vs: float, vb: float = 0.0):
         """Drain current and small-signal derivatives.
 

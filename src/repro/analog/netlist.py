@@ -18,6 +18,7 @@ import copy
 from typing import Dict, Iterable, Iterator, List, Optional
 
 from .devices import (
+    GROUND_NAMES,
     Capacitor,
     CurrentSource,
     Diode,
@@ -26,15 +27,9 @@ from .devices import (
     Switch,
     VoltageControlledVoltageSource,
     VoltageSource,
+    is_ground,
 )
 from .mosfet import MOSFET, MOSParams, NMOS_130, PMOS_130
-
-GROUND_NAMES = ("0", "gnd", "GND", "vss", "VSS")
-
-
-def is_ground(node: str) -> bool:
-    """Return True when *node* names the ground reference."""
-    return node in GROUND_NAMES
 
 
 class CircuitError(Exception):
@@ -54,6 +49,8 @@ class Circuit:
         self.name = name
         self._elements: Dict[str, Element] = {}
         self._counter = 0
+        self._revision = 0
+        self._compiled_cache: Dict = {}
 
     # ------------------------------------------------------------------
     # element management
@@ -69,14 +66,27 @@ class Circuit:
                 f"duplicate element name {element.name!r} in circuit {self.name!r}"
             )
         self._elements[element.name] = element
+        self.touch()
         return element
 
     def remove(self, name: str) -> Element:
         """Remove and return the element called *name*."""
         try:
-            return self._elements.pop(name)
+            elem = self._elements.pop(name)
         except KeyError:
             raise CircuitError(f"no element named {name!r} in {self.name!r}") from None
+        self.touch()
+        return elem
+
+    def touch(self) -> None:
+        """Invalidate compiled assembly plans after a structural edit.
+
+        ``add``/``remove`` call this automatically; callers that rewire
+        terminals or mutate element parameters in place between solves
+        must call it themselves.
+        """
+        self._revision += 1
+        self._compiled_cache.clear()
 
     def __getitem__(self, name: str) -> Element:
         try:
@@ -112,8 +122,17 @@ class Circuit:
         return sorted(seen)
 
     def clone(self, name: Optional[str] = None) -> "Circuit":
-        """Deep-copy the circuit (used by the fault injector)."""
-        dup = copy.deepcopy(self)
+        """Deep-copy the circuit (used by the fault injector).
+
+        The compiled-assembly cache is dropped on the copy: clones exist
+        to be mutated (faults, corners), so inherited plans would go
+        stale silently.
+        """
+        cache, self._compiled_cache = self._compiled_cache, {}
+        try:
+            dup = copy.deepcopy(self)
+        finally:
+            self._compiled_cache = cache
         dup.name = name or f"{self.name}_copy"
         return dup
 

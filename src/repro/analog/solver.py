@@ -6,6 +6,7 @@ from typing import Dict, List, Tuple
 
 import numpy as np
 
+from .._profiling import COUNTERS
 from .devices import StampContext
 from .netlist import Circuit, is_ground
 
@@ -36,7 +37,13 @@ def assemble(circuit: Circuit, node_index: Dict[str, int], n_total: int,
              xop=None, omega: float = 0.0, method: str = "be",
              time: float = 0.0, gmin: float = 1e-12,
              dtype=float) -> Tuple[np.ndarray, np.ndarray]:
-    """Assemble the MNA system ``A @ x_new = b`` linearised at *x*."""
+    """Assemble the MNA system ``A @ x_new = b`` linearised at *x*.
+
+    This is the reference per-element stamp loop.  The hot analyses go
+    through :class:`repro.analog.assembly.CompiledAssembly` instead and
+    fall back here only for element types the fast path doesn't know.
+    """
+    COUNTERS.assemblies_legacy += 1
     A = np.zeros((n_total, n_total), dtype=dtype)
     b = np.zeros(n_total, dtype=dtype)
     ctx = StampContext(A, b, x, node_index, mode, dt=dt, xprev=xprev,

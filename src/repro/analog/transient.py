@@ -14,9 +14,11 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
+from .._profiling import COUNTERS
+from .assembly import get_compiled
 from .dc import MAX_STEP, VOLTAGE_TOL, dc_operating_point
 from .netlist import Circuit, is_ground
-from .solver import SolverError, assemble, build_index, solve_linear
+from .solver import SolverError, build_index
 
 MAX_NEWTON_ITER = 80
 
@@ -49,18 +51,17 @@ class TransientResult:
         return float(self.v(node)[-1])
 
 
-def _newton_step(circuit, node_index, n_total, x_guess, xprev, dt, t,
-                 method: str):
+def _newton_step(compiled, x_guess, xprev, t, lu_reuse: bool = True):
     x = x_guess.copy()
+    n_nodes = compiled.n_nodes
     for _ in range(MAX_NEWTON_ITER):
-        A, b = assemble(circuit, node_index, n_total, x, "tran",
-                        dt=dt, xprev=xprev, method=method, time=t)
+        COUNTERS.newton_iterations += 1
+        A, b = compiled.assemble(x, time=t, xprev=xprev)
         try:
-            x_new = solve_linear(A, b)
+            x_new = compiled.solve(A, b, reuse=lu_reuse)
         except SolverError:
             return x, False
         dx = x_new - x
-        n_nodes = len(node_index)
         step = float(np.max(np.abs(dx[:n_nodes]))) if n_nodes else 0.0
         if step > MAX_STEP:
             x = x + dx * (MAX_STEP / step)
@@ -74,7 +75,8 @@ def _newton_step(circuit, node_index, n_total, x_guess, xprev, dt, t,
 def transient(circuit: Circuit, t_stop: float, dt: float,
               probes: Optional[Sequence[str]] = None,
               method: str = "be",
-              x0: Optional[np.ndarray] = None) -> TransientResult:
+              x0: Optional[np.ndarray] = None,
+              lu_reuse: bool = True) -> TransientResult:
     """Integrate *circuit* from 0 to *t_stop* with step *dt*.
 
     Parameters
@@ -85,6 +87,11 @@ def transient(circuit: Circuit, t_stop: float, dt: float,
         ``'be'`` (robust default) or ``'trap'``.
     x0:
         Initial solution vector; default is the DC operating point at t=0.
+    lu_reuse:
+        Allow the solver to replay a cached LU factorization when the
+        assembled matrix is unchanged from the previous solve (always
+        true for linear circuits).  Disable to force a factorization
+        every solve, e.g. for numerical cross-checks.
     """
     node_index, n_nodes, n_total = build_index(circuit)
     if x0 is None:
@@ -114,20 +121,27 @@ def transient(circuit: Circuit, t_stop: float, dt: float,
     for p in record:
         data[p][0] = 0.0 if is_ground(p) else float(x[idx_of[p]])
 
+    compiled = get_compiled(circuit, "tran", node_index=node_index,
+                            n_total=n_total, dt=dt, method=method)
+    compiled_half = None  # built lazily on the first stalled step
+
     all_converged = True
     t = 0.0
     for k in range(1, n_steps + 1):
         t_next = k * dt
-        x_new, ok = _newton_step(circuit, node_index, n_total, x, x, dt,
-                                 t_next, method)
+        x_new, ok = _newton_step(compiled, x, x, t_next, lu_reuse)
         if not ok:
             # halve the step twice before giving up on this interval
+            if compiled_half is None:
+                compiled_half = get_compiled(circuit, "tran",
+                                             node_index=node_index,
+                                             n_total=n_total, dt=dt / 2,
+                                             method=method)
             x_half = x
             sub_ok = True
             for j in (1, 2):
-                x_half, sub_ok = _newton_step(circuit, node_index, n_total,
-                                              x_half, x_half, dt / 2,
-                                              t + j * dt / 2, method)
+                x_half, sub_ok = _newton_step(compiled_half, x_half, x_half,
+                                              t + j * dt / 2, lu_reuse)
                 if not sub_ok:
                     break
             if sub_ok:

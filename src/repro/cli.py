@@ -7,6 +7,7 @@ Commands
 ``dc``         the two-pattern DC test on the transistor-level link
 ``bist``       the at-speed BIST verdict
 ``coverage``   the fault campaign (full or sampled) -> Table I
+``bench``      time a sampled campaign and print the engine counters
 ``overhead``   the DFT inventory -> Table II
 ``netlist``    export one of the paper's circuits as a SPICE deck
 
@@ -110,10 +111,45 @@ def cmd_coverage(args) -> int:
             print(f"  {i}/{n} faults simulated", file=sys.stderr)
 
     report = run_paper_campaign(universe,
-                                progress=progress if args.progress else None)
+                                progress=progress if args.progress else None,
+                                workers=args.workers)
     print(report.format_headline())
     print()
     print(report.format_table1())
+    return 0
+
+
+def cmd_bench(args) -> int:
+    import json
+    import time
+
+    from .core.profiling import profiled
+    from .dft.coverage import build_fault_universe, run_paper_campaign
+    from .faults.sampling import stratified_sample
+
+    universe = build_fault_universe()
+    if args.sample:
+        universe = stratified_sample(universe, args.sample, seed=args.seed)
+    with profiled() as counters:
+        t0 = time.perf_counter()
+        report = run_paper_campaign(universe, workers=args.workers)
+        wall = time.perf_counter() - t0
+    print(f"campaign : {len(universe)} faults in {wall:.2f} s "
+          f"({args.workers or 1} worker(s))")
+    print(f"coverage : dc {report.dc * 100:.1f}%  "
+          f"scan {report.scan * 100:.1f}%  bist {report.bist * 100:.1f}%")
+    snap = counters.snapshot()
+    width = max(len(k) for k in snap)
+    for key, value in snap.items():
+        print(f"  {key:<{width}}  {value}")
+    if args.json:
+        payload = {"faults": len(universe), "wall_s": wall,
+                   "workers": args.workers or 1, "counters": snap,
+                   "coverage": {"dc": report.dc, "scan": report.scan,
+                                "bist": report.bist}}
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+        print(f"wrote {args.json}")
     return 0
 
 
@@ -206,7 +242,20 @@ def build_parser() -> argparse.ArgumentParser:
                    help="stratified sample size (default: full universe)")
     p.add_argument("--seed", type=int, default=2016)
     p.add_argument("--progress", action="store_true")
+    p.add_argument("--workers", type=int, default=None,
+                   help="fault-simulation worker processes (default: serial)")
     p.set_defaults(func=cmd_coverage)
+
+    p = sub.add_parser("bench",
+                       help="time a sampled campaign + engine counters")
+    p.add_argument("--sample", type=int, default=32,
+                   help="stratified sample size (default 32; 0 = full)")
+    p.add_argument("--seed", type=int, default=2016)
+    p.add_argument("--workers", type=int, default=None,
+                   help="fault-simulation worker processes (default: serial)")
+    p.add_argument("--json", default=None, metavar="PATH",
+                   help="also dump the timings/counters as JSON")
+    p.set_defaults(func=cmd_bench)
 
     p = sub.add_parser("overhead", help="DFT inventory (Table II)")
     p.add_argument("--verbose", "-v", action="store_true")

@@ -1,25 +1,42 @@
-"""Public API: configuration, the testable link facade, and reporting."""
+"""Public API: configuration, the testable link facade, and reporting.
 
-from .config import LinkConfig, PAPER_CONFIG
-from .report import (
-    render_bist,
-    render_headline,
-    render_table,
-    render_table1,
-    render_table2,
-)
-from .results import (
-    BISTResult,
-    CampaignSummary,
-    DCTestResult,
-    ScanTestResult,
-)
-from .testable_link import TestableLink
+Submodules are imported lazily so that low-level consumers (the analog
+engine incrementing :mod:`repro.core.profiling` counters, campaign worker
+processes) don't pay for — or circularly depend on — the full facade.
+"""
 
-__all__ = [
-    "LinkConfig", "PAPER_CONFIG",
-    "render_bist", "render_headline", "render_table", "render_table1",
-    "render_table2",
-    "BISTResult", "CampaignSummary", "DCTestResult", "ScanTestResult",
-    "TestableLink",
-]
+from __future__ import annotations
+
+import importlib
+
+_LAZY = {
+    "LinkConfig": ".config",
+    "PAPER_CONFIG": ".config",
+    "render_bist": ".report",
+    "render_headline": ".report",
+    "render_table": ".report",
+    "render_table1": ".report",
+    "render_table2": ".report",
+    "BISTResult": ".results",
+    "CampaignSummary": ".results",
+    "DCTestResult": ".results",
+    "ScanTestResult": ".results",
+    "TestableLink": ".testable_link",
+}
+
+__all__ = sorted(_LAZY) + ["profiling"]
+
+
+def __getattr__(name: str):
+    if name == "profiling":
+        return importlib.import_module(".profiling", __name__)
+    try:
+        module = _LAZY[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}") \
+            from None
+    return getattr(importlib.import_module(module, __name__), name)
+
+
+def __dir__():
+    return __all__

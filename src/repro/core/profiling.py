@@ -1,0 +1,13 @@
+"""Public face of the performance counters (see :mod:`repro._profiling`).
+
+The implementation lives in the substrate-neutral ``repro._profiling``
+module so the analog and digital engines can increment counters without
+importing ``repro.core``; this module re-exports it under the documented
+path::
+
+    from repro.core.profiling import COUNTERS, profiled
+"""
+
+from .._profiling import COUNTERS, Counters, profiled
+
+__all__ = ["COUNTERS", "Counters", "profiled"]

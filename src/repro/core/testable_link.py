@@ -172,24 +172,29 @@ class TestableLink:
         return build_fault_universe()
 
     def run_fault_campaign(self, sample: Optional[int] = None,
-                           seed: int = 1,
-                           progress=None) -> CampaignSummary:
-        """Run the three-tier campaign (optionally on a random sample)."""
+                           seed: int = 1, progress=None,
+                           workers: Optional[int] = None) -> CampaignSummary:
+        """Run the three-tier campaign (optionally on a random sample).
+
+        ``workers`` > 1 fans the fault simulations out over forked
+        worker processes; the results are identical to a serial run.
+        """
         universe = self.fault_universe()
         if sample is not None and sample < len(universe):
             rng = random.Random(seed)
             universe = rng.sample(universe, sample)
-        report = run_paper_campaign(universe, progress=progress)
+        report = run_paper_campaign(universe, progress=progress,
+                                    workers=workers)
         return CampaignSummary.from_result(report.result)
 
-    def coverage_report(self, sample: Optional[int] = None,
-                        seed: int = 1) -> CoverageReport:
+    def coverage_report(self, sample: Optional[int] = None, seed: int = 1,
+                        workers: Optional[int] = None) -> CoverageReport:
         """Full CoverageReport (formatting helpers included)."""
         universe = self.fault_universe()
         if sample is not None and sample < len(universe):
             rng = random.Random(seed)
             universe = rng.sample(universe, sample)
-        return run_paper_campaign(universe)
+        return run_paper_campaign(universe, workers=workers)
 
     # ------------------------------------------------------------------
     # overhead

@@ -115,9 +115,15 @@ class CoverageReport:
 
 
 def run_paper_campaign(universe: Optional[List[StructuralFault]] = None,
-                       progress: Optional[Callable[[int, int], None]] = None
-                       ) -> CoverageReport:
-    """Run the complete three-tier campaign over the fault universe."""
+                       progress: Optional[Callable[[int, int], None]] = None,
+                       workers: Optional[int] = None) -> CoverageReport:
+    """Run the complete three-tier campaign over the fault universe.
+
+    ``workers`` > 1 fans the universe out over forked worker processes
+    (see :meth:`repro.faults.campaign.FaultCampaign.run`); the detectors
+    and their golden signatures are built once, before the fork, so
+    every worker inherits them for free.
+    """
     if universe is None:
         universe = build_fault_universe()
 
@@ -130,5 +136,5 @@ def run_paper_campaign(universe: Optional[List[StructuralFault]] = None,
     campaign.add_tier("dc", dc.detect, dc.applies_to)
     campaign.add_tier("scan", scan.detect, scan.applies_to)
     campaign.add_tier("bist", bist.detect, bist.applies_to)
-    result = campaign.run(universe, progress=progress)
+    result = campaign.run(universe, progress=progress, workers=workers)
     return CoverageReport(result=result)

@@ -1,11 +1,12 @@
 """Cycle-based gate-level logic simulator with stuck-at fault support.
 
 The simulator holds every net value in a flat dictionary.  Combinational
-settling repeatedly evaluates all components until no net changes (the
-circuits here are small; a bounded fixed-point iteration is simpler and
-handles transparent latches naturally).  Flip-flops update in two phases
-on :meth:`LogicCircuit.tick` so shift registers and scan chains shift by
-exactly one position per clock.
+settling iterates to a fixed point: the first pass evaluates every
+component in registration order, and each later pass re-evaluates only
+the components that read a net changed in the previous pass (same
+Gauss-Seidel update order, so the fixed point is identical to the full
+sweep).  Flip-flops update in two phases on :meth:`LogicCircuit.tick` so
+shift registers and scan chains shift by exactly one position per clock.
 
 Stuck-at faults are net forces applied after every evaluation pass, which
 models a fault at the *driver* of the net (fanout-stem fault).
@@ -13,7 +14,7 @@ models a fault at the *driver* of the net (fanout-stem fault).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from .gates import Component, Constant, Gate, Mux2
 from .sequential import DFF, DLatch, ScanDFF
@@ -22,6 +23,90 @@ from .signals import resolve
 
 class SimulationError(Exception):
     """Raised on oscillation, unknown nets, or malformed circuits."""
+
+
+def _compile_eval(comp: Component):
+    """Build a fast evaluator ``(fn, output_net)`` for *comp*.
+
+    Net values are kept normalised to 0/1/None by ``poke``/``force``/the
+    settle loop, so the closures read the value map directly instead of
+    re-resolving on every evaluation and allocating a one-entry dict per
+    call.  Components with anything other than exactly one output net
+    fall back to ``(comp.evaluate, None)`` and keep dict semantics.
+    """
+    outs = comp.output_nets()
+    if len(outs) != 1:
+        return comp.evaluate, None
+    out = outs[0]
+    if isinstance(comp, Gate):
+        ins = list(comp.inputs)
+        kind = comp.kind
+        if kind == "buf":
+            net = ins[0]
+            return (lambda values, _n=net: values.get(_n)), out
+        if kind == "inv":
+            net = ins[0]
+
+            def fn_inv(values, _n=net):
+                v = values.get(_n)
+                return None if v is None else 1 - v
+
+            return fn_inv, out
+        if kind in ("and", "nand", "or", "nor"):
+            dom = 0 if kind in ("and", "nand") else 1
+            out_dom = dom if kind in ("and", "or") else 1 - dom
+
+            def fn_dom(values, _ins=ins, _dom=dom, _hit=out_dom,
+                       _idle=1 - out_dom):
+                saw_x = False
+                for net in _ins:
+                    v = values.get(net)
+                    if v == _dom:
+                        return _hit
+                    if v is None:
+                        saw_x = True
+                return None if saw_x else _idle
+
+            return fn_dom, out
+
+        def fn_xor(values, _ins=ins, _flip=(kind == "xnor")):
+            acc = 0
+            for net in _ins:
+                v = values.get(net)
+                if v is None:
+                    return None
+                acc ^= v
+            return 1 - acc if _flip else acc
+
+        return fn_xor, out
+    if isinstance(comp, Mux2):
+
+        def fn_mux(values, _a=comp.a, _b=comp.b, _s=comp.sel):
+            s = values.get(_s)
+            va = values.get(_a)
+            vb = values.get(_b)
+            if s is None:
+                return va if va == vb else None
+            return vb if s else va
+
+        return fn_mux, out
+    if isinstance(comp, Constant):
+        return (lambda values, _v=comp.value: _v), out
+    if isinstance(comp, DLatch):
+
+        def fn_latch(values, _c=comp):
+            if values.get(_c.enable) == 1:
+                _c.state = values.get(_c.d)
+            return _c.state
+
+        return fn_latch, out
+    if isinstance(comp, DFF):  # covers ScanDFF: Q mirrors the stored state
+        return (lambda values, _c=comp: _c.state), out
+
+    def fn_generic(values, _c=comp, _out=out):
+        return _c.evaluate(values)[_out]
+
+    return fn_generic, out
 
 
 class LogicCircuit:
@@ -37,6 +122,9 @@ class LogicCircuit:
         self.inputs: Set[str] = set()
         self._forced: Dict[str, int] = {}
         self._names: Set[str] = set()
+        #: compiled (evaluators, fanout map); rebuilt after structural edits
+        self._plan: Optional[Tuple[list, Dict[str, List[int]]]] = None
+        self._flops_by_clock: Dict[Optional[str], List[Tuple[int, DFF]]] = {}
 
     # ------------------------------------------------------------------
     # construction
@@ -48,6 +136,8 @@ class LogicCircuit:
         self.components.append(comp)
         for net in comp.input_nets() + comp.output_nets():
             self.values.setdefault(net, None)
+        self._plan = None
+        self._flops_by_clock.clear()
         return comp
 
     def add_input(self, net: str, value: Optional[int] = 0) -> str:
@@ -100,12 +190,19 @@ class LogicCircuit:
         """All net names, sorted."""
         return sorted(self.values)
 
+    def _clock_flops(self, clock: Optional[str]) -> List[Tuple[int, DFF]]:
+        """Cached ``(component index, flop)`` pairs for one clock domain."""
+        cached = self._flops_by_clock.get(clock)
+        if cached is None:
+            cached = [(i, c) for i, c in enumerate(self.components)
+                      if isinstance(c, DFF)
+                      and (clock is None or c.clock == clock)]
+            self._flops_by_clock[clock] = cached
+        return cached
+
     def flops(self, clock: Optional[str] = None) -> List[DFF]:
         """Flip-flops, optionally filtered to one clock domain."""
-        out = [c for c in self.components if isinstance(c, DFF)]
-        if clock is not None:
-            out = [f for f in out if f.clock == clock]
-        return out
+        return [f for _, f in self._clock_flops(clock)]
 
     def component(self, name: str) -> Component:
         """Look up a component by name."""
@@ -158,21 +255,60 @@ class LogicCircuit:
         for net, val in self._forced.items():
             self.values[net] = val
 
+    def _build_plan(self) -> Tuple[list, Dict[str, List[int]]]:
+        evals = [_compile_eval(c) for c in self.components]
+        fanout: Dict[str, List[int]] = {}
+        for i, comp in enumerate(self.components):
+            for net in comp.input_nets():
+                fanout.setdefault(net, []).append(i)
+        self._plan = (evals, fanout)
+        return self._plan
+
     def settle(self) -> None:
-        """Evaluate combinational logic (and latches) to a fixed point."""
+        """Evaluate combinational logic (and latches) to a fixed point.
+
+        The first pass sweeps every component in registration order (so
+        pokes, forces, and direct edits to :attr:`values` are always
+        observed); later passes re-evaluate only the components reading a
+        net that changed in the previous pass.  Skipped components see
+        unchanged inputs and would reproduce their current output, so the
+        fixed point — and the pass count charged against the oscillation
+        limit — matches the full sweep.
+        """
+        self._run_settle(None)
+
+    def _run_settle(self, dirty: Optional[Sequence[int]]) -> None:
         self._apply_forces()
+        evals, fanout = self._plan or self._build_plan()
+        values = self.values
+        forced = self._forced
         limit = len(self.components) + self.SETTLE_MARGIN
+        if dirty is None:
+            dirty = range(len(evals))
         for _ in range(limit):
-            changed = False
-            for comp in self.components:
-                for net, val in comp.evaluate(self.values).items():
-                    if net in self._forced:
-                        val = self._forced[net]
-                    if self.values.get(net) != val:
-                        self.values[net] = val
-                        changed = True
+            changed: Set[str] = set()
+            for i in dirty:
+                fn, out = evals[i]
+                if out is None:  # multi-output fallback keeps dict semantics
+                    for net, val in fn(values).items():
+                        if net in forced:
+                            val = forced[net]
+                        if values.get(net) != val:
+                            values[net] = val
+                            changed.add(net)
+                    continue
+                val = fn(values)
+                if out in forced:
+                    val = forced[out]
+                if values.get(out) != val:
+                    values[out] = val
+                    changed.add(out)
             if not changed:
                 return
+            touched: Set[int] = set()
+            for net in changed:
+                touched.update(fanout.get(net, ()))
+            dirty = sorted(touched)
         raise SimulationError(
             f"circuit {self.name!r} did not settle in {limit} passes "
             "(combinational loop?)")
@@ -181,11 +317,16 @@ class LogicCircuit:
         """Advance the named clock domain by *cycles* rising edges."""
         for _ in range(cycles):
             self.settle()
-            flops = self.flops(clock)
-            next_states = [f.next_state(self.values) for f in flops]
-            for f, ns in zip(flops, next_states):
+            flops = self._clock_flops(clock)
+            next_states = [f.next_state(self.values) for _, f in flops]
+            dirty: Set[int] = set()
+            for (i, f), ns in zip(flops, next_states):
+                if f.state != ns:
+                    dirty.add(i)
                 f.commit(ns)
-            self.settle()
+            # the pre-edge settle left everything else at a fixed point,
+            # so re-settling only needs to start from the changed flops
+            self._run_settle(sorted(dirty))
 
     def reset_state(self, value: int = 0) -> None:
         """Force every flip-flop and latch to *value* and re-settle."""

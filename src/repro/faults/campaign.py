@@ -6,13 +6,23 @@ on blocks they physically observe).  Every fault is evaluated against
 every applicable tier — the paper's headline numbers are *cumulative*
 (DC, DC+scan, DC+scan+BIST), and the set-algebra claim ("intersecting
 but not subsets") needs the per-tier sets.
+
+Faults are independent of each other, so :meth:`FaultCampaign.run` can
+fan the universe out over worker processes (``workers=N``).  Workers are
+forked *after* the detectors are built, so they inherit the golden
+signatures without re-solving them, and results are reassembled in
+universe order — the records (and therefore every coverage number) are
+identical to a serial run.
 """
 
 from __future__ import annotations
 
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
+from .._profiling import COUNTERS
 from .model import DetectionRecord, FaultKind, StructuralFault
 
 DetectorFunc = Callable[[StructuralFault], bool]
@@ -91,28 +101,91 @@ class FaultCampaign:
             raise ValueError(f"tier must be one of {TIER_ORDER}")
         self._tiers.append((name, detector, applies or (lambda f: True)))
 
-    def run(self, universe: Sequence[StructuralFault],
-            progress: Optional[Callable[[int, int], None]] = None) -> CampaignResult:
-        """Evaluate every fault against every applicable tier.
+    def evaluate(self, fault: StructuralFault) -> DetectionRecord:
+        """Run every applicable tier on one fault.
 
         A detector that raises is treated as "not detected" for that
         tier (a broken test must never inflate coverage); the exception
         is recorded on the record's ``errors`` list for debugging.
         """
-        records: List[DetectionRecord] = []
+        rec = DetectionRecord(fault=fault)
+        rec.errors = []
+        for name, detector, applies in self._tiers:
+            if not applies(fault):
+                continue
+            try:
+                if detector(fault):
+                    setattr(rec, name, True)
+            except Exception as exc:  # noqa: BLE001 - keep campaign alive
+                rec.errors.append((name, repr(exc)))
+        return rec
+
+    def run(self, universe: Sequence[StructuralFault],
+            progress: Optional[Callable[[int, int], None]] = None,
+            workers: Optional[int] = None) -> CampaignResult:
+        """Evaluate every fault against every applicable tier.
+
+        With ``workers`` > 1 (and fork available on this platform) the
+        universe is split into chunks evaluated by a process pool; the
+        records come back in universe order and match a serial run
+        exactly, including the per-tier exception capture.  ``progress``
+        is called per fault serially and per completed chunk in
+        parallel, with the same ``(done, total)`` signature.
+        """
+        universe = list(universe)
         n = len(universe)
+        COUNTERS.campaign_faults += n
+        n_workers = 1 if workers is None else min(int(workers), n)
+        if (n_workers > 1
+                and "fork" in multiprocessing.get_all_start_methods()):
+            return self._run_parallel(universe, n_workers, progress)
+        records: List[DetectionRecord] = []
         for i, fault in enumerate(universe):
-            rec = DetectionRecord(fault=fault)
-            rec.errors = []
-            for name, detector, applies in self._tiers:
-                if not applies(fault):
-                    continue
-                try:
-                    if detector(fault):
-                        setattr(rec, name, True)
-                except Exception as exc:  # noqa: BLE001 - keep campaign alive
-                    rec.errors.append((name, repr(exc)))
-            records.append(rec)
+            records.append(self.evaluate(fault))
             if progress is not None:
                 progress(i + 1, n)
         return CampaignResult(records=records)
+
+    def _run_parallel(self, universe: List[StructuralFault], workers: int,
+                      progress: Optional[Callable[[int, int], None]]
+                      ) -> CampaignResult:
+        global _WORKER_CAMPAIGN, _WORKER_UNIVERSE
+        n = len(universe)
+        # a few chunks per worker keeps the pool busy even though fault
+        # evaluation cost is heavily skewed (BIST lock tests dominate)
+        size = max(1, -(-n // (workers * 4)))
+        bounds = [(lo, min(lo + size, n)) for lo in range(0, n, size)]
+        COUNTERS.campaign_chunks += len(bounds)
+        ctx = multiprocessing.get_context("fork")
+        _WORKER_CAMPAIGN, _WORKER_UNIVERSE = self, universe
+        try:
+            with ProcessPoolExecutor(max_workers=workers,
+                                     mp_context=ctx) as pool:
+                chunks: List[Optional[List[DetectionRecord]]] = \
+                    [None] * len(bounds)
+                futures = {pool.submit(_evaluate_chunk, b): k
+                           for k, b in enumerate(bounds)}
+                done = 0
+                for fut in as_completed(futures):
+                    k = futures[fut]
+                    chunks[k] = fut.result()
+                    done += bounds[k][1] - bounds[k][0]
+                    if progress is not None:
+                        progress(done, n)
+        finally:
+            _WORKER_CAMPAIGN = _WORKER_UNIVERSE = None
+        return CampaignResult(
+            records=[rec for chunk in chunks for rec in chunk])
+
+
+#: campaign/universe handed to forked workers by :meth:`_run_parallel`;
+#: fork snapshots these at pool creation, so nothing is pickled and the
+#: workers share the parent's already-built detector state
+_WORKER_CAMPAIGN: Optional[FaultCampaign] = None
+_WORKER_UNIVERSE: Sequence[StructuralFault] = ()
+
+
+def _evaluate_chunk(bounds: Tuple[int, int]) -> List[DetectionRecord]:
+    lo, hi = bounds
+    return [_WORKER_CAMPAIGN.evaluate(_WORKER_UNIVERSE[i])
+            for i in range(lo, hi)]

@@ -44,7 +44,12 @@ def wilson_interval(successes: int, trials: int,
     centre = (p + z * z / (2 * trials)) / denom
     half = (z / denom) * math.sqrt(p * (1 - p) / trials
                                    + z * z / (4 * trials * trials))
-    return (max(0.0, centre - half), min(1.0, centre + half))
+    # centre +- half is exact in reals but rounds in floats: at p = 1 the
+    # upper bound can land at 1 - 1 ulp, excluding the point estimate.
+    # Clamp the interval to always contain p (and stay within [0, 1]).
+    lo = min(max(0.0, centre - half), p)
+    hi = max(min(1.0, centre + half), p)
+    return (lo, hi)
 
 
 def stratified_sample(universe: Sequence[StructuralFault], n: int,

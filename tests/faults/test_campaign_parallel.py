@@ -1,0 +1,114 @@
+"""Parallel fault-campaign equivalence tests.
+
+``FaultCampaign.run(workers=N)`` must be an exact drop-in for the serial
+loop: same records in the same order, same per-tier detection sets, same
+exception capture, same coverage numbers.  The synthetic tiers make the
+comparison exhaustive and fast; one smoke test runs the real DC tier
+both ways.
+"""
+
+import multiprocessing
+import os
+
+import pytest
+
+from repro.faults.campaign import FaultCampaign, TIER_ORDER
+from repro.faults.model import FaultKind, StructuralFault
+
+HAVE_FORK = "fork" in multiprocessing.get_all_start_methods()
+
+#: match the universe size CI runs the benches with
+UNIVERSE_SIZE = int(os.environ.get("REPRO_CAMPAIGN_SAMPLE", "64"))
+
+
+def synthetic_universe(n=UNIVERSE_SIZE):
+    kinds = list(FaultKind)
+    return [StructuralFault(device=f"M{i}", kind=kinds[i % len(kinds)],
+                            block=("tx", "cp", "vcdl")[i % 3])
+            for i in range(n)]
+
+
+def _num(fault):
+    return int(fault.device[1:])
+
+
+def _scan_detector(fault):
+    if _num(fault) % 11 == 7:
+        raise RuntimeError(f"scan bench died on {fault}")
+    return _num(fault) % 2 == 0
+
+
+def make_campaign():
+    camp = FaultCampaign()
+    camp.add_tier("dc", lambda f: _num(f) % 3 == 0)
+    camp.add_tier("scan", _scan_detector)
+    camp.add_tier("bist", lambda f: _num(f) % 5 == 0,
+                  lambda f: f.block != "vcdl")
+    return camp
+
+
+def record_tuples(result):
+    return [(r.fault, r.dc, r.scan, r.bist, r.errors) for r in result.records]
+
+
+class TestParallelEquivalence:
+    @pytest.mark.skipif(not HAVE_FORK, reason="fork start method required")
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_records_identical_to_serial(self, workers):
+        universe = synthetic_universe()
+        serial = make_campaign().run(universe)
+        par = make_campaign().run(universe, workers=workers)
+        assert record_tuples(par) == record_tuples(serial)
+        for tier in TIER_ORDER:
+            assert par.detected_by(tier) == serial.detected_by(tier)
+            assert par.cumulative_coverage(tier) == \
+                serial.cumulative_coverage(tier)
+
+    @pytest.mark.skipif(not HAVE_FORK, reason="fork start method required")
+    def test_exceptions_captured_identically(self):
+        universe = synthetic_universe()
+        serial = make_campaign().run(universe)
+        par = make_campaign().run(universe, workers=2)
+        expected = [(i, r.errors) for i, r in enumerate(serial.records)
+                    if r.errors]
+        assert expected, "universe must include faults whose tier raises"
+        assert [(i, r.errors) for i, r in enumerate(par.records)
+                if r.errors] == expected
+
+    @pytest.mark.skipif(not HAVE_FORK, reason="fork start method required")
+    def test_parallel_progress_is_monotonic_and_complete(self):
+        universe = synthetic_universe()
+        calls = []
+        make_campaign().run(universe,
+                            progress=lambda d, n: calls.append((d, n)),
+                            workers=3)
+        assert calls == sorted(calls)
+        assert calls[-1] == (len(universe), len(universe))
+        assert all(n == len(universe) for _, n in calls)
+
+    def test_workers_one_stays_serial(self):
+        """workers=1 must not spawn processes (per-fault progress is the
+        observable difference: one call per fault, not per chunk)."""
+        universe = synthetic_universe(10)
+        calls = []
+        make_campaign().run(universe,
+                            progress=lambda d, n: calls.append(d),
+                            workers=1)
+        assert calls == list(range(1, 11))
+
+
+@pytest.mark.skipif(not HAVE_FORK, reason="fork start method required")
+def test_real_dc_tier_parallel_smoke():
+    """The real DC detector (full analog solves in the workers) must give
+    the same verdicts either way."""
+    from repro.dft.coverage import build_fault_universe
+    from repro.dft.dc_test import DCTest
+
+    universe = [f for f in build_fault_universe()
+                if f.block in ("tx", "termination")][:8]
+    dc = DCTest()
+    campaign = FaultCampaign()
+    campaign.add_tier("dc", dc.detect, dc.applies_to)
+    serial = campaign.run(universe)
+    par = campaign.run(universe, workers=2)
+    assert record_tuples(par) == record_tuples(serial)

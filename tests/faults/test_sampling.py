@@ -57,6 +57,20 @@ class TestWilson:
         lo, hi = wilson_interval(k, n)
         assert 0.0 <= lo <= k / n <= hi <= 1.0
 
+    def test_all_detected_interval_reaches_one(self):
+        """Regression: at k == n the float upper bound used to round to
+        1 - 1 ulp, excluding the point estimate from its own interval."""
+        for n in (1, 7, 10, 33, 1000):
+            lo, hi = wilson_interval(n, n)
+            assert hi == 1.0
+            assert 0.0 <= lo <= 1.0
+
+    def test_none_detected_interval_reaches_zero(self):
+        for n in (1, 7, 10, 33, 1000):
+            lo, hi = wilson_interval(0, n)
+            assert lo == 0.0
+            assert 0.0 <= hi <= 1.0
+
 
 class TestStratifiedSample:
     def test_returns_all_when_n_large(self):
