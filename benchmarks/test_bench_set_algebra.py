@@ -51,16 +51,12 @@ def test_bench_scan_bist_set_algebra(benchmark, campaign_report):
 def test_bench_masked_fault_example(benchmark):
     """The paper's concrete example: the CP current-source D-S short is
     masked in scan (source used as a switch) and caught by BIST."""
-    from repro.dft.bist import BISTTest
-    from repro.dft.dc_test import DCTest
-    from repro.dft.scan_test import ScanTest
+    from repro.dft.golden import GoldenSignatures
+    from repro.dft.registry import create_tiers
     from repro.faults import FaultKind, StructuralFault
 
     def run():
-        dc = DCTest()
-        scan = ScanTest(retention_link=dc._retention_link,
-                        retention_receiver=dc._retention_receiver)
-        bist = BISTTest(retention_receiver=dc._retention_receiver)
+        scan, bist = create_tiers(("scan", "bist"), GoldenSignatures())
         f = StructuralFault("cp_wk_MSRC", FaultKind.DRAIN_SOURCE_SHORT,
                             "cp", "cp_weak_src")
         return scan.detect(f), bist.detect(f)

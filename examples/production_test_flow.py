@@ -22,10 +22,9 @@ import sys
 import time
 
 from repro.core.report import render_table
-from repro.dft.bist import BISTTest
 from repro.dft.coverage import build_fault_universe
-from repro.dft.dc_test import DCTest
-from repro.dft.scan_test import ScanTest
+from repro.dft.golden import GoldenSignatures
+from repro.dft.registry import create_tiers
 
 #: nominal tester time per tier (from the paper's structure: two DC
 #: points; a ~30-cell scan chain at 100 MHz; 2 us of BIST + retries)
@@ -37,11 +36,9 @@ def main(n_dies: int = 40, defect_rate: float = 0.5, seed: int = 7) -> None:
     universe = build_fault_universe()
 
     print("building golden signatures (one-time tester calibration)...")
-    dc = DCTest()
-    scan = ScanTest(retention_link=dc._retention_link,
-                    retention_receiver=dc._retention_receiver)
-    bist = BISTTest(retention_receiver=dc._retention_receiver)
-    tiers = (("dc", dc), ("scan", scan), ("bist", bist))
+    tiers = [(t.name, t)
+             for t in create_tiers(("dc", "scan", "bist"),
+                                   GoldenSignatures())]
 
     bins = {"pass": 0, "dc": 0, "scan": 0, "bist": 0}
     escapes = 0

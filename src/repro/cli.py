@@ -7,6 +7,7 @@ Commands
 ``dc``         the two-pattern DC test on the transistor-level link
 ``bist``       the at-speed BIST verdict
 ``coverage``   the fault campaign (full or sampled) -> Table I
+``campaign``   a tier-configurable campaign with export/resume artifacts
 ``bench``      time a sampled campaign and print the engine counters
 ``overhead``   the DFT inventory -> Table II
 ``netlist``    export one of the paper's circuits as a SPICE deck
@@ -116,6 +117,56 @@ def cmd_coverage(args) -> int:
     print(report.format_headline())
     print()
     print(report.format_table1())
+    return 0
+
+
+def cmd_campaign(args) -> int:
+    from .dft.coverage import CoverageReport, build_fault_universe
+    from .dft.golden import GoldenSignatures
+    from .dft.registry import create_tiers
+    from .faults.campaign import TIER_ORDER, FaultCampaign
+    from .faults.sampling import stratified_sample
+
+    tier_names = tuple(t.strip() for t in args.tiers.split(",") if t.strip())
+    if not tier_names:
+        print("no tiers requested", file=sys.stderr)
+        return 1
+
+    universe = build_fault_universe()
+    if args.sample:
+        universe = stratified_sample(universe, args.sample,
+                                     seed=args.seed)
+        print(f"(stratified sample of {len(universe)} faults)")
+
+    def progress(i, n):
+        if i % 25 == 0 or i == n:
+            print(f"  {i}/{n} faults simulated", file=sys.stderr)
+
+    campaign = FaultCampaign()
+    for tier in create_tiers(tier_names, GoldenSignatures()):
+        campaign.add_tier(tier)
+    result = campaign.run(universe,
+                          progress=progress if args.progress else None,
+                          workers=args.workers, checkpoint=args.resume)
+
+    if tier_names == TIER_ORDER:
+        report = CoverageReport(result=result)
+        print(report.format_headline())
+        print()
+        print(report.format_table1())
+    else:
+        for name in tier_names:
+            cum = result.cumulative_coverage(name)
+            print(f"{'+ ' + name if name != tier_names[0] else name:<20}"
+                  f"{cum * 100:>9.1f}%")
+    n_detected = result.total - len(result.undetected())
+    print(f"overall: {result.overall_coverage * 100:.1f}% "
+          f"({n_detected}/{result.total})")
+
+    if args.export:
+        with open(args.export, "w") as fh:
+            fh.write(result.to_json(indent=2))
+        print(f"wrote {args.export}")
     return 0
 
 
@@ -245,6 +296,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=int, default=None,
                    help="fault-simulation worker processes (default: serial)")
     p.set_defaults(func=cmd_coverage)
+
+    p = sub.add_parser("campaign",
+                       help="tier-configurable campaign with artifacts")
+    p.add_argument("--sample", type=int, default=None,
+                   help="stratified sample size (default: full universe)")
+    p.add_argument("--seed", type=int, default=2016)
+    p.add_argument("--tiers", default="dc,scan,bist",
+                   help="comma-separated ordered tier names "
+                        "(default: dc,scan,bist)")
+    p.add_argument("--progress", action="store_true")
+    p.add_argument("--workers", type=int, default=None,
+                   help="fault-simulation worker processes (default: serial)")
+    p.add_argument("--export", default=None, metavar="PATH",
+                   help="write the CampaignResult as JSON")
+    p.add_argument("--resume", default=None, metavar="PATH",
+                   help="JSONL checkpoint to stream records into and "
+                        "resume from")
+    p.set_defaults(func=cmd_campaign)
 
     p = sub.add_parser("bench",
                        help="time a sampled campaign + engine counters")

@@ -47,8 +47,9 @@ def render_table1(summary: CampaignSummary) -> str:
     """Table I: per-defect-class coverage vs the paper."""
     rows: List[Tuple] = []
     for label, paper in PAPER_TABLE1.items():
-        det, tot, cov = summary.by_kind.get(label, (0, 0, 1.0))
-        rows.append((label, f"{det}/{tot}", pct(cov), pct(paper)))
+        det, tot, cov = summary.by_kind.get(label, (0, 0, None))
+        measured = "n/a" if cov is None else pct(cov)
+        rows.append((label, f"{det}/{tot}", measured, pct(paper)))
     rows.append(("Total", f"{sum(int(r[1].split('/')[0]) for r in rows)}/"
                  f"{sum(int(r[1].split('/')[1]) for r in rows)}",
                  pct(summary.bist_coverage), pct(PAPER_BIST)))

@@ -47,20 +47,35 @@ class BISTResult:
 
 @dataclass
 class CampaignSummary:
-    """Condensed view of a full fault campaign (the paper's Section IV)."""
+    """Condensed view of a full fault campaign (the paper's Section IV).
+
+    ``tier_coverage`` maps each tier name in the campaign's pipeline to
+    its *cumulative* coverage (the fraction detected by that tier or any
+    earlier one).  For the paper's ``("dc", "scan", "bist")`` pipeline
+    the familiar three numbers remain available as properties.
+    """
 
     result: CampaignResult
-    dc_coverage: float
-    scan_coverage: float
-    bist_coverage: float
+    tier_coverage: Dict[str, float]
     by_kind: Dict[str, Tuple[int, int, float]]
 
     @classmethod
     def from_result(cls, result: CampaignResult) -> "CampaignSummary":
         return cls(
             result=result,
-            dc_coverage=result.cumulative_coverage("dc"),
-            scan_coverage=result.cumulative_coverage("scan"),
-            bist_coverage=result.cumulative_coverage("bist"),
+            tier_coverage={t: result.cumulative_coverage(t)
+                           for t in result.tier_order},
             by_kind=result.coverage_by_kind(),
         )
+
+    @property
+    def dc_coverage(self) -> float:
+        return self.tier_coverage.get("dc", 0.0)
+
+    @property
+    def scan_coverage(self) -> float:
+        return self.tier_coverage.get("scan", 0.0)
+
+    @property
+    def bist_coverage(self) -> float:
+        return self.tier_coverage.get("bist", 0.0)

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from ..channel import EyeResult, equalization_gain, eye_of_channel
 from ..dft.bist import BISTTest
@@ -38,8 +38,11 @@ from ..dft.coverage import (
 )
 from ..dft.dc_test import DCTest
 from ..dft.digital_scan import run_digital_scan_campaign
+from ..dft.golden import GoldenSignatures
 from ..dft.overhead import dft_inventory, table2_rows
+from ..dft.registry import TestTier, create_tier
 from ..dft.scan_test import ScanTest
+from ..faults.campaign import FaultCampaign
 from ..faults.model import StructuralFault
 from ..synchronizer.lock import LockSweepResult, lock_sweep
 from ..synchronizer.loop import LoopResult, SynchronizerLoop
@@ -55,34 +58,30 @@ class TestableLink:
 
     def __init__(self, config: Optional[LinkConfig] = None):
         self.config = config or LinkConfig()
-        self._dc: Optional[DCTest] = None
-        self._scan: Optional[ScanTest] = None
-        self._bist: Optional[BISTTest] = None
+        self.goldens = GoldenSignatures()
+        self._tiers: Dict[str, TestTier] = {}
 
     # ------------------------------------------------------------------
     # lazily built test tiers (golden-signature extraction is not free)
     # ------------------------------------------------------------------
+    def tier(self, name: str) -> TestTier:
+        """The named test tier, built on this link's shared golden
+        cache and memoized (any registered tier name is valid)."""
+        if name not in self._tiers:
+            self._tiers[name] = create_tier(name, self.goldens)
+        return self._tiers[name]
+
     @property
     def dc_tier(self) -> DCTest:
-        if self._dc is None:
-            self._dc = DCTest()
-        return self._dc
+        return self.tier("dc")
 
     @property
     def scan_tier(self) -> ScanTest:
-        if self._scan is None:
-            dc = self.dc_tier
-            self._scan = ScanTest(retention_link=dc._retention_link,
-                                  retention_receiver=dc._retention_receiver)
-        return self._scan
+        return self.tier("scan")
 
     @property
     def bist_tier(self) -> BISTTest:
-        if self._bist is None:
-            dc = self.dc_tier
-            self._bist = BISTTest(
-                retention_receiver=dc._retention_receiver)
-        return self._bist
+        return self.tier("bist")
 
     # ------------------------------------------------------------------
     # channel analysis
@@ -122,7 +121,7 @@ class TestableLink:
         """Two-pattern DC test; optionally against an injected fault."""
         tier = self.dc_tier
         if fault is None:
-            return DCTestResult(signatures=dict(tier._golden_link),
+            return DCTestResult(signatures=dict(tier.golden["link"]),
                                 passed=True)
         detected = tier.detect(fault)
         return DCTestResult(signatures={}, passed=not detected)
@@ -138,7 +137,7 @@ class TestableLink:
         return ScanTestResult(
             digital_coverage=digital.coverage,
             digital_faults=digital.total,
-            analog_signatures=dict(tier._golden_receiver),
+            analog_signatures=dict(tier.golden["receiver"]),
             chains_flush_ok=analog_ok)
 
     def run_bist(self, initial_phase: int = 5,
@@ -157,7 +156,7 @@ class TestableLink:
                               pump_currents_ok=not detected,
                               passed=not detected)
         loop = self.lock(initial_phase=initial_phase, **fault_knobs)
-        checks = tier._golden  # healthy netlist checks
+        checks = tier.golden["receiver_checks"]  # healthy netlist checks
         vp_ok = checks.get("vp_flag") == (0, 0)
         i_ok = bool(checks.get("i_up_ok")) and bool(checks.get("i_dn_ok"))
         return BISTResult(loop=loop, vp_tracking_ok=vp_ok,
@@ -173,19 +172,34 @@ class TestableLink:
 
     def run_fault_campaign(self, sample: Optional[int] = None,
                            seed: int = 1, progress=None,
-                           workers: Optional[int] = None) -> CampaignSummary:
-        """Run the three-tier campaign (optionally on a random sample).
+                           workers: Optional[int] = None,
+                           tiers: Optional[Sequence[str]] = None,
+                           checkpoint: Optional[str] = None
+                           ) -> CampaignSummary:
+        """Run a fault campaign (optionally on a random sample).
 
-        ``workers`` > 1 fans the fault simulations out over forked
-        worker processes; the results are identical to a serial run.
+        The default pipeline is the paper's ``("dc", "scan", "bist")``;
+        *tiers* selects any ordered list of registered tier names
+        instead.  ``workers`` > 1 fans the fault simulations out over
+        forked worker processes; the results are identical to a serial
+        run.  ``checkpoint`` streams completed records to a JSONL file
+        an interrupted campaign resumes from.
         """
         universe = self.fault_universe()
         if sample is not None and sample < len(universe):
             rng = random.Random(seed)
             universe = rng.sample(universe, sample)
-        report = run_paper_campaign(universe, progress=progress,
-                                    workers=workers)
-        return CampaignSummary.from_result(report.result)
+        if tiers is None:
+            report = run_paper_campaign(universe, progress=progress,
+                                        workers=workers,
+                                        checkpoint=checkpoint)
+            return CampaignSummary.from_result(report.result)
+        campaign = FaultCampaign()
+        for name in tiers:
+            campaign.add_tier(self.tier(name))
+        result = campaign.run(universe, progress=progress,
+                              workers=workers, checkpoint=checkpoint)
+        return CampaignSummary.from_result(result)
 
     def coverage_report(self, sample: Optional[int] = None, seed: int = 1,
                         workers: Optional[int] = None) -> CoverageReport:

@@ -5,6 +5,11 @@ Section II-IV; ``coverage`` assembles them into the fault campaign that
 regenerates the headline numbers and Table I; ``overhead`` reproduces
 Table II; ``digital_scan`` demonstrates the 100% digital stuck-at claim;
 ``dll_bist`` implements the deferred stand-alone DLL BIST extension.
+
+``registry`` makes the tiers first-class: every stage (including the
+extension stages ``delay_scan`` and ``dll_bist``) registers under a name
+and is built with :func:`create_tier` over a shared
+:class:`~repro.dft.golden.GoldenSignatures` cache.
 """
 
 from .bist import BISTTest
@@ -19,10 +24,12 @@ from .coverage import (
 )
 from .dc_test import DCTest
 from .delay_scan import (
+    DelayScanTier,
     build_coarse_fabric,
     coarse_delay_procedure,
     effective_delay_coverage,
     run_coarse_delay_campaign,
+    transition_fault_for,
     untestable_transition_faults,
 )
 from .digital_scan import (
@@ -33,12 +40,23 @@ from .digital_scan import (
 )
 from .dll_bist import (
     DLLBistResult,
+    DLLBistTier,
     DLLModel,
+    dll_for_fault,
     dll_with_dead_tap,
     dll_with_tap_defect,
     healthy_dll,
     run_dll_bist,
     vernier_count,
+)
+from .golden import GoldenSignatures
+from .registry import (
+    TestTier,
+    create_tier,
+    create_tiers,
+    register_tier,
+    registered_tiers,
+    unregister_tier,
 )
 from .duts import (
     ReceiverDUT,
@@ -63,13 +81,17 @@ __all__ = [
     "CoverageReport", "PAPER_BIST", "PAPER_DC", "PAPER_SCAN",
     "PAPER_TABLE1", "build_fault_universe", "run_paper_campaign",
     "DCTest",
-    "build_coarse_fabric", "coarse_delay_procedure",
+    "DelayScanTier", "build_coarse_fabric", "coarse_delay_procedure",
     "effective_delay_coverage", "run_coarse_delay_campaign",
-    "untestable_transition_faults",
+    "transition_fault_for", "untestable_transition_faults",
     "DigitalLinkFabric", "build_digital_fabric",
     "run_digital_scan_campaign", "scan_test_procedure",
-    "DLLBistResult", "DLLModel", "dll_with_dead_tap",
+    "DLLBistResult", "DLLBistTier", "DLLModel", "dll_for_fault",
+    "dll_with_dead_tap",
     "dll_with_tap_defect", "healthy_dll", "run_dll_bist", "vernier_count",
+    "GoldenSignatures",
+    "TestTier", "create_tier", "create_tiers", "register_tier",
+    "registered_tiers", "unregister_tier",
     "ReceiverDUT", "ToggleDUT", "VCDLDUT", "build_receiver_dut",
     "build_toggle_dut", "build_vcdl_dut",
     "OverheadItem", "PAPER_TABLE2", "dft_inventory", "format_table2",

@@ -20,7 +20,7 @@ Four at-speed observations, all available without external test access:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import ClassVar, Dict, Optional
 
 from ..faults.behavior_map import map_fault_to_knobs
 from ..faults.inject import inject_fault
@@ -28,6 +28,8 @@ from ..faults.model import StructuralFault
 from ..link.params import LinkParams
 from ..synchronizer.loop import SynchronizerLoop
 from .duts import build_receiver_dut, build_vcdl_dut
+from .golden import GoldenSignatures
+from .registry import register_tier
 
 #: pump current acceptance window relative to nominal
 CURRENT_LO = 0.3
@@ -38,13 +40,17 @@ LOCK_TEST_PHASE = 5
 LOCK_TEST_CYCLES = 7000
 
 
+@register_tier("bist")
 @dataclass
 class BISTTest:
     """BIST tier detector with cached golden signatures."""
 
-    retention_receiver: Dict[str, float] = field(default_factory=dict)
-    _golden: Dict = field(default_factory=dict)
-    _healthy_ota_i: Dict[str, float] = field(default_factory=dict)
+    goldens: GoldenSignatures = field(default_factory=GoldenSignatures)
+    _golden: Dict = field(default_factory=dict, repr=False)
+    _healthy_ota_i: Dict[str, float] = field(default_factory=dict,
+                                             repr=False)
+
+    name: ClassVar[str] = "bist"
 
     #: OTA devices screened for bias collapse (block speed screen)
     OTA_DEVICES = ("win_hi_MT", "win_hi_MLO", "win_lo_MT", "win_lo_MLO",
@@ -54,15 +60,18 @@ class BISTTest:
     SLEW_COLLAPSE = 0.1
 
     def __post_init__(self):
+        # shared retention references (receiver quiescent point, VCDL
+        # with the clock low) are built through the cache — pre-fork,
+        # and reused by every tier of the campaign
+        self.goldens.retention_receiver
+        self.goldens.retention_vcdl
         self._golden = self._run_receiver_checks(None)
-        # retention reference for VCDL gate opens: the healthy VCDL
-        # operating point with the clock input low
-        dut = build_vcdl_dut()
-        dut.set_input(0)
-        from ..analog import dc_operating_point
 
-        op = dc_operating_point(dut.circuit)
-        self._retention_vcdl = dict(op.voltages) if op.converged else {}
+    @property
+    def golden(self) -> Dict[str, object]:
+        """Healthy signatures: V_p tracking flags, OTA speed screens,
+        and the pump-current windows."""
+        return {"receiver_checks": self._golden}
 
     # ------------------------------------------------------------------
     def applies_to(self, fault: StructuralFault) -> bool:
@@ -88,8 +97,9 @@ class BISTTest:
         """V_p tracking + pump-current windows on the receiver bench."""
         dut = build_receiver_dut()
         if fault is not None:
-            dut.circuit = inject_fault(dut.circuit, fault,
-                                       retention=self.retention_receiver)
+            dut.circuit = inject_fault(
+                dut.circuit, fault,
+                retention=self.goldens.retention_receiver)
         out: Dict[str, object] = {}
 
         # V_p tracking at the locked operating point
@@ -149,7 +159,7 @@ class BISTTest:
         """Static aliveness: the line output must follow the input."""
         dut = build_vcdl_dut()
         dut.circuit = inject_fault(dut.circuit, fault,
-                                   retention=self._retention_vcdl)
+                                   retention=self.goldens.retention_vcdl)
         dut.set_input(0)
         lo = dut.observe()
         dut.set_input(1)
@@ -172,7 +182,8 @@ class BISTTest:
         t_step = 0.3e-9
         vin.waveform = step_waveform(0.0, 1.2, t_step, t_rise=20e-12)
         build_vcdl(c, "vcdl", "clk_in", "clk_out", "vctl")
-        faulted = inject_fault(c, fault, retention=self._retention_vcdl)
+        faulted = inject_fault(c, fault,
+                               retention=self.goldens.retention_vcdl)
         tr = transient(faulted, 1.6e-9, 2e-12, probes=["clk_out"])
         v_out = tr.v("clk_out")
         after = tr.time > t_step
@@ -256,8 +267,9 @@ class BISTTest:
         """
         dut = build_receiver_dut()
         if fault is not None:
-            dut.circuit = inject_fault(dut.circuit, fault,
-                                       retention=self.retention_receiver)
+            dut.circuit = inject_fault(
+                dut.circuit, fault,
+                retention=self.goldens.retention_receiver)
         hold = dut.circuit["VHOLD"]
 
         def win_bits(vc):

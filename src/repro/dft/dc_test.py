@@ -19,12 +19,14 @@ on a tester it shows as an out-of-spec supply current).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import ClassVar, Dict
 
 from ..circuits.full_link import FullLinkPorts, build_full_link
 from ..faults.inject import inject_fault
 from ..faults.model import StructuralFault
-from .duts import ReceiverDUT, build_receiver_dut
+from .duts import build_receiver_dut
+from .golden import GoldenSignatures
+from .registry import register_tier
 
 #: blocks whose faults the full-link netlist contains
 LINK_BLOCKS = ("tx", "termination")
@@ -32,30 +34,28 @@ LINK_BLOCKS = ("tx", "termination")
 RECEIVER_BLOCKS = ("cp", "window_comp")
 
 
+@register_tier("dc")
 @dataclass
 class DCTest:
-    """DC tier detector with cached golden signatures and retention."""
+    """DC tier detector over the shared golden-signature cache."""
 
-    _golden_link: Dict = field(default_factory=dict)
-    _golden_receiver: Dict = field(default_factory=dict)
-    _retention_link: Dict[str, float] = field(default_factory=dict)
-    _retention_receiver: Dict[str, float] = field(default_factory=dict)
+    goldens: GoldenSignatures = field(default_factory=GoldenSignatures)
+
+    name: ClassVar[str] = "dc"
 
     def __post_init__(self):
-        link = build_full_link()
-        self._golden_link = link.run_dc_test()
-        # retention condition: the healthy operating point at data = 1
-        link.apply_data(1)
-        from ..analog import dc_operating_point
+        # populate the shared cache now, not at first detect: campaigns
+        # build their tiers before forking workers, so the healthy
+        # solves happen exactly once in the parent process
+        self.goldens.dc_link
+        self.goldens.dc_receiver
 
-        op = dc_operating_point(link.circuit)
-        self._retention_link = dict(op.voltages)
-
-        dut = build_receiver_dut()
-        dut.set_condition()
-        op_r = dut.solve()
-        self._golden_receiver = dut.observe(op_r)
-        self._retention_receiver = dict(op_r.voltages)
+    @property
+    def golden(self) -> Dict[str, object]:
+        """Healthy signatures: the full-link two-pattern DC observation
+        and the quiescent receiver observation."""
+        return {"link": self.goldens.dc_link,
+                "receiver": self.goldens.dc_receiver}
 
     # ------------------------------------------------------------------
     def applies_to(self, fault: StructuralFault) -> bool:
@@ -63,27 +63,28 @@ class DCTest:
 
     def retention_for(self, fault: StructuralFault) -> Dict[str, float]:
         if fault.block in LINK_BLOCKS:
-            return self._retention_link
-        return self._retention_receiver
+            return self.goldens.retention_link
+        return self.goldens.retention_receiver
 
     def detect(self, fault: StructuralFault) -> bool:
         """Run the DC tier against *fault*; True when detected."""
         if fault.block in LINK_BLOCKS:
             link = build_full_link()
             faulted = inject_fault(link.circuit, fault,
-                                   retention=self._retention_link)
+                                   retention=self.goldens.retention_link)
             dut = FullLinkPorts(
                 circuit=faulted, data_source_name=link.data_source_name,
                 datab_source_name=link.datab_source_name, tx=link.tx,
                 term=link.term, vdd=link.vdd)
-            return dut.run_dc_test() != self._golden_link
+            return dut.run_dc_test() != self.goldens.dc_link
 
         if fault.block in RECEIVER_BLOCKS:
             dut = build_receiver_dut()
-            dut.circuit = inject_fault(dut.circuit, fault,
-                                       retention=self._retention_receiver)
+            dut.circuit = inject_fault(
+                dut.circuit, fault,
+                retention=self.goldens.retention_receiver)
             dut.set_condition()
             op = dut.solve()
-            return dut.observe(op) != self._golden_receiver
+            return dut.observe(op) != self.goldens.dc_receiver
 
         return False

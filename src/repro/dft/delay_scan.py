@@ -17,23 +17,29 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from random import Random
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..digital.delay_faults import (
+    TransitionFault,
     TransitionFaultInjector,
     TransitionFaultResult,
     run_transition_fault_simulation,
 )
 from ..digital.simulator import LogicCircuit
+from ..faults.model import StructuralFault
 from ..link.lock_detector import build_lock_detector
 from ..link.ring_counter import build_ring_counter
 from ..scan.chain import ScanChain
+from .golden import GoldenSignatures
+from .registry import register_tier
 
 CLOCK = "clk_div"
 N_PHASES = 10
 LOCK_BITS = 3
 #: chain length: 2 capture + 2 FSM + ring + lock
 CHAIN_LEN = 4 + N_PHASES + LOCK_BITS
+#: block tag :class:`DelayScanTier` claims in a structural fault universe
+COARSE_BLOCK = "coarse"
 
 
 def build_coarse_fabric() -> Tuple[LogicCircuit, ScanChain]:
@@ -226,6 +232,59 @@ def run_coarse_delay_campaign(n_random: int = 24,
     return run_transition_fault_simulation(
         factory, coarse_delay_procedure(n_random=n_random, seed=seed),
         exclude=("sen", "si"))
+
+
+def transition_fault_for(fault: StructuralFault) -> TransitionFault:
+    """Project a structural fault onto the coarse fabric's TF model.
+
+    The device field names the fabric net.  Opens starve a charge path,
+    so the rising edge is the one that slows (slow-to-rise); shorts load
+    the net and slow the falling edge (slow-to-fall).
+    """
+    return TransitionFault(fault.device, 1 if fault.kind.is_open else 0)
+
+
+@register_tier("delay_scan")
+class DelayScanTier:
+    """The at-speed coarse-path scan stage as a registrable test tier.
+
+    Wraps the launch-on-capture pattern set so it plugs into a
+    :class:`~repro.faults.campaign.FaultCampaign` next to the paper's
+    three tiers: a structural fault tagged ``block="coarse"`` is mapped
+    onto a transition fault (see :func:`transition_fault_for`) and the
+    whole LOC procedure is replayed against the faulted fabric.
+    """
+
+    name = "delay_scan"
+
+    def __init__(self, goldens: Optional[GoldenSignatures] = None,
+                 n_random: int = 24, seed: int = 2016):
+        self._procedure = coarse_delay_procedure(n_random=n_random,
+                                                 seed=seed)
+        goldens = goldens if goldens is not None else GoldenSignatures()
+        self._golden_response = goldens.get(
+            f"delay_scan_response[{n_random},{seed}]",
+            self._healthy_response)
+
+    def _healthy_response(self) -> Tuple[int, ...]:
+        circuit = build_coarse_fabric()[0]
+        return tuple(self._procedure(
+            circuit, TransitionFaultInjector(circuit, None)))
+
+    @property
+    def golden(self) -> Dict[str, object]:
+        """Healthy LOC response stream of the coarse fabric."""
+        return {"response": self._golden_response}
+
+    def applies_to(self, fault: StructuralFault) -> bool:
+        return fault.block == COARSE_BLOCK
+
+    def detect(self, fault: StructuralFault) -> bool:
+        circuit = build_coarse_fabric()[0]
+        injector = TransitionFaultInjector(circuit,
+                                           transition_fault_for(fault))
+        return tuple(self._procedure(circuit, injector)) \
+            != self._golden_response
 
 
 def effective_delay_coverage(result: TransitionFaultResult) -> float:

@@ -17,10 +17,14 @@ arithmetic progression.
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Mapping, Optional
 
+from ..faults.model import StructuralFault
 from ..link.params import LinkParams
+from .golden import GoldenSignatures
+from .registry import register_tier
 
 #: vernier resolution: the reference clock is offset by 1/VERNIER_RATIO
 VERNIER_RATIO = 64
@@ -103,3 +107,58 @@ def dll_with_tap_defect(tap: int, error_fraction: float = 0.5) -> DLLModel:
 def dll_with_dead_tap(tap: int) -> DLLModel:
     """A DLL whose *tap* produces no edge at all."""
     return DLLModel(dead_taps=[tap])
+
+
+#: block tag :class:`DLLBistTier` claims in a structural fault universe
+DLL_BLOCK = "dll"
+
+
+def dll_for_fault(fault: StructuralFault) -> Optional[DLLModel]:
+    """Build the DLL defect model a structural fault maps onto.
+
+    The trailing integer in the device name selects the tap (e.g.
+    ``"vcdl_stage3"`` -> tap 3).  Opens kill the tap's edge entirely;
+    shorts load the stage and shift the tap late by half a phase step.
+    Returns None when the device name carries no tap index — such a
+    fault cannot be projected onto the tap-spacing model.
+    """
+    match = re.search(r"(\d+)$", fault.device)
+    if match is None:
+        return None
+    tap = int(match.group(1)) % LinkParams().n_phases
+    if fault.kind.is_open:
+        return dll_with_dead_tap(tap)
+    return dll_with_tap_defect(tap)
+
+
+@register_tier("dll_bist")
+class DLLBistTier:
+    """The stand-alone digital DLL BIST as a registrable test tier.
+
+    Makes the paper's deferred DLL integration (Section III) a campaign
+    stage: a structural fault tagged ``block="dll"`` is projected onto
+    the vernier tap-spacing model (see :func:`dll_for_fault`) and the
+    BIST's pass/fail verdict scores the fault.
+    """
+
+    name = "dll_bist"
+
+    def __init__(self, goldens: Optional[GoldenSignatures] = None):
+        goldens = goldens if goldens is not None else GoldenSignatures()
+        self._golden_counts = goldens.get(
+            "dll_bist_counts",
+            lambda: tuple(run_dll_bist(healthy_dll()).counts))
+
+    @property
+    def golden(self) -> Mapping[str, object]:
+        """Healthy vernier coincidence counts, one per DLL tap."""
+        return {"counts": self._golden_counts}
+
+    def applies_to(self, fault: StructuralFault) -> bool:
+        return fault.block == DLL_BLOCK
+
+    def detect(self, fault: StructuralFault) -> bool:
+        dll = dll_for_fault(fault)
+        if dll is None:
+            return False
+        return not run_dll_bist(dll).passed

@@ -1,0 +1,114 @@
+"""Shared golden-signature cache for the test tiers.
+
+Golden extraction — solving the healthy full link, receiver bench, and
+VCDL for their reference operating points — is the expensive part of
+building a test tier, and several tiers need the *same* data: the DC
+tier's retention voltages seed the fault injector for the scan and BIST
+tiers too.  Historically the tiers threaded those dictionaries between
+each other through private attributes (``dc._retention_link`` etc.);
+:class:`GoldenSignatures` replaces that with one build-once cache object
+that every tier in a campaign shares.
+
+Each reference is built lazily on first access and memoized, so
+whichever tier needs it first pays for it and the rest reuse it.  In a
+campaign the tiers are constructed (and therefore the cache populated)
+*before* worker processes fork, so workers inherit every signature
+without re-solving.
+
+Custom tiers can park their own build-once data in the same cache via
+:meth:`GoldenSignatures.get` with a namespaced key.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+
+class GoldenSignatures:
+    """Build-once cache of healthy-circuit reference data.
+
+    The named properties cover the paper's shared reference points;
+    :meth:`get` is the generic extension hook for registered custom
+    tiers.
+    """
+
+    def __init__(self):
+        self._store: Dict[str, object] = {}
+
+    # -- generic extension hook ----------------------------------------
+    def get(self, key: str, build: Callable[[], object]) -> object:
+        """Memoized ``build()``: compute once per cache, reuse after."""
+        if key not in self._store:
+            self._store[key] = build()
+        return self._store[key]
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._store
+
+    # -- the paper's shared reference points ---------------------------
+    @property
+    def dc_link(self) -> Dict:
+        """Two-pattern DC-test signature of the healthy full link."""
+        self._build_link()
+        return self._store["dc_link"]
+
+    @property
+    def retention_link(self) -> Dict[str, float]:
+        """Healthy full-link operating point at data = 1 (the retention
+        condition floating gates fall back to when opened)."""
+        self._build_link()
+        return self._store["retention_link"]
+
+    @property
+    def dc_receiver(self) -> Dict:
+        """Quiescent observation of the healthy receiver bench."""
+        self._build_receiver()
+        return self._store["dc_receiver"]
+
+    @property
+    def retention_receiver(self) -> Dict[str, float]:
+        """Healthy receiver-bench operating point (quiescent)."""
+        self._build_receiver()
+        return self._store["retention_receiver"]
+
+    @property
+    def retention_vcdl(self) -> Dict[str, float]:
+        """Healthy VCDL operating point with the clock input low."""
+        self._build_vcdl()
+        return self._store["retention_vcdl"]
+
+    # ------------------------------------------------------------------
+    def _build_link(self) -> None:
+        if "dc_link" in self._store:
+            return
+        from ..analog import dc_operating_point
+        from ..circuits.full_link import build_full_link
+
+        link = build_full_link()
+        self._store["dc_link"] = link.run_dc_test()
+        link.apply_data(1)
+        op = dc_operating_point(link.circuit)
+        self._store["retention_link"] = dict(op.voltages)
+
+    def _build_receiver(self) -> None:
+        if "dc_receiver" in self._store:
+            return
+        from .duts import build_receiver_dut
+
+        dut = build_receiver_dut()
+        dut.set_condition()
+        op = dut.solve()
+        self._store["dc_receiver"] = dut.observe(op)
+        self._store["retention_receiver"] = dict(op.voltages)
+
+    def _build_vcdl(self) -> None:
+        if "retention_vcdl" in self._store:
+            return
+        from ..analog import dc_operating_point
+        from .duts import build_vcdl_dut
+
+        dut = build_vcdl_dut()
+        dut.set_input(0)
+        op = dc_operating_point(dut.circuit)
+        self._store["retention_vcdl"] = \
+            dict(op.voltages) if op.converged else {}

@@ -22,7 +22,7 @@ switch-matrix continuity) lives in :mod:`repro.dft.digital_scan`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import ClassVar, Dict, Optional, Tuple
 
 import numpy as np
 
@@ -30,6 +30,8 @@ from ..analog import dc_operating_point, transient
 from ..faults.inject import inject_fault
 from ..faults.model import StructuralFault
 from .duts import build_receiver_dut, build_toggle_dut
+from .golden import GoldenSignatures
+from .registry import register_tier
 
 #: window-comparator decision threshold for the toggle test [V]
 #: (the measured lower trip point of the Fig 6 termination window
@@ -53,23 +55,38 @@ def _digitize(op, nodes, vdd=1.2) -> Tuple:
     return tuple(1 if op.v(n) > vdd / 2 else 0 for n in nodes)
 
 
+@register_tier("scan")
 @dataclass
 class ScanTest:
     """Scan tier detector with cached golden signatures."""
 
-    retention_link: Dict[str, float] = field(default_factory=dict)
-    retention_receiver: Dict[str, float] = field(default_factory=dict)
-    _golden_probe: Dict = field(default_factory=dict)
-    _golden_receiver: Dict = field(default_factory=dict)
-    _golden_toggle: float = 0.0
+    goldens: GoldenSignatures = field(default_factory=GoldenSignatures)
+    _golden_probe: Dict = field(default_factory=dict, repr=False)
+    _golden_receiver: Dict = field(default_factory=dict, repr=False)
+    _golden_toggle: float = field(default=0.0, repr=False)
+
+    name: ClassVar[str] = "scan"
 
     #: probe-FF observation nodes in the full-link netlist
     PROBE_NODES = ("tx_p_drv", "tx_p_tap", "tx_n_drv", "tx_n_tap")
 
     def __post_init__(self):
+        # retention references come from the shared cache (the DC tier's
+        # healthy operating points); touch them here so they are built
+        # pre-fork even in campaigns without a DC tier
+        self.goldens.retention_link
+        self.goldens.retention_receiver
         self._golden_probe = self._run_probe(None)
         self._golden_receiver = self._run_receiver(None)
         self._golden_toggle = self._run_toggle(None)
+
+    @property
+    def golden(self) -> Dict[str, object]:
+        """Healthy signatures: probe-FF captures, the receiver's scan-
+        condition captures, and the toggle-test bias excursion."""
+        return {"probe": self._golden_probe,
+                "receiver": self._golden_receiver,
+                "toggle": self._golden_toggle}
 
     # ------------------------------------------------------------------
     def applies_to(self, fault: StructuralFault) -> bool:
@@ -100,7 +117,7 @@ class ScanTest:
         circuit = link.circuit
         if fault is not None:
             circuit = inject_fault(circuit, fault,
-                                   retention=self.retention_link)
+                                   retention=self.goldens.retention_link)
         out = {}
         for bit in (1, 0):
             v = link.vdd if bit else 0.0
@@ -117,8 +134,9 @@ class ScanTest:
         """Window-comparator captures across the six scan conditions."""
         dut = build_receiver_dut()
         if fault is not None:
-            dut.circuit = inject_fault(dut.circuit, fault,
-                                       retention=self.retention_receiver)
+            dut.circuit = inject_fault(
+                dut.circuit, fault,
+                retention=self.goldens.retention_receiver)
         out = {}
         for label, kw in SCAN_CONDITIONS:
             dut.set_condition(**kw)
@@ -135,7 +153,7 @@ class ScanTest:
         circuit = dut.circuit
         if fault is not None:
             circuit = inject_fault(circuit, fault,
-                                   retention=self.retention_link)
+                                   retention=self.goldens.retention_link)
         tr = transient(circuit, 25e-9, 0.1e-9,
                        probes=[dut.vcm_node, dut.ref_node])
         mask = tr.time > 5e-9

@@ -1,11 +1,15 @@
 """Fault-campaign machinery: run test tiers over the fault universe.
 
-A campaign owns an ordered list of *tiers* (``dc``, ``scan``, ``bist``),
-each a detector callable plus an applicability predicate (tests only run
-on blocks they physically observe).  Every fault is evaluated against
-every applicable tier — the paper's headline numbers are *cumulative*
-(DC, DC+scan, DC+scan+BIST), and the set-algebra claim ("intersecting
-but not subsets") needs the per-tier sets.
+A campaign owns an *ordered list of tiers* — any objects satisfying the
+:class:`repro.dft.registry.TestTier` protocol (``name`` / ``detect`` /
+``applies_to``), or bare ``(name, detector, applies)`` triples.  The
+paper's pipeline is the default three (``dc``, ``scan``, ``bist``,
+:data:`TIER_ORDER`), but nothing here is specific to them: coverage
+accounting, set algebra, serialization, and the parallel path all work
+over whatever tier names the campaign was built with.  Every fault is
+evaluated against every applicable tier — the paper's headline numbers
+are *cumulative* (DC, DC+scan, DC+scan+BIST), and the set-algebra claim
+("intersecting but not subsets") needs the per-tier sets.
 
 Faults are independent of each other, so :meth:`FaultCampaign.run` can
 fan the universe out over worker processes (``workers=N``).  Workers are
@@ -13,29 +17,52 @@ forked *after* the detectors are built, so they inherit the golden
 signatures without re-solving them, and results are reassembled in
 universe order — the records (and therefore every coverage number) are
 identical to a serial run.
+
+Campaigns are also *artifacts*: :meth:`CampaignResult.to_json` /
+:meth:`CampaignResult.from_json` round-trip a result losslessly, and
+``run(..., checkpoint=path)`` appends each record to a JSONL checkpoint
+as it completes and skips already-evaluated faults on the next run, so
+an interrupted multi-hour campaign resumes where it stopped.
 """
 
 from __future__ import annotations
 
+import json
 import multiprocessing
+import os
 from concurrent.futures import ProcessPoolExecutor, as_completed
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import (Callable, Dict, IO, List, Mapping, Optional, Sequence,
+                    Set, Tuple, Union)
 
 from .._profiling import COUNTERS
-from .model import DetectionRecord, FaultKind, StructuralFault
+from .model import DetectionRecord, StructuralFault
 
 DetectorFunc = Callable[[StructuralFault], bool]
 AppliesFunc = Callable[[StructuralFault], bool]
 
+#: the paper's default tier pipeline (Section IV accounting)
 TIER_ORDER = ("dc", "scan", "bist")
+
+#: artifact / checkpoint schema version
+ARTIFACT_VERSION = 1
+_RESULT_FORMAT = "repro-campaign-result"
+_CHECKPOINT_FORMAT = "repro-campaign-checkpoint"
 
 
 @dataclass
 class CampaignResult:
-    """Per-fault detection records plus coverage accounting."""
+    """Per-fault detection records plus coverage accounting.
+
+    ``tier_order`` names the tiers the campaign ran, in pipeline order;
+    it defaults to the paper's three so hand-built results keep working.
+    """
 
     records: List[DetectionRecord]
+    tier_order: Tuple[str, ...] = TIER_ORDER
+
+    def __post_init__(self):
+        self.tier_order = tuple(self.tier_order)
 
     # ------------------------------------------------------------------
     @property
@@ -44,21 +71,24 @@ class CampaignResult:
 
     def detected_by(self, tier: str) -> Set[StructuralFault]:
         """Faults the named tier detects (non-cumulative)."""
-        return {r.fault for r in self.records if getattr(r, tier)}
+        return {r.fault for r in self.records if r.hit(tier)}
 
     def cumulative_coverage(self, upto: str) -> float:
-        """Coverage of tiers dc..*upto* combined."""
+        """Coverage of the tiers from the first through *upto* combined."""
         if self.total == 0:
             return 1.0
-        idx = TIER_ORDER.index(upto)
-        active = TIER_ORDER[:idx + 1]
+        idx = self.tier_order.index(upto)
+        active = self.tier_order[:idx + 1]
         hit = sum(1 for r in self.records
-                  if any(getattr(r, t) for t in active))
+                  if any(r.hit(t) for t in active))
         return hit / self.total
 
     @property
     def overall_coverage(self) -> float:
-        return self.cumulative_coverage("bist")
+        """Fraction of faults some tier detected."""
+        if self.total == 0:
+            return 1.0
+        return sum(1 for r in self.records if r.detected) / self.total
 
     def coverage_by_kind(self) -> Dict[str, Tuple[int, int, float]]:
         """Table I rows: kind -> (detected, total, coverage)."""
@@ -67,16 +97,14 @@ class CampaignResult:
             label = r.fault.kind.table_label
             d, t = out.get(label, (0, 0))
             out[label] = (d + (1 if r.detected else 0), t + 1)
-        return {k: (d, t, d / t if t else 1.0)
-                for k, (d, t) in out.items()}
+        return {k: (d, t, d / t) for k, (d, t) in out.items()}
 
     def coverage_by_block(self) -> Dict[str, Tuple[int, int, float]]:
         out: Dict[str, Tuple[int, int]] = {}
         for r in self.records:
             d, t = out.get(r.fault.block, (0, 0))
             out[r.fault.block] = (d + (1 if r.detected else 0), t + 1)
-        return {k: (d, t, d / t if t else 1.0)
-                for k, (d, t) in out.items()}
+        return {k: (d, t, d / t) for k, (d, t) in out.items()}
 
     def undetected(self) -> List[StructuralFault]:
         return [r.fault for r in self.records if not r.detected]
@@ -88,17 +116,75 @@ class CampaignResult:
         sa, sb = self.detected_by(a), self.detected_by(b)
         return bool(sa & sb) and bool(sa - sb) and bool(sb - sa)
 
+    # -- artifact layer ------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        return {"format": _RESULT_FORMAT,
+                "version": ARTIFACT_VERSION,
+                "tier_order": list(self.tier_order),
+                "records": [r.to_dict() for r in self.records]}
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "CampaignResult":
+        if data.get("format") != _RESULT_FORMAT:
+            raise ValueError(
+                f"not a campaign result artifact: {data.get('format')!r}")
+        if data.get("version") != ARTIFACT_VERSION:
+            raise ValueError(
+                f"unsupported artifact version {data.get('version')!r}")
+        return cls(records=[DetectionRecord.from_dict(r)
+                            for r in data["records"]],
+                   tier_order=tuple(data["tier_order"]))
+
+    @classmethod
+    def from_json(cls, text: str) -> "CampaignResult":
+        return cls.from_dict(json.loads(text))
+
+    def save(self, path: str, indent: Optional[int] = 2) -> None:
+        with open(path, "w") as fh:
+            fh.write(self.to_json(indent=indent))
+
+    @classmethod
+    def load(cls, path: str) -> "CampaignResult":
+        with open(path) as fh:
+            return cls.from_json(fh.read())
+
 
 class FaultCampaign:
-    """Orchestrates detectors over a fault universe."""
+    """Orchestrates registered test tiers over a fault universe."""
 
     def __init__(self):
         self._tiers: List[Tuple[str, DetectorFunc, AppliesFunc]] = []
 
-    def add_tier(self, name: str, detector: DetectorFunc,
+    @property
+    def tier_names(self) -> Tuple[str, ...]:
+        return tuple(name for name, _, _ in self._tiers)
+
+    def add_tier(self, tier: Union[str, object],
+                 detector: Optional[DetectorFunc] = None,
                  applies: Optional[AppliesFunc] = None) -> None:
-        if name not in TIER_ORDER:
-            raise ValueError(f"tier must be one of {TIER_ORDER}")
+        """Append a tier to the pipeline.
+
+        Either pass a :class:`~repro.dft.registry.TestTier` object
+        (``add_tier(tier)``), or the legacy unpacked form
+        (``add_tier(name, detector, applies)``).  Tier names are free-
+        form but must be unique within the campaign — cumulative
+        coverage follows insertion order.
+        """
+        if isinstance(tier, str):
+            if detector is None:
+                raise TypeError(
+                    "add_tier(name, ...) needs a detector callable; "
+                    "pass a TestTier object for the protocol form")
+            name = tier
+        else:
+            name = tier.name
+            detector = tier.detect
+            applies = applies if applies is not None else tier.applies_to
+        if name in self.tier_names:
+            raise ValueError(f"duplicate tier name {name!r}")
         self._tiers.append((name, detector, applies or (lambda f: True)))
 
     def evaluate(self, fault: StructuralFault) -> DetectionRecord:
@@ -109,20 +195,20 @@ class FaultCampaign:
         is recorded on the record's ``errors`` list for debugging.
         """
         rec = DetectionRecord(fault=fault)
-        rec.errors = []
         for name, detector, applies in self._tiers:
             if not applies(fault):
                 continue
             try:
                 if detector(fault):
-                    setattr(rec, name, True)
+                    rec.tiers[name] = True
             except Exception as exc:  # noqa: BLE001 - keep campaign alive
                 rec.errors.append((name, repr(exc)))
         return rec
 
     def run(self, universe: Sequence[StructuralFault],
             progress: Optional[Callable[[int, int], None]] = None,
-            workers: Optional[int] = None) -> CampaignResult:
+            workers: Optional[int] = None,
+            checkpoint: Optional[str] = None) -> CampaignResult:
         """Evaluate every fault against every applicable tier.
 
         With ``workers`` > 1 (and fork available on this platform) the
@@ -131,51 +217,143 @@ class FaultCampaign:
         exactly, including the per-tier exception capture.  ``progress``
         is called per fault serially and per completed chunk in
         parallel, with the same ``(done, total)`` signature.
+
+        With ``checkpoint`` set, every finished record is appended to
+        that JSONL file as it completes, and faults already present in
+        the file (from a previous, possibly interrupted run with the
+        same tier pipeline) are *skipped* — their records are read back
+        instead of re-simulated.  The returned result is identical to
+        an uninterrupted run either way.
         """
         universe = list(universe)
         n = len(universe)
-        COUNTERS.campaign_faults += n
-        n_workers = 1 if workers is None else min(int(workers), n)
-        if (n_workers > 1
-                and "fork" in multiprocessing.get_all_start_methods()):
-            return self._run_parallel(universe, n_workers, progress)
-        records: List[DetectionRecord] = []
-        for i, fault in enumerate(universe):
-            records.append(self.evaluate(fault))
-            if progress is not None:
-                progress(i + 1, n)
-        return CampaignResult(records=records)
+        done: Dict[Tuple[str, str, str, str], DetectionRecord] = {}
+        writer: Optional[_CheckpointWriter] = None
+        if checkpoint is not None:
+            done = _load_checkpoint(checkpoint, self.tier_names)
+            writer = _CheckpointWriter(checkpoint, self.tier_names)
+        pending = [f for f in universe if f.key() not in done]
+        base = n - len(pending)
+        COUNTERS.campaign_faults += len(pending)
+        try:
+            n_workers = (1 if workers is None
+                         else min(int(workers), max(len(pending), 1)))
+            if (n_workers > 1 and pending
+                    and "fork" in multiprocessing.get_all_start_methods()):
+                self._run_parallel(pending, n_workers, progress,
+                                   done, writer, base, n)
+            else:
+                for i, fault in enumerate(pending):
+                    rec = self.evaluate(fault)
+                    done[fault.key()] = rec
+                    if writer is not None:
+                        writer.write(rec)
+                    if progress is not None:
+                        progress(base + i + 1, n)
+        finally:
+            if writer is not None:
+                writer.close()
+        return CampaignResult(records=[done[f.key()] for f in universe],
+                              tier_order=self.tier_names)
 
-    def _run_parallel(self, universe: List[StructuralFault], workers: int,
-                      progress: Optional[Callable[[int, int], None]]
-                      ) -> CampaignResult:
+    def _run_parallel(self, pending: List[StructuralFault], workers: int,
+                      progress: Optional[Callable[[int, int], None]],
+                      done: Dict[Tuple, DetectionRecord],
+                      writer: Optional["_CheckpointWriter"],
+                      base: int, total: int) -> None:
         global _WORKER_CAMPAIGN, _WORKER_UNIVERSE
-        n = len(universe)
+        n = len(pending)
         # a few chunks per worker keeps the pool busy even though fault
         # evaluation cost is heavily skewed (BIST lock tests dominate)
         size = max(1, -(-n // (workers * 4)))
         bounds = [(lo, min(lo + size, n)) for lo in range(0, n, size)]
         COUNTERS.campaign_chunks += len(bounds)
         ctx = multiprocessing.get_context("fork")
-        _WORKER_CAMPAIGN, _WORKER_UNIVERSE = self, universe
+        _WORKER_CAMPAIGN, _WORKER_UNIVERSE = self, pending
         try:
             with ProcessPoolExecutor(max_workers=workers,
                                      mp_context=ctx) as pool:
-                chunks: List[Optional[List[DetectionRecord]]] = \
-                    [None] * len(bounds)
                 futures = {pool.submit(_evaluate_chunk, b): k
                            for k, b in enumerate(bounds)}
-                done = 0
+                completed = 0
                 for fut in as_completed(futures):
                     k = futures[fut]
-                    chunks[k] = fut.result()
-                    done += bounds[k][1] - bounds[k][0]
+                    records = fut.result()
+                    lo = bounds[k][0]
+                    for j, rec in enumerate(records):
+                        done[pending[lo + j].key()] = rec
+                        if writer is not None:
+                            writer.write(rec)
+                    completed += len(records)
                     if progress is not None:
-                        progress(done, n)
+                        progress(base + completed, total)
         finally:
             _WORKER_CAMPAIGN = _WORKER_UNIVERSE = None
-        return CampaignResult(
-            records=[rec for chunk in chunks for rec in chunk])
+
+
+# ----------------------------------------------------------------------
+# checkpoint file helpers (JSONL: one header line, then one record/line)
+# ----------------------------------------------------------------------
+def _checkpoint_header(tier_names: Sequence[str]) -> Dict[str, object]:
+    return {"format": _CHECKPOINT_FORMAT, "version": ARTIFACT_VERSION,
+            "tier_order": list(tier_names)}
+
+
+def _load_checkpoint(path: str, tier_names: Sequence[str]
+                     ) -> Dict[Tuple[str, str, str, str], DetectionRecord]:
+    """Records already evaluated by a previous run against *path*.
+
+    An empty/missing file yields an empty map.  A header whose tier
+    pipeline differs from the current campaign is an error — mixing
+    records from different pipelines would corrupt the accounting.  A
+    truncated trailing line (interrupted mid-write) is discarded.
+    """
+    if not os.path.exists(path) or os.path.getsize(path) == 0:
+        return {}
+    done: Dict[Tuple[str, str, str, str], DetectionRecord] = {}
+    with open(path) as fh:
+        header_line = fh.readline()
+        try:
+            header = json.loads(header_line)
+        except json.JSONDecodeError:
+            raise ValueError(f"{path}: not a campaign checkpoint") from None
+        if header.get("format") != _CHECKPOINT_FORMAT:
+            raise ValueError(f"{path}: not a campaign checkpoint "
+                             f"(format={header.get('format')!r})")
+        if list(header.get("tier_order", [])) != list(tier_names):
+            raise ValueError(
+                f"{path}: checkpoint was written by tier pipeline "
+                f"{header.get('tier_order')!r}, campaign runs "
+                f"{list(tier_names)!r}")
+        for line in fh:
+            if not line.strip():
+                continue
+            try:
+                rec = DetectionRecord.from_dict(json.loads(line))
+            except (json.JSONDecodeError, KeyError, ValueError):
+                break  # truncated tail from an interrupted write
+            done[rec.fault.key()] = rec
+    return done
+
+
+class _CheckpointWriter:
+    """Appends records to a JSONL checkpoint, one flushed line each."""
+
+    def __init__(self, path: str, tier_names: Sequence[str]):
+        fresh = not os.path.exists(path) or os.path.getsize(path) == 0
+        self._fh: Optional[IO[str]] = open(path, "a")
+        if fresh:
+            self._fh.write(json.dumps(_checkpoint_header(tier_names)) + "\n")
+            self._fh.flush()
+
+    def write(self, record: DetectionRecord) -> None:
+        self._fh.write(json.dumps(record.to_dict()) + "\n")
+        self._fh.flush()
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
 
 
 #: campaign/universe handed to forked workers by :meth:`_run_parallel`;

@@ -13,9 +13,9 @@ role to decide what a fault does to the closed loop.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
-from typing import List, Optional
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 
 class FaultKind(Enum):
@@ -71,6 +71,19 @@ class StructuralFault:
     def __str__(self) -> str:
         return f"{self.block}:{self.device}/{self.kind.value}"
 
+    def key(self) -> Tuple[str, str, str, str]:
+        """Stable identity used by campaign checkpoints."""
+        return (self.device, self.kind.value, self.block, self.role)
+
+    def to_dict(self) -> Dict[str, str]:
+        return {"device": self.device, "kind": self.kind.value,
+                "block": self.block, "role": self.role}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, str]) -> "StructuralFault":
+        return cls(device=data["device"], kind=FaultKind(data["kind"]),
+                   block=data["block"], role=data.get("role", ""))
+
 
 #: resistance used to realise an open.  Must be far above the solver's
 #: gmin floor (1e-12 S ~ 1 TOhm) so a floated node genuinely floats —
@@ -83,21 +96,87 @@ R_SHORT = 10.0
 R_GATE_RETAIN = 1e8
 
 
-@dataclass
 class DetectionRecord:
-    """Which test tiers detected a fault."""
+    """Which test tiers detected a fault.
 
-    fault: StructuralFault
-    dc: bool = False
-    scan: bool = False
-    bist: bool = False
+    ``tiers`` maps a tier name to ``True`` for every tier that detected
+    the fault; tiers that missed (or did not apply) are simply absent,
+    so records work for any registered tier set, not just the paper's
+    ``dc``/``scan``/``bist``.  Those three stay readable as attributes
+    and settable as constructor flags for the common case.
+
+    ``errors`` collects ``(tier, repr(exception))`` pairs from detectors
+    that raised; it is a first-class field, so it survives pickling
+    through forked campaign workers and JSON round-trips.
+    """
+
+    __slots__ = ("fault", "tiers", "errors")
+
+    def __init__(self, fault: StructuralFault,
+                 tiers: Optional[Mapping[str, bool]] = None,
+                 errors: Optional[Iterable[Sequence[str]]] = None,
+                 **tier_flags: bool):
+        self.fault = fault
+        self.tiers: Dict[str, bool] = {name: True for name, hit
+                                       in (tiers or {}).items() if hit}
+        for name, hit in tier_flags.items():
+            if hit:
+                self.tiers[name] = True
+        self.errors: List[Tuple[str, str]] = \
+            [tuple(e) for e in (errors or [])]
+
+    # -- paper-tier attribute compatibility ----------------------------
+    @property
+    def dc(self) -> bool:
+        return bool(self.tiers.get("dc"))
+
+    @property
+    def scan(self) -> bool:
+        return bool(self.tiers.get("scan"))
+
+    @property
+    def bist(self) -> bool:
+        return bool(self.tiers.get("bist"))
+
+    # ------------------------------------------------------------------
+    def hit(self, tier: str) -> bool:
+        """True when the named tier detected this fault."""
+        return bool(self.tiers.get(tier))
 
     @property
     def detected(self) -> bool:
-        return self.dc or self.scan or self.bist
+        return any(self.tiers.values())
 
-    def first_tier(self) -> Optional[str]:
-        for name in ("dc", "scan", "bist"):
-            if getattr(self, name):
+    def first_tier(self, order: Optional[Sequence[str]] = None
+                   ) -> Optional[str]:
+        """First detecting tier, by *order* (default: evaluation order —
+        hits are inserted as the campaign walks its tier list)."""
+        for name in (self.tiers if order is None else order):
+            if self.tiers.get(name):
                 return name
         return None
+
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DetectionRecord):
+            return NotImplemented
+        return (self.fault == other.fault and self.tiers == other.tiers
+                and self.errors == other.errors)
+
+    __hash__ = None  # mutable
+
+    def __repr__(self) -> str:
+        return (f"DetectionRecord(fault={self.fault!s}, "
+                f"tiers={sorted(self.tiers)}, errors={len(self.errors)})")
+
+    # -- artifact serialization ----------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        return {"fault": self.fault.to_dict(),
+                "tiers": dict(self.tiers),
+                "errors": [list(e) for e in self.errors]}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "DetectionRecord":
+        return cls(fault=StructuralFault.from_dict(data["fault"]),
+                   tiers=data.get("tiers") or {},
+                   errors=data.get("errors") or [])

@@ -114,7 +114,6 @@ class TestReports:
 
         rec = DetectionRecord(
             StructuralFault("x", FaultKind.DRAIN_OPEN, "tx"), dc=True)
-        rec.errors = []
         summary = CampaignSummary.from_result(CampaignResult([rec]))
         text = render_headline(summary)
         assert "DC test" in text and "Paper" in text

@@ -17,11 +17,9 @@ def make_summary():
     records = []
     for i, kind in enumerate(FaultKind):
         dev = f"d{i}"
-        rec = DetectionRecord(StructuralFault(dev, kind, "tx"),
-                              dc=(i % 2 == 0), scan=(i % 3 == 0),
-                              bist=(i % 2 == 1))
-        rec.errors = []
-        records.append(rec)
+        records.append(DetectionRecord(StructuralFault(dev, kind, "tx"),
+                                       dc=(i % 2 == 0), scan=(i % 3 == 0),
+                                       bist=(i % 2 == 1)))
     return CampaignSummary.from_result(CampaignResult(records))
 
 

@@ -50,10 +50,8 @@ class TestCoverageReportMath:
         """Build a synthetic report: one fault per defect class."""
         records = []
         for kind, flag in zip(FaultKind, detected_flags):
-            rec = DetectionRecord(StructuralFault("d", kind, "tx"),
-                                  dc=flag)
-            rec.errors = []
-            records.append(rec)
+            records.append(DetectionRecord(StructuralFault("d", kind, "tx"),
+                                           dc=flag))
         return CoverageReport(result=CampaignResult(records))
 
     def test_tier_properties(self):
@@ -78,6 +76,22 @@ class TestCoverageReportMath:
         assert "Gate open" in rep.format_table1()
         assert "DC test" in rep.format_headline()
 
+    def test_absent_kind_renders_na_not_full_coverage(self):
+        """A defect class with zero faults has no coverage to report —
+        it must show as n/a (0/0), never as a flattering 100%."""
+        rec = DetectionRecord(
+            StructuralFault("d", FaultKind.GATE_OPEN, "tx"), dc=True)
+        rep = CoverageReport(result=CampaignResult([rec]))
+        rows = {r[0]: r for r in rep.table1_rows()}
+        assert rows["Capacitor short"][1:4] == (0, 0, None)
+        rendered = rep.format_table1()
+        cap_line = next(l for l in rendered.splitlines()
+                        if l.startswith("Capacitor short"))
+        assert "n/a" in cap_line and "(0/0)" in cap_line
+        # the measured column must not claim 100%: only the paper
+        # reference column may carry a percentage on this row
+        assert cap_line.count("100.0%") == 1
+
     def test_headline_rows_reference_paper(self):
         rep = self._report([False] * 7)
         rows = rep.headline_rows()
@@ -90,7 +104,6 @@ class TestCampaignSetAlgebraAccounting:
         rec = DetectionRecord(
             StructuralFault("x", FaultKind.DRAIN_OPEN, "cp"),
             dc=True, scan=False, bist=True)
-        rec.errors = []
         result = CampaignResult([rec])
         assert result.detected_by("dc")
         assert not result.detected_by("scan")
@@ -99,11 +112,9 @@ class TestCampaignSetAlgebraAccounting:
     def test_coverage_by_block(self):
         recs = []
         for i, blk in enumerate(("tx", "tx", "cp")):
-            r = DetectionRecord(
+            recs.append(DetectionRecord(
                 StructuralFault(f"d{i}", FaultKind.DRAIN_OPEN, blk),
-                dc=(i == 0))
-            r.errors = []
-            recs.append(r)
+                dc=(i == 0)))
         by_block = CampaignResult(recs).coverage_by_block()
         assert by_block["tx"] == (1, 2, 0.5)
         assert by_block["cp"] == (0, 1, 0.0)

@@ -6,26 +6,29 @@ part) and exercise the paper's key claims fault-by-fault.
 
 import pytest
 
-from repro.dft.bist import BISTTest
-from repro.dft.dc_test import DCTest
-from repro.dft.scan_test import ScanTest
+from repro.dft.golden import GoldenSignatures
+from repro.dft.registry import create_tier
 from repro.faults import FaultKind, StructuralFault
 
 
 @pytest.fixture(scope="module")
-def dc():
-    return DCTest()
+def goldens():
+    return GoldenSignatures()
 
 
 @pytest.fixture(scope="module")
-def scan(dc):
-    return ScanTest(retention_link=dc._retention_link,
-                    retention_receiver=dc._retention_receiver)
+def dc(goldens):
+    return create_tier("dc", goldens)
 
 
 @pytest.fixture(scope="module")
-def bist(dc):
-    return BISTTest(retention_receiver=dc._retention_receiver)
+def scan(goldens):
+    return create_tier("scan", goldens)
+
+
+@pytest.fixture(scope="module")
+def bist(goldens):
+    return create_tier("bist", goldens)
 
 
 def F(dev, kind, block, role=""):

@@ -38,10 +38,18 @@ class TestCampaign:
         res = campaign.run(self._universe())
         assert res.detected_by("dc") == {self._universe()[3]}
 
-    def test_invalid_tier_name(self):
+    def test_arbitrary_tier_names_allowed(self):
         campaign = FaultCampaign()
+        campaign.add_tier("turbo", lambda f: f.device == "d1")
+        res = campaign.run(self._universe())
+        assert res.tier_order == ("turbo",)
+        assert res.cumulative_coverage("turbo") == 0.25
+
+    def test_duplicate_tier_name_rejected(self):
+        campaign = FaultCampaign()
+        campaign.add_tier("dc", lambda f: True)
         with pytest.raises(ValueError):
-            campaign.add_tier("turbo", lambda f: True)
+            campaign.add_tier("dc", lambda f: False)
 
     def test_detector_exception_is_not_detection(self):
         campaign = FaultCampaign()

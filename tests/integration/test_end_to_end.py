@@ -48,11 +48,9 @@ class TestCalibrationConsistency:
         """The behavioural 0.45/0.75 window equals the measured trip
         points of the wide window comparator on V_c."""
         from repro.dft.bist import BISTTest
-        from repro.dft.dc_test import DCTest
         from repro.link import LinkParams
 
-        dc = DCTest()
-        bist = BISTTest(retention_receiver=dc._retention_receiver)
+        bist = BISTTest()
         th_lo, th_hi = bist._measure_window_thresholds(None)
         p = LinkParams()
         assert th_lo == pytest.approx(p.v_window_lo, abs=0.06)
@@ -78,10 +76,6 @@ class TestTierOwnership:
     that claims its block."""
 
     def test_every_block_has_a_tier(self, link):
-        from repro.dft.bist import BISTTest
-        from repro.dft.dc_test import DCTest
-        from repro.dft.scan_test import ScanTest
-
         dc = link.dc_tier
         scan = link.scan_tier
         bist = link.bist_tier
