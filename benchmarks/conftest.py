@@ -11,23 +11,36 @@ Environment knobs:
 * ``REPRO_CAMPAIGN_SAMPLE=<n>`` — run the campaign on a random *n*-fault
   sample (coarser percentages, much faster smoke runs);
 * ``REPRO_CAMPAIGN_WORKERS=<n>`` — fan the campaign out over *n* worker
-  processes (results are identical to a serial run).
+  processes (results are identical to a serial run);
+* ``REPRO_MC_DIES=<n>`` — die count for the Monte-Carlo variation bench
+  (default 8);
+* ``REPRO_MC_WORKERS=<n>`` — fork the die sweep (default serial, which
+  keeps the per-die retune/reuse counters in this process for the
+  BENCH artifact).
 
-Every session also writes ``BENCH_PR1.json`` next to this file: per-bench
-wall time plus the engine's profiling counters, so performance PRs have a
-before/after record.
+Every session writes ``BENCH_PR3.json`` next to this file: per-bench
+wall time plus the engine's profiling counters (including the per-die
+plan-retune / bench-reuse counters of the Monte-Carlo path), so
+performance PRs have a before/after record.  The newest *older*
+``BENCH_PR*.json`` found beside it is referenced as the baseline.
 """
 
 from __future__ import annotations
 
+import glob
 import json
 import os
 import random
+import re
 import time
 
 import pytest
 
+_HERE = os.path.dirname(__file__)
+_OUTPUT_NAME = "BENCH_PR3.json"
+
 _campaign_cache = {}
+_mc_cache = {}
 _bench_times = {}
 
 
@@ -47,9 +60,45 @@ def get_campaign_report():
     return _campaign_cache["report"]
 
 
+def get_mc_result():
+    """Run (or fetch) the session's Monte-Carlo variation campaign."""
+    if "result" not in _mc_cache:
+        from repro.variation import MonteCarloCampaign
+
+        dies = int(os.environ.get("REPRO_MC_DIES", "8"))
+        # serial by default: the per-die retune/reuse counters recorded
+        # in the BENCH artifact live in the evaluating process, and a
+        # forked sweep would leave them in the (discarded) children
+        workers = int(os.environ.get("REPRO_MC_WORKERS", "0")) or None
+        _mc_cache["result"] = MonteCarloCampaign(seed=2016).run(
+            dies, workers=workers)
+    return _mc_cache["result"]
+
+
 @pytest.fixture(scope="session")
 def campaign_report():
     return get_campaign_report()
+
+
+@pytest.fixture(scope="session")
+def mc_result():
+    return get_mc_result()
+
+
+def _baseline_name() -> str:
+    """Newest BENCH_PR*.json beside this file, excluding this PR's own
+    output — the before/after reference for performance work."""
+
+    def pr_number(path):
+        m = re.search(r"BENCH_PR(\d+)\.json$", path)
+        return int(m.group(1)) if m else -1
+
+    candidates = [p for p in glob.glob(os.path.join(_HERE, "BENCH_PR*.json"))
+                  if os.path.basename(p) != _OUTPUT_NAME
+                  and pr_number(p) >= 0]
+    if not candidates:
+        return None
+    return os.path.basename(max(candidates, key=pr_number))
 
 
 @pytest.hookimpl(hookwrapper=True)
@@ -65,12 +114,14 @@ def pytest_sessionfinish(session, exitstatus):
     from repro.core.profiling import COUNTERS
 
     payload = {
+        "baseline": _baseline_name(),
         "campaign_sample": os.environ.get("REPRO_CAMPAIGN_SAMPLE"),
         "campaign_workers": os.environ.get("REPRO_CAMPAIGN_WORKERS"),
+        "mc_dies": os.environ.get("REPRO_MC_DIES"),
         "bench_wall_s": _bench_times,
         "counters": COUNTERS.snapshot(),
     }
-    path = os.path.join(os.path.dirname(__file__), "BENCH_PR1.json")
+    path = os.path.join(_HERE, _OUTPUT_NAME)
     with open(path, "w") as fh:
         json.dump(payload, fh, indent=2, sort_keys=True)
         fh.write("\n")

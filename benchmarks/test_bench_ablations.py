@@ -10,7 +10,6 @@
 
 from dataclasses import replace
 
-import pytest
 
 from repro.dft.dll_bist import (
     dll_with_dead_tap,

@@ -9,7 +9,6 @@ representative fault must stay detected everywhere (no corner-induced
 escapes).
 """
 
-import pytest
 
 from repro.analog import ALL_CORNERS, MismatchSpec, dc_operating_point
 from repro.circuits import build_full_link

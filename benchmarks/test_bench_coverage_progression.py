@@ -6,9 +6,7 @@ substantial increment, ordering is strict, and the digital fabric
 reaches full stuck-at coverage.
 """
 
-import pytest
 
-from benchmarks.conftest import get_campaign_report
 from repro.dft.digital_scan import run_digital_scan_campaign
 
 

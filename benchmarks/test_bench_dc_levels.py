@@ -3,7 +3,6 @@
 test signature on the transistor-level full link.
 """
 
-import pytest
 
 from repro.analog import dc_operating_point
 from repro.circuits import build_full_link, measure_trip_offset

@@ -4,7 +4,6 @@ has collapsed.  (The paper cites [7] for the transmitter; this is the
 motivating behaviour its test infrastructure protects.)
 """
 
-import pytest
 
 from repro.channel import (
     ChannelConfig,

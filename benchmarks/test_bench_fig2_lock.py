@@ -8,7 +8,6 @@ acquisition from the farthest startup phase and prints the series.
 """
 
 import numpy as np
-import pytest
 
 from repro.link import LinkParams
 from repro.synchronizer import SynchronizerLoop

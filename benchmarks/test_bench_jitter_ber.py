@@ -10,7 +10,6 @@ Quantified: V_p drift -> recovered-clock jitter -> BER penalty, and the
 CP-BIST window (150 mV) placed where the penalty starts to matter.
 """
 
-import pytest
 
 from repro.channel import ChannelConfig, ber_with_cp_fault
 from repro.synchronizer import jitter_from_vp_drift

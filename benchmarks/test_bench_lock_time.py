@@ -4,7 +4,6 @@ lock within 2 us, which corresponds to 5000 cycles at 2.5 Gbps" and
 number of DLL phases".
 """
 
-import pytest
 
 from repro.link import LinkParams
 from repro.synchronizer import LOCK_BUDGET_S, coarse_correction_bound, lock_sweep

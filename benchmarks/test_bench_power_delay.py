@@ -8,7 +8,6 @@
   clock rate).
 """
 
-import pytest
 
 from repro.channel import ChannelConfig, compare_energy, crossover_rate
 from repro.dft.delay_scan import (

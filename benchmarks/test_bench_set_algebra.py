@@ -3,10 +3,6 @@ and BIST are intersecting but not subsets of each other, which means to
 achieve 94.8% coverage both tests are required."
 """
 
-import pytest
-
-from benchmarks.conftest import get_campaign_report
-
 
 def test_bench_scan_bist_set_algebra(benchmark, campaign_report):
     result = campaign_report.result

@@ -13,7 +13,6 @@ models; see EXPERIMENTS.md):
 * total coverage lands in the high-80s-to-mid-90s band.
 """
 
-import pytest
 
 from benchmarks.conftest import get_campaign_report
 
@@ -28,10 +27,13 @@ def test_bench_table1_coverage(benchmark):
     gs_short_cov = by_label["Gate source short"][3]
     total_cov = by_label["Total"][3]
 
-    # gate opens are the hardest class
+    # gate opens are the hardest class (a class can be absent from a
+    # REPRO_CAMPAIGN_SAMPLE smoke run; its coverage is then None)
     for label in ("Drain open", "Source open", "Gate source short",
                   "Drain source short", "Capacitor short"):
-        assert by_label[label][3] >= gate_open_cov, label
+        cov = by_label[label][3]
+        if cov is not None:
+            assert cov >= gate_open_cov, label
     # shorts essentially covered
     assert cap_short_cov == 1.0
     assert gs_short_cov >= 0.9

@@ -5,7 +5,6 @@ actually instantiates (probe flops, comparators, clamps, the lock
 detector...).  The paper-normalised counts must match Table II exactly.
 """
 
-import pytest
 
 from repro.dft.overhead import (
     PAPER_TABLE2,

@@ -14,7 +14,6 @@ Run:  python examples/drift_tracking.py
 import numpy as np
 
 from repro.core.report import render_table
-from repro.link import LinkParams
 from repro.synchronizer import (
     ForegroundReceiver,
     compare_under_drift,
@@ -50,8 +49,6 @@ def strip_chart(times, errors, margin, label):
 
 
 def main() -> None:
-    p = LinkParams()
-
     print("[1] Phase quantization (the first limitation of [4])")
     errs = quantization_error_sweep(steps=32)
     worst = max(abs(e) for e in errs)

@@ -31,6 +31,7 @@ ALLOWLIST = {
     ("analog/assembly.py", "c", "_geq_used"),
     ("analog/assembly.py", "c", "_ieq_used"),
     ("analog/assembly.py", "circuit", "_compiled_cache"),
+    ("analog/assembly.py", "circuit", "_param_revision"),
 }
 
 #: receivers that denote "my own state", never a reach-in
@@ -40,12 +41,13 @@ SELF_NAMES = {"self", "cls"}
 def iter_violations(path: Path) -> Iterator[Tuple[int, str, str]]:
     """Yield (line, receiver, attribute) for each reach-in in *path*."""
     text = path.read_text()
+    lines = text.splitlines()
     tokens = list(tokenize.generate_tokens(io.StringIO(text).readline))
     for i in range(len(tokens) - 2):
         name_tok, dot_tok, attr_tok = tokens[i], tokens[i + 1], tokens[i + 2]
-        if (name_tok.type != tokenize.NAME
-                or dot_tok.type != tokenize.OP or dot_tok.string != "."
-                or attr_tok.type != tokenize.NAME):
+        if name_tok.type != tokenize.NAME or attr_tok.type != tokenize.NAME:
+            continue
+        if dot_tok.type != tokenize.OP or dot_tok.string != ".":
             continue
         receiver, attr = name_tok.string, attr_tok.string
         if not attr.startswith("_") or attr.startswith("__"):
@@ -53,7 +55,7 @@ def iter_violations(path: Path) -> Iterator[Tuple[int, str, str]]:
         if receiver in SELF_NAMES:
             continue
         # skip `from x import _y` / `import x._y` style lines
-        line_start = text.splitlines()[name_tok.start[0] - 1].lstrip()
+        line_start = lines[name_tok.start[0] - 1].lstrip()
         if line_start.startswith(("import ", "from ")):
             continue
         # skip attribute chains ending in a call on self: `self._x._y` is
@@ -71,17 +73,18 @@ def main() -> int:
         for line, receiver, attr in iter_violations(path):
             if (rel, receiver, attr) in ALLOWLIST:
                 continue
-            violations.append(
-                f"src/repro/{rel}:{line}: {receiver}.{attr}")
+            violations.append(f"src/repro/{rel}:{line}: {receiver}.{attr}")
     if violations:
-        print("cross-object private-attribute access is not allowed in "
-              "src/repro/ (use the public tier/golden APIs):",
-              file=sys.stderr)
+        print(
+            "cross-object private-attribute access is not allowed in "
+            "src/repro/ (use the public tier/golden APIs):",
+            file=sys.stderr,
+        )
         for v in violations:
             print(f"  {v}", file=sys.stderr)
         return 1
-    print(f"private-access guard: clean "
-          f"({sum(1 for _ in SRC_ROOT.rglob('*.py'))} files)")
+    total = sum(1 for _ in SRC_ROOT.rglob("*.py"))
+    print(f"private-access guard: clean ({total} files)")
     return 0
 
 

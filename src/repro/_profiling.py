@@ -29,6 +29,8 @@ _FIELDS = (
                              # a fast-path assembly (unknown Element types)
     "compile_count",         # CompiledAssembly constructions
     "compiled_cache_hits",   # reuses of a cached CompiledAssembly
+    "plan_retunes",          # cached plans re-parameterized in place
+                             # (Monte-Carlo die sweeps re-stamp values)
     # solves
     "newton_iterations",
     "lu_factor",             # fresh LU factorizations
@@ -36,6 +38,9 @@ _FIELDS = (
     # campaign
     "campaign_faults",       # faults evaluated (serial or in a worker)
     "campaign_chunks",       # parallel work units dispatched
+    # Monte-Carlo variation
+    "mc_dies",               # sampled dies evaluated (healthy + faulty)
+    "mc_bench_reuse",        # die-bench circuits reused across dies
 )
 
 

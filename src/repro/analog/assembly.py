@@ -164,6 +164,7 @@ class CompiledAssembly:
         self.method = method
         self.gmin = gmin
         self.lu_cache = LinearSolverCache()
+        self.param_revision = getattr(circuit, "_param_revision", 0)
         self._compile()
         COUNTERS.compile_count += 1
 
@@ -287,12 +288,42 @@ class CompiledAssembly:
             # add_current(p, n, -ieq): b[p] += ieq, b[n] -= ieq
             p, n = int(self._cap_p[j]), int(self._cap_n[j])
             if p >= 0:
-                rows.append(p); sign.append(1.0); src.append(j)
+                rows.append(p)
+                sign.append(1.0)
+                src.append(j)
             if n >= 0:
-                rows.append(n); sign.append(-1.0); src.append(j)
+                rows.append(n)
+                sign.append(-1.0)
+                src.append(j)
         self._cap_brow = np.array(rows, dtype=np.intp)
         self._cap_bsign = np.array(sign)
         self._cap_bsrc = np.array(src, dtype=np.intp)
+
+    # ------------------------------------------------------------------
+    def refresh_parameters(self) -> None:
+        """Re-read tunable device parameters into the compiled arrays.
+
+        The scatter structure (node index, COO plans, static stamps) is
+        untouched — only the per-device value vectors are re-read:
+        MOSFET EKV coefficients, switch thresholds and on/off
+        conductances, and capacitor companion conductances.  Callers
+        signal the edit through :meth:`repro.analog.netlist.Circuit.retune`;
+        :func:`get_compiled` then refreshes the cached plan instead of
+        recompiling it.  The LU cache is dropped — the matrix values
+        change even though its sparsity pattern does not.
+        """
+        for j, e in enumerate(self._mosfets):
+            (self._mos_sign[j], self._mos_vt0[j], self._mos_n[j],
+             self._mos_beta[j], self._mos_lam[j]) = e.ekv_params()
+        for j, e in enumerate(self._switches):
+            self._sw_thr[j] = e.threshold
+            self._sw_gon[j] = 1.0 / e.r_on
+            self._sw_goff[j] = 1.0 / e.r_off
+        if self.mode == "tran" and self._caps:
+            factor = 2.0 if self.method == "trap" else 1.0
+            for j, c in enumerate(self._caps):
+                self._cap_geq[j] = factor * c.capacitance / self.dt
+        self.lu_cache.invalidate()
 
     # ------------------------------------------------------------------
     def assemble(self, x: np.ndarray, *, time: float = 0.0,
@@ -421,6 +452,11 @@ def get_compiled(circuit, mode: str, *, node_index: Dict[str, int],
     hit = cache.get(key)
     if hit is not None and hit.n_total == n_total:
         COUNTERS.compiled_cache_hits += 1
+        rev = getattr(circuit, "_param_revision", 0)
+        if hit.param_revision != rev:
+            hit.refresh_parameters()
+            hit.param_revision = rev
+            COUNTERS.plan_retunes += 1
         return hit
     if len(cache) >= _MAX_PLANS_PER_CIRCUIT:
         cache.clear()

@@ -17,7 +17,7 @@ lives on.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional
 
 from .mosfet import MOSFET, MOSParams
 from .netlist import Circuit

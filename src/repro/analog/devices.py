@@ -23,9 +23,8 @@ Modes
 from __future__ import annotations
 
 import math
-from typing import Dict, Optional
+from typing import Dict
 
-import numpy as np
 
 GROUND_NAMES = ("0", "gnd", "GND", "vss", "VSS")
 

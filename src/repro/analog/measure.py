@@ -9,7 +9,7 @@ waveforms (or any ``(time, values)`` pair).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 

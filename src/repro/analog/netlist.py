@@ -15,20 +15,17 @@ transformation rather than a special simulator mode.
 from __future__ import annotations
 
 import copy
-from typing import Dict, Iterable, Iterator, List, Optional
+from typing import Dict, Iterator, List, Optional
 
-from .devices import (
-    GROUND_NAMES,
-    Capacitor,
-    CurrentSource,
-    Diode,
-    Element,
-    Resistor,
-    Switch,
-    VoltageControlledVoltageSource,
-    VoltageSource,
-    is_ground,
-)
+from .devices import (Capacitor,
+                      CurrentSource,
+                      Diode,
+                      Element,
+                      Resistor,
+                      Switch,
+                      VoltageControlledVoltageSource,
+                      VoltageSource,
+                      is_ground)
 from .mosfet import MOSFET, MOSParams, NMOS_130, PMOS_130
 
 
@@ -50,6 +47,7 @@ class Circuit:
         self._elements: Dict[str, Element] = {}
         self._counter = 0
         self._revision = 0
+        self._param_revision = 0
         self._compiled_cache: Dict = {}
 
     # ------------------------------------------------------------------
@@ -87,6 +85,21 @@ class Circuit:
         """
         self._revision += 1
         self._compiled_cache.clear()
+
+    def retune(self) -> None:
+        """Signal an element-*parameter* edit that keeps the topology.
+
+        Unlike :meth:`touch`, compiled assembly plans survive: their
+        device-parameter arrays (MOSFET EKV coefficients, switch
+        thresholds and on/off conductances, capacitor companion terms)
+        are re-read in place on the next solve instead of recompiling
+        the whole scatter structure.  This is what makes a Monte-Carlo
+        die sweep cheap — the topology, node index, and COO scatter
+        plans are shared across dies and only the parameter vectors are
+        re-stamped.  Edits to *static* stamps (resistances, VCVS gains,
+        source incidence) still require :meth:`touch`.
+        """
+        self._param_revision += 1
 
     def __getitem__(self, name: str) -> Element:
         try:

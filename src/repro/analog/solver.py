@@ -2,13 +2,13 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, Tuple
 
 import numpy as np
 
 from .._profiling import COUNTERS
 from .devices import StampContext
-from .netlist import Circuit, is_ground
+from .netlist import Circuit
 
 
 class SolverError(Exception):

@@ -19,7 +19,7 @@ guessing.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, TextIO, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from .devices import (
     Capacitor,

@@ -9,8 +9,8 @@ little) but the integrator falls back to step halving when Newton stalls.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Sequence
 
 import numpy as np
 

@@ -10,7 +10,6 @@ comparator inputs for healthy and mismatched arms.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Tuple
 
 from .sparams import ChannelConfig
 

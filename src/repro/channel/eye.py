@@ -13,7 +13,7 @@ The synchronizer's job in the paper is to place the sampling clock at the
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Tuple
 
 import numpy as np
 

@@ -25,7 +25,6 @@ from dataclasses import dataclass
 from typing import Optional
 
 from .sparams import ChannelConfig
-from .wire_models import WireModel
 
 #: default data transition density (PRBS-like traffic)
 ACTIVITY = 0.5

@@ -14,7 +14,6 @@ Two complementary views of the same wire:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
 
 import numpy as np
 

@@ -11,8 +11,8 @@ weak driver provides the DC path that fixes the static low-swing levels
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from dataclasses import dataclass
+from typing import Tuple
 
 import numpy as np
 

@@ -31,8 +31,8 @@ a switch anyway) and shows up in BIST as uncontrolled pump current.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import List, Optional
 
 from ..analog import Capacitor, Circuit, dc_operating_point
 from ..analog.mosfet import MOSFET

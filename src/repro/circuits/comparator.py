@@ -18,7 +18,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
-import numpy as np
 
 from ..analog import Circuit, dc_operating_point
 from ..analog.mosfet import MOSFET

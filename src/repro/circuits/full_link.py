@@ -9,12 +9,13 @@ campaign.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import Dict, List
 
 from ..analog import Capacitor, Circuit, OperatingPoint, dc_operating_point
 from ..analog.mosfet import MOSFET
 from ..channel import GLOBAL_MIN, RCLine, WireModel
+from ..variation.context import die_bench
 from .ffe_transmitter import TransmitterPorts, build_transmitter
 from .termination import TerminationPorts, build_termination
 
@@ -79,6 +80,7 @@ class FullLinkPorts:
         return results
 
 
+@die_bench
 def build_full_link(wire: WireModel = GLOBAL_MIN, length_m: float = 10e-3,
                     vdd: float = 1.2,
                     ladder_sections: int = DC_LADDER_SECTIONS,

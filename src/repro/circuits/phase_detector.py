@@ -24,7 +24,7 @@ DN — the two-pass test of Section II-A.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List
 
 from ..digital.sequential import ScanDFF
 from ..digital.simulator import LogicCircuit

@@ -21,9 +21,9 @@ from typing import List
 
 from ..analog import Circuit
 from ..analog.mosfet import MOSFET
-from .comparator import ComparatorPorts, build_offset_comparator
+from .comparator import build_offset_comparator
 from .stdcells import build_bias_divider, build_transmission_gate
-from .window_comparator import WindowComparatorPorts, build_window_comparator
+from .window_comparator import build_window_comparator
 
 
 @dataclass

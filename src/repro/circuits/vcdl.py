@@ -16,11 +16,11 @@ a failure to lock (or a phase far from eye centre).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List
 
 import numpy as np
 
-from ..analog import Circuit, dc_operating_point, step_waveform, transient
+from ..analog import Circuit, step_waveform, transient
 from ..analog.mosfet import MOSFET
 
 

@@ -8,6 +8,7 @@ Commands
 ``bist``       the at-speed BIST verdict
 ``coverage``   the fault campaign (full or sampled) -> Table I
 ``campaign``   a tier-configurable campaign with export/resume artifacts
+``mc``         Monte-Carlo mismatch campaign -> statistical Table I
 ``bench``      time a sampled campaign and print the engine counters
 ``overhead``   the DFT inventory -> Table II
 ``netlist``    export one of the paper's circuits as a SPICE deck
@@ -105,8 +106,6 @@ def cmd_coverage(args) -> int:
         universe = stratified_sample(universe, args.sample,
                                      seed=args.seed)
         print(f"(stratified sample of {len(universe)} faults)")
-    done = [0]
-
     def progress(i, n):
         if i % 25 == 0 or i == n:
             print(f"  {i}/{n} faults simulated", file=sys.stderr)
@@ -163,6 +162,38 @@ def cmd_campaign(args) -> int:
     print(f"overall: {result.overall_coverage * 100:.1f}% "
           f"({n_detected}/{result.total})")
 
+    if args.export:
+        with open(args.export, "w") as fh:
+            fh.write(result.to_json(indent=2))
+        print(f"wrote {args.export}")
+    return 0
+
+
+def cmd_mc(args) -> int:
+    from .analog.corners import get_corner
+    from .variation import MismatchModel, MonteCarloCampaign
+    from .variation.report import format_mc_report
+
+    tier_names = tuple(t.strip() for t in args.tiers.split(",") if t.strip())
+    if not tier_names:
+        print("no tiers requested", file=sys.stderr)
+        return 1
+
+    model = MismatchModel(sigma_vt=args.sigma_vt * 1e-3,
+                          sigma_kp_rel=args.sigma_kp / 100.0)
+
+    def progress(i, n):
+        if i % 8 == 0 or i == n:
+            print(f"  {i}/{n} dies simulated", file=sys.stderr)
+
+    campaign = MonteCarloCampaign(tiers=tier_names,
+                                  corner=get_corner(args.corner),
+                                  model=model, seed=args.seed)
+    result = campaign.run(args.dies,
+                          progress=progress if args.progress else None,
+                          workers=args.workers, checkpoint=args.resume)
+
+    print(format_mc_report(result))
     if args.export:
         with open(args.export, "w") as fh:
             fh.write(result.to_json(indent=2))
@@ -314,6 +345,34 @@ def build_parser() -> argparse.ArgumentParser:
                    help="JSONL checkpoint to stream records into and "
                         "resume from")
     p.set_defaults(func=cmd_campaign)
+
+    p = sub.add_parser("mc",
+                       help="Monte-Carlo mismatch campaign "
+                            "(yield loss / test escapes)")
+    p.add_argument("--dies", type=int, default=64,
+                   help="number of sampled dies (default 64)")
+    p.add_argument("--seed", type=int, default=2016)
+    p.add_argument("--corner", default="TT",
+                   choices=("TT", "SS", "FF", "SF", "FS"),
+                   help="global corner under the mismatch (default TT)")
+    p.add_argument("--tiers", default="dc,scan,bist",
+                   help="comma-separated ordered tier names "
+                        "(default: dc,scan,bist)")
+    p.add_argument("--sigma-vt", type=float, default=5.0, metavar="MV",
+                   help="V_T sigma of the reference device [mV] "
+                        "(default 5.0)")
+    p.add_argument("--sigma-kp", type=float, default=2.0, metavar="PCT",
+                   help="relative KP sigma of the reference device [%%] "
+                        "(default 2.0)")
+    p.add_argument("--progress", action="store_true")
+    p.add_argument("--workers", type=int, default=None,
+                   help="die-simulation worker processes (default: serial)")
+    p.add_argument("--export", default=None, metavar="PATH",
+                   help="write the MCResult as JSON")
+    p.add_argument("--resume", default=None, metavar="PATH",
+                   help="JSONL checkpoint to stream die records into and "
+                        "resume from")
+    p.set_defaults(func=cmd_mc)
 
     p = sub.add_parser("bench",
                        help="time a sampled campaign + engine counters")

@@ -7,10 +7,9 @@ once and hands to :class:`repro.core.testable_link.TestableLink`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Optional
+from dataclasses import dataclass, replace
 
-from ..channel import ChannelConfig, GLOBAL_MIN, WireModel, get_wire_model
+from ..channel import ChannelConfig, WireModel, get_wire_model
 from ..link.params import LinkParams
 
 

@@ -26,7 +26,6 @@ True
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from ..channel import EyeResult, equalization_gain, eye_of_channel

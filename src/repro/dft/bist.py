@@ -65,7 +65,7 @@ class BISTTest:
         # and reused by every tier of the campaign
         self.goldens.retention_receiver
         self.goldens.retention_vcdl
-        self._golden = self._run_receiver_checks(None)
+        self._golden = self._run_receiver_checks(None, calibrate=True)
 
     @property
     def golden(self) -> Dict[str, object]:
@@ -76,6 +76,18 @@ class BISTTest:
     # ------------------------------------------------------------------
     def applies_to(self, fault: StructuralFault) -> bool:
         return fault.block in ("cp", "window_comp", "vcdl")
+
+    def screen(self) -> bool:
+        """Healthy-die screen: does a fault-free die pass the BIST tier?
+
+        Runs the receiver checks and the VCDL aliveness probe without a
+        fault, comparing against the nominal calibration captured at
+        construction (never re-calibrating — the tester's reference is
+        the nominal design, not the die under test).
+        """
+        if self._run_receiver_checks(None) != self._golden:
+            return False
+        return self._vcdl_alive(None)
 
     def detect(self, fault: StructuralFault) -> bool:
         if fault.block == "window_comp":
@@ -93,8 +105,15 @@ class BISTTest:
         return self._lock_test(fault)
 
     # ------------------------------------------------------------------
-    def _run_receiver_checks(self, fault: Optional[StructuralFault]) -> Dict:
-        """V_p tracking + pump-current windows on the receiver bench."""
+    def _run_receiver_checks(self, fault: Optional[StructuralFault],
+                             calibrate: bool = False) -> Dict:
+        """V_p tracking + pump-current windows on the receiver bench.
+
+        ``calibrate=True`` (construction only) records the healthy OTA
+        bias currents as the speed-screen reference; every later call —
+        faulted or the healthy-die screen — compares against that stored
+        nominal.
+        """
         dut = build_receiver_dut()
         if fault is not None:
             dut.circuit = inject_fault(
@@ -114,7 +133,7 @@ class BISTTest:
         # the divided-clock timing -- the loop fails to lock at speed
         # even though the slow DC observables still look legal
         currents = self._ota_currents(dut, op)
-        if fault is None:
+        if calibrate:
             self._healthy_ota_i = currents
             for name in self.OTA_DEVICES:
                 out[f"slew_{name}_ok"] = True
@@ -155,11 +174,12 @@ class BISTTest:
             out[name] = abs(i)
         return out
 
-    def _vcdl_alive(self, fault: StructuralFault) -> bool:
+    def _vcdl_alive(self, fault: Optional[StructuralFault]) -> bool:
         """Static aliveness: the line output must follow the input."""
         dut = build_vcdl_dut()
-        dut.circuit = inject_fault(dut.circuit, fault,
-                                   retention=self.goldens.retention_vcdl)
+        if fault is not None:
+            dut.circuit = inject_fault(dut.circuit, fault,
+                                       retention=self.goldens.retention_vcdl)
         dut.set_input(0)
         lo = dut.observe()
         dut.set_input(1)
@@ -169,11 +189,11 @@ class BISTTest:
     def _measure_faulted_vcdl(self, fault: StructuralFault,
                               vctl: float) -> float:
         """Propagation delay of the faulted VCDL at *vctl* (transient)."""
-        import numpy as np
 
         from ..analog import step_waveform, transient
         from ..circuits.vcdl import build_vcdl
         from ..analog import Circuit
+        from ..variation.context import tune_active
 
         c = Circuit("vcdl_char")
         c.add_vsource("vdd", "0", 1.2, name="VDD")
@@ -182,6 +202,9 @@ class BISTTest:
         t_step = 0.3e-9
         vin.waveform = step_waveform(0.0, 1.2, t_step, t_rise=20e-12)
         build_vcdl(c, "vcdl", "clk_in", "clk_out", "vctl")
+        # ad-hoc characterisation netlist: bypasses the wrapped
+        # builders, so apply the active die's mismatch explicitly
+        tune_active(c)
         faulted = inject_fault(c, fault,
                                retention=self.goldens.retention_vcdl)
         tr = transient(faulted, 1.6e-9, 2e-12, probes=["clk_out"])

@@ -9,16 +9,12 @@ the paper's reported values (50.4% / 74.3% / 94.8%, Table I).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
 
 from ..circuits.full_link import build_full_link
 from ..faults.campaign import CampaignResult, FaultCampaign
-from ..faults.enumerate import (
-    faults_for_caps,
-    faults_for_devices,
-    universe_summary,
-)
+from ..faults.enumerate import faults_for_caps, faults_for_devices
 from ..faults.model import StructuralFault
 from .duts import build_receiver_dut, build_vcdl_dut
 from .golden import GoldenSignatures

@@ -61,6 +61,25 @@ class DCTest:
     def applies_to(self, fault: StructuralFault) -> bool:
         return fault.block in LINK_BLOCKS + RECEIVER_BLOCKS
 
+    def screen(self) -> bool:
+        """Healthy-die screen: does a fault-free die pass the DC tier?
+
+        The golden signatures are the *nominal* design's (the tester's
+        programmed expectations); under an active die context the
+        builders hand back variation-shifted netlists, so a die fails
+        this screen exactly when mismatch pushes a DC observable past a
+        compare threshold — the DC tier's yield-loss contribution.
+        """
+        link = build_full_link()
+        if link.run_dc_test() != self.goldens.dc_link:
+            return False
+        dut = build_receiver_dut()
+        dut.set_condition()
+        op = dut.solve()
+        if not op.converged:
+            return False
+        return dut.observe(op) == self.goldens.dc_receiver
+
     def retention_for(self, fault: StructuralFault) -> Dict[str, float]:
         if fault.block in LINK_BLOCKS:
             return self.goldens.retention_link

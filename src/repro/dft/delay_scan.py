@@ -15,9 +15,8 @@ the transition-fault universe.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from random import Random
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..digital.delay_faults import (
     TransitionFault,

@@ -20,18 +20,14 @@ drives both shifting and capture.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from random import Random
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Sequence
 
 from ..circuits.phase_detector import build_alexander_pd
 from ..digital.sequential import ScanDFF
 from ..digital.simulator import LogicCircuit
-from ..digital.stuck_at import (
-    FaultSimResult,
-    enumerate_stuck_at_faults,
-    run_fault_simulation,
-)
+from ..digital.stuck_at import FaultSimResult, run_fault_simulation
 from ..link.lock_detector import build_lock_detector
 from ..link.ring_counter import build_ring_counter
 from ..link.transmitter import build_transmitter_digital

@@ -20,15 +20,14 @@ bench containing its device.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
-from ..analog import Circuit, CurrentSource, OperatingPoint, dc_operating_point
-from ..channel import GLOBAL_MIN, RCLine
+from ..analog import Circuit, OperatingPoint, dc_operating_point
 from ..circuits.charge_pump import ChargePumpPorts, build_charge_pump
 from ..circuits.cp_bist_comparator import build_cp_bist_comparator
-from ..circuits.termination import build_termination
 from ..circuits.vcdl import build_vcdl
 from ..circuits.window_comparator import build_window_comparator
+from ..variation.context import die_bench
 
 VDD = 1.2
 #: V_c value the hold switch pins during the BIST checks (mid-window,
@@ -93,6 +92,7 @@ class ReceiverDUT:
         return float(op.x[hold.aux_base])
 
 
+@die_bench
 def build_receiver_dut() -> ReceiverDUT:
     """Assemble the receiver bench with all control sources."""
     c = Circuit("receiver_dut")
@@ -208,6 +208,7 @@ class VCDLDUT:
         return 1 if op.v("clk_out") > VDD / 2 else 0
 
 
+@die_bench
 def build_vcdl_dut(vctl: float = 0.6) -> VCDLDUT:
     """Assemble the standalone VCDL bench at control voltage *vctl*."""
     c = Circuit("vcdl_dut")

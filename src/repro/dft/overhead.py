@@ -23,8 +23,8 @@ reports both the *as-built* counts and the *paper-normalised* counts
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from dataclasses import dataclass
+from typing import List, Tuple
 
 #: Table II as printed in the paper
 PAPER_TABLE2 = {

@@ -41,7 +41,14 @@ from .golden import GoldenSignatures
 
 @runtime_checkable
 class TestTier(Protocol):
-    """What a test stage must provide to join a fault campaign."""
+    """What a test stage must provide to join a fault campaign.
+
+    Tiers may additionally expose an *optional* ``screen() -> bool``:
+    the healthy-die pass/fail compare that the Monte-Carlo mismatch
+    campaign (:mod:`repro.variation`) runs on fault-free sampled dies
+    to measure yield loss.  It is not part of the required protocol —
+    campaigns treat a tier without one as always passing healthy dies.
+    """
 
     name: str
 

@@ -92,6 +92,20 @@ class ScanTest:
     def applies_to(self, fault: StructuralFault) -> bool:
         return fault.block in ("tx", "termination", "cp", "window_comp")
 
+    def screen(self) -> bool:
+        """Healthy-die screen: does a fault-free die pass the scan tier?
+
+        Compares the die's probe captures and receiver scan conditions
+        against the nominal goldens, and applies the toggle-test
+        threshold the tester uses — the same compares ``detect`` runs,
+        minus the fault injection.
+        """
+        if self._run_probe(None) != self._golden_probe:
+            return False
+        if self._run_receiver(None) != self._golden_receiver:
+            return False
+        return self._run_toggle(None) <= TOGGLE_THRESHOLD
+
     def detect(self, fault: StructuralFault) -> bool:
         if fault.block == "tx":
             # probe flip-flops first (static drivers), then the toggling

@@ -21,9 +21,8 @@ pre-launch value when the slow transition was requested.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set
+from typing import Callable, Iterable, List, Optional, Sequence, Set
 
-from .gates import Constant
 from .simulator import LogicCircuit
 from .stuck_at import enumerate_stuck_at_faults
 

@@ -9,7 +9,7 @@ evaluated inside the combinational settle loop.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from .gates import Component
 from .signals import resolve

@@ -14,7 +14,7 @@ models a fault at the *driver* of the net (fanout-stem fault).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from .gates import Component, Constant, Gate, Mux2
 from .sequential import DFF, DLatch, ScanDFF

@@ -10,7 +10,7 @@ and report coverage.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Iterable, List, Optional, Sequence, Set
 
 from .simulator import LogicCircuit
 

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import Iterable, List, Sequence
 
-from ..analog import Capacitor, Circuit
+from ..analog import Capacitor
 from ..analog.mosfet import MOSFET
 from .model import MOSFET_FAULT_KINDS, FaultKind, StructuralFault
 

@@ -99,7 +99,6 @@ def inject_fault(circuit: Circuit, fault: StructuralFault,
                 v_keep = vd
             elif vs is not None:
                 v_keep = vs
-        from ..analog.mosfet import MOSFET as _M
 
         leak = -GATE_LEAK_DRIFT if elem.params.polarity == "n" \
             else +GATE_LEAK_DRIFT

@@ -17,7 +17,8 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from hashlib import blake2b
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from .model import StructuralFault
 
@@ -89,6 +90,21 @@ def stratified_sample(universe: Sequence[StructuralFault], n: int,
         take = min(take, len(pool))
         sample.extend(rng.sample(pool, take))
     return sample
+
+
+def pick_die_fault(universe: Sequence[StructuralFault], seed: int,
+                   die_index: int) -> StructuralFault:
+    """The fault injected into die *die_index* of a Monte-Carlo campaign.
+
+    A pure function of ``(seed, die_index)`` over a deterministic
+    universe ordering — like the mismatch draws, the choice survives any
+    re-chunking of the die loop over worker processes, which is what
+    keeps escape accounting byte-reproducible for a fixed seed.
+    """
+    if not universe:
+        raise ValueError("cannot pick a fault from an empty universe")
+    h = blake2b(f"{seed}:{die_index}:fault".encode("utf-8"), digest_size=8)
+    return universe[int.from_bytes(h.digest(), "big") % len(universe)]
 
 
 @dataclass

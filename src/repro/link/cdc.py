@@ -13,7 +13,6 @@ bit (Section II-A).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
 
 from .params import LinkParams
 

@@ -18,7 +18,7 @@ notes all this logic is trivially scan-testable.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Tuple
 
 from .charge_pump_beh import ChargePumpBeh

@@ -10,8 +10,8 @@ re-scan and verify the rotation.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional
+from dataclasses import dataclass
+from typing import List
 
 from ..digital.simulator import LogicCircuit
 from .params import LinkParams

@@ -10,7 +10,7 @@ selected) or a cell is broken, the flush fails.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from .chain import ScanChain

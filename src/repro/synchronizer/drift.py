@@ -11,8 +11,8 @@ run through it, and the sampling error histories are compared.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Callable, List, Optional
 
 from ..link.alexander_pd import wrap_phase
 from ..link.params import LinkParams

@@ -1,0 +1,35 @@
+"""Statistical variation: Monte-Carlo mismatch campaigns over the tiers.
+
+The paper's DC-test argument leans on a variation claim — the programmed
+±15 mV comparator offset and the 0.5u/0.5u input pairs are "sufficient
+to overcome any mismatch due to the manufacturing process".  The global
+:mod:`repro.analog.corners` machinery checks the *systematic* part of
+that claim; this package makes the *random* part checkable: per-MOSFET
+local mismatch (Pelgrom scaling) sampled from deterministic per-die
+streams, the registered test tiers re-run on every sampled die, and the
+two DFT failure modes a reviewer asks about quantified with confidence
+intervals:
+
+* **yield loss** — a healthy (fault-free) die that fails a test tier
+  because mismatch moved an observable past a compare threshold;
+* **test escape** — a faulty die that passes every tier because
+  mismatch (or the fault's mildness) kept every observable legal.
+
+Entry points: :class:`MonteCarloCampaign` (the engine),
+:class:`MismatchModel` / :class:`DieSample` (the sampling model), and
+the ``repro mc`` CLI subcommand.
+"""
+
+from .campaign import DieRecord, MCResult, MonteCarloCampaign
+from .mismatch import DieSample, MismatchModel, standard_normal
+from .report import format_mc_report
+
+__all__ = [
+    "DieRecord",
+    "DieSample",
+    "MCResult",
+    "MismatchModel",
+    "MonteCarloCampaign",
+    "format_mc_report",
+    "standard_normal",
+]

@@ -1,0 +1,470 @@
+"""Monte-Carlo mismatch campaign: tiers re-run over sampled dies.
+
+A Monte-Carlo campaign turns the deterministic Table I question ("does
+tier X detect fault Y?") into the statistical one a production test
+program faces: across dies whose transistors carry sampled local
+mismatch on top of a global corner, how often does a *healthy* die fail
+a tier (**yield loss**), and how often does a *faulty* die pass every
+tier (**test escape**)?
+
+Each die evaluates as a pure function of ``(seed, die_index)``:
+
+* the per-device mismatch draws are keyed hashes
+  (:mod:`repro.variation.mismatch`);
+* the injected fault is :func:`repro.faults.sampling.pick_die_fault`
+  of the same key;
+* the tier measurements start from cold solver state every time (the
+  Newton iteration seeds from zeros, companion models reset per
+  transient, faults inject into clones).
+
+Die independence is what lets :meth:`MonteCarloCampaign.run` reuse the
+fault campaign's machinery shape: fork-parallel chunked workers whose
+records reassemble in die order (bit-identical to a serial run), and a
+JSONL checkpoint that lets an interrupted run resume without
+re-simulating finished dies.  Within a worker, benches are built once
+and *re-tuned* per die through :class:`repro.variation.context.DieContext`,
+so the compiled MNA plans of PR 1 amortise across the whole sweep.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from typing import (Callable, Dict, IO, List, Mapping, Optional, Sequence,
+                    Tuple)
+
+from .._profiling import COUNTERS
+from ..analog.corners import ProcessCorner, get_corner
+from ..faults.model import StructuralFault
+from ..faults.sampling import SampledCoverage, pick_die_fault
+from .context import DieContext, activated
+from .mismatch import MismatchModel
+
+#: default tier pipeline, mirroring the fault campaign's
+MC_TIER_ORDER = ("dc", "scan", "bist")
+
+#: artifact / checkpoint schema version
+ARTIFACT_VERSION = 1
+_RESULT_FORMAT = "repro-mc-result"
+_CHECKPOINT_FORMAT = "repro-mc-checkpoint"
+
+
+@dataclass
+class DieRecord:
+    """Outcome of one sampled die.
+
+    ``healthy`` maps every tier name to its healthy-die screen outcome
+    (True = the variation-shifted but fault-free die *passed* the tier;
+    tiers without a screen always pass).  ``detected`` maps every tier
+    name to whether the tier caught the die's injected ``fault`` (False
+    when the tier missed or does not apply to the fault's block).
+    Everything is bools, ints and strings — records serialize to
+    byte-stable JSON by construction.
+    """
+
+    die: int
+    fault: StructuralFault
+    healthy: Dict[str, bool]
+    detected: Dict[str, bool]
+    errors: List[Tuple[str, str]] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    @property
+    def healthy_pass(self) -> bool:
+        """Did the fault-free die pass every tier's screen?"""
+        return all(self.healthy.values())
+
+    def screen_failures(self) -> Tuple[str, ...]:
+        return tuple(t for t, ok in self.healthy.items() if not ok)
+
+    @property
+    def escaped(self) -> bool:
+        """Did the faulty die pass every tier (a test escape)?"""
+        return not any(self.detected.values())
+
+    def detected_by(self, upto: str, order: Sequence[str]) -> bool:
+        """Was the fault caught by the pipeline through tier *upto*?"""
+        idx = list(order).index(upto)
+        return any(self.detected.get(t, False) for t in order[:idx + 1])
+
+    # -- artifact serialization ----------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        return {"die": self.die,
+                "fault": self.fault.to_dict(),
+                "healthy": dict(self.healthy),
+                "detected": dict(self.detected),
+                "errors": [list(e) for e in self.errors]}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "DieRecord":
+        return cls(die=int(data["die"]),
+                   fault=StructuralFault.from_dict(data["fault"]),
+                   healthy={k: bool(v)
+                            for k, v in (data.get("healthy") or {}).items()},
+                   detected={k: bool(v)
+                             for k, v in (data.get("detected") or {}).items()},
+                   errors=[tuple(e) for e in (data.get("errors") or [])])
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DieRecord):
+            return NotImplemented
+        return (self.die == other.die and self.fault == other.fault
+                and self.healthy == other.healthy
+                and self.detected == other.detected
+                and self.errors == other.errors)
+
+
+@dataclass
+class MCResult:
+    """Records of a Monte-Carlo campaign plus statistical accounting.
+
+    All rate estimates come back as
+    :class:`~repro.faults.sampling.SampledCoverage` — a binomial count
+    with its Wilson interval — so a 64-die smoke run and a 4096-die
+    nightly report the same schema at honestly different widths.
+    """
+
+    records: List[DieRecord]
+    tier_order: Tuple[str, ...] = MC_TIER_ORDER
+    seed: int = 2016
+    corner: str = "TT"
+    model: MismatchModel = field(default_factory=MismatchModel)
+
+    def __post_init__(self):
+        self.tier_order = tuple(self.tier_order)
+
+    # ------------------------------------------------------------------
+    @property
+    def total(self) -> int:
+        return len(self.records)
+
+    def yield_loss(self, tier: Optional[str] = None,
+                   confidence: float = 0.95) -> SampledCoverage:
+        """Healthy dies rejected — by one tier, or (default) by any."""
+        if tier is None:
+            fails = sum(1 for r in self.records if not r.healthy_pass)
+        else:
+            fails = sum(1 for r in self.records
+                        if not r.healthy.get(tier, True))
+        return SampledCoverage(detected=fails, sampled=self.total,
+                               confidence=confidence)
+
+    def escape_rate(self, confidence: float = 0.95) -> SampledCoverage:
+        """Faulty dies no tier caught."""
+        misses = sum(1 for r in self.records if r.escaped)
+        return SampledCoverage(detected=misses, sampled=self.total,
+                               confidence=confidence)
+
+    def cumulative_detection(self, upto: str,
+                             confidence: float = 0.95) -> SampledCoverage:
+        """Statistical Table I row: pipeline-through-*upto* detection."""
+        hit = sum(1 for r in self.records
+                  if r.detected_by(upto, self.tier_order))
+        return SampledCoverage(detected=hit, sampled=self.total,
+                               confidence=confidence)
+
+    def detection_by_kind(self, confidence: float = 0.95
+                          ) -> Dict[str, SampledCoverage]:
+        """Table I rows under variation: kind label -> detection rate."""
+        out: Dict[str, List[int]] = {}
+        for r in self.records:
+            label = r.fault.kind.table_label
+            hit, n = out.get(label, (0, 0))
+            out[label] = (hit + (0 if r.escaped else 1), n + 1)
+        return {k: SampledCoverage(detected=h, sampled=n,
+                                   confidence=confidence)
+                for k, (h, n) in out.items()}
+
+    def error_count(self) -> int:
+        return sum(len(r.errors) for r in self.records)
+
+    # -- artifact layer ------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        return {"format": _RESULT_FORMAT,
+                "version": ARTIFACT_VERSION,
+                "config": _config_dict(self.seed, self.corner,
+                                       self.tier_order, self.model),
+                "dies": self.total,
+                "records": [r.to_dict() for r in self.records]}
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "MCResult":
+        if data.get("format") != _RESULT_FORMAT:
+            raise ValueError(
+                f"not a Monte-Carlo result artifact: {data.get('format')!r}")
+        if data.get("version") != ARTIFACT_VERSION:
+            raise ValueError(
+                f"unsupported artifact version {data.get('version')!r}")
+        config = data.get("config") or {}
+        return cls(records=[DieRecord.from_dict(r) for r in data["records"]],
+                   tier_order=tuple(config.get("tiers", MC_TIER_ORDER)),
+                   seed=int(config.get("seed", 2016)),
+                   corner=str(config.get("corner", "TT")),
+                   model=_model_from_config(config))
+
+    @classmethod
+    def from_json(cls, text: str) -> "MCResult":
+        return cls.from_dict(json.loads(text))
+
+    def save(self, path: str, indent: Optional[int] = 2) -> None:
+        with open(path, "w") as fh:
+            fh.write(self.to_json(indent=indent))
+
+    @classmethod
+    def load(cls, path: str) -> "MCResult":
+        with open(path) as fh:
+            return cls.from_json(fh.read())
+
+
+def _config_dict(seed: int, corner: str, tiers: Sequence[str],
+                 model: MismatchModel) -> Dict[str, object]:
+    """The campaign parameters that must match for records to mix."""
+    return {"seed": seed, "corner": corner, "tiers": list(tiers),
+            "sigma_vt": model.sigma_vt,
+            "sigma_kp_rel": model.sigma_kp_rel,
+            "reference_area": model.reference_area}
+
+
+def _model_from_config(config: Mapping[str, object]) -> MismatchModel:
+    defaults = MismatchModel()
+    return MismatchModel(
+        sigma_vt=float(config.get("sigma_vt", defaults.sigma_vt)),
+        sigma_kp_rel=float(config.get("sigma_kp_rel",
+                                      defaults.sigma_kp_rel)),
+        reference_area=float(config.get("reference_area",
+                                        defaults.reference_area)))
+
+
+class MonteCarloCampaign:
+    """Runs the registered tiers over a population of sampled dies."""
+
+    def __init__(self, tiers: Sequence[str] = MC_TIER_ORDER,
+                 corner: Optional[ProcessCorner] = None,
+                 model: Optional[MismatchModel] = None,
+                 seed: int = 2016,
+                 universe: Optional[Sequence[StructuralFault]] = None):
+        # the dft package routes its DUT builders through this package's
+        # context seam, so import it lazily to keep the layering acyclic
+        from ..dft.coverage import build_fault_universe
+        from ..dft.golden import GoldenSignatures
+        from ..dft.registry import create_tiers
+
+        self.seed = int(seed)
+        self.corner = corner if corner is not None else get_corner("TT")
+        self.model = model if model is not None else MismatchModel()
+        self.tier_names = tuple(tiers)
+        # tiers (and their goldens) are built OUTSIDE any die context:
+        # the tester's expected signatures are the nominal design's, and
+        # a die fails a screen exactly when mismatch moves an observable
+        # off that nominal reference
+        self._tiers = create_tiers(self.tier_names, GoldenSignatures())
+        self.universe: List[StructuralFault] = (
+            list(universe) if universe is not None
+            else build_fault_universe())
+        if not self.universe:
+            raise ValueError("Monte-Carlo campaign needs a non-empty "
+                             "fault universe")
+        self._ctx = DieContext(seed=self.seed, model=self.model,
+                               corner=self.corner)
+
+    # ------------------------------------------------------------------
+    def evaluate_die(self, die_index: int) -> DieRecord:
+        """Screen the healthy die, then inject and test its fault.
+
+        A tier that raises is conservative in both directions: the
+        healthy screen counts as *failed* (a tester crash rejects the
+        part) and the detection counts as *missed* (a broken test never
+        inflates coverage).  The exception lands on ``errors``.
+        """
+        COUNTERS.mc_dies += 1
+        fault = pick_die_fault(self.universe, self.seed, die_index)
+        healthy: Dict[str, bool] = {}
+        detected: Dict[str, bool] = {}
+        errors: List[Tuple[str, str]] = []
+        with activated(self._ctx):
+            self._ctx.set_die(die_index)
+            for tier in self._tiers:
+                screen = getattr(tier, "screen", None)
+                if screen is None:
+                    healthy[tier.name] = True
+                    continue
+                try:
+                    healthy[tier.name] = bool(screen())
+                except Exception as exc:  # noqa: BLE001 - keep run alive
+                    healthy[tier.name] = False
+                    errors.append((tier.name, repr(exc)))
+            for tier in self._tiers:
+                hit = False
+                if tier.applies_to(fault):
+                    try:
+                        hit = bool(tier.detect(fault))
+                    except Exception as exc:  # noqa: BLE001
+                        errors.append((tier.name, repr(exc)))
+                detected[tier.name] = hit
+        return DieRecord(die=die_index, fault=fault, healthy=healthy,
+                         detected=detected, errors=errors)
+
+    def run(self, dies: int,
+            progress: Optional[Callable[[int, int], None]] = None,
+            workers: Optional[int] = None,
+            checkpoint: Optional[str] = None) -> MCResult:
+        """Evaluate dies ``0..dies-1`` and assemble the result.
+
+        Mirrors :meth:`repro.faults.campaign.FaultCampaign.run`: with
+        ``workers`` > 1 and fork available, pending dies are chunked
+        over a process pool (records reassemble in die order, identical
+        to a serial run); with ``checkpoint`` set, finished dies append
+        to a JSONL file and are skipped on resume.
+        """
+        indices = list(range(int(dies)))
+        n = len(indices)
+        done: Dict[int, DieRecord] = {}
+        writer: Optional[_CheckpointWriter] = None
+        config = _config_dict(self.seed, self.corner.name,
+                              self.tier_names, self.model)
+        if checkpoint is not None:
+            done = _load_checkpoint(checkpoint, config)
+            writer = _CheckpointWriter(checkpoint, config)
+        pending = [i for i in indices if i not in done]
+        base = n - len(pending)
+        try:
+            n_workers = (1 if workers is None
+                         else min(int(workers), max(len(pending), 1)))
+            if (n_workers > 1 and pending
+                    and "fork" in multiprocessing.get_all_start_methods()):
+                self._run_parallel(pending, n_workers, progress,
+                                   done, writer, base, n)
+            else:
+                for k, die in enumerate(pending):
+                    rec = self.evaluate_die(die)
+                    done[die] = rec
+                    if writer is not None:
+                        writer.write(rec)
+                    if progress is not None:
+                        progress(base + k + 1, n)
+        finally:
+            if writer is not None:
+                writer.close()
+        return MCResult(records=[done[i] for i in indices],
+                        tier_order=self.tier_names, seed=self.seed,
+                        corner=self.corner.name, model=self.model)
+
+    def _run_parallel(self, pending: List[int], workers: int,
+                      progress: Optional[Callable[[int, int], None]],
+                      done: Dict[int, DieRecord],
+                      writer: Optional["_CheckpointWriter"],
+                      base: int, total: int) -> None:
+        global _WORKER_MC, _WORKER_DIES
+        n = len(pending)
+        # several chunks per worker: per-die cost is uniform-ish, but
+        # resumed runs can leave ragged pending lists
+        size = max(1, -(-n // (workers * 4)))
+        bounds = [(lo, min(lo + size, n)) for lo in range(0, n, size)]
+        COUNTERS.campaign_chunks += len(bounds)
+        ctx = multiprocessing.get_context("fork")
+        _WORKER_MC, _WORKER_DIES = self, pending
+        try:
+            with ProcessPoolExecutor(max_workers=workers,
+                                     mp_context=ctx) as pool:
+                futures = {pool.submit(_evaluate_die_chunk, b): k
+                           for k, b in enumerate(bounds)}
+                completed = 0
+                for fut in as_completed(futures):
+                    k = futures[fut]
+                    records = fut.result()
+                    lo = bounds[k][0]
+                    for j, rec in enumerate(records):
+                        done[pending[lo + j]] = rec
+                        if writer is not None:
+                            writer.write(rec)
+                    completed += len(records)
+                    if progress is not None:
+                        progress(base + completed, total)
+        finally:
+            _WORKER_MC = _WORKER_DIES = None
+
+
+# ----------------------------------------------------------------------
+# checkpoint file helpers (JSONL: one header line, then one record/line)
+# ----------------------------------------------------------------------
+def _checkpoint_header(config: Mapping[str, object]) -> Dict[str, object]:
+    return {"format": _CHECKPOINT_FORMAT, "version": ARTIFACT_VERSION,
+            "config": dict(config)}
+
+
+def _load_checkpoint(path: str, config: Mapping[str, object]
+                     ) -> Dict[int, DieRecord]:
+    """Die records already evaluated by a previous run against *path*.
+
+    The header's full config (seed, corner, tiers, mismatch model) must
+    match the current campaign — a record sampled under different
+    parameters is a different die, and mixing them would corrupt every
+    rate.  A truncated trailing line (interrupted mid-write) is
+    discarded.
+    """
+    if not os.path.exists(path) or os.path.getsize(path) == 0:
+        return {}
+    done: Dict[int, DieRecord] = {}
+    with open(path) as fh:
+        header_line = fh.readline()
+        try:
+            header = json.loads(header_line)
+        except json.JSONDecodeError:
+            raise ValueError(
+                f"{path}: not a Monte-Carlo checkpoint") from None
+        if header.get("format") != _CHECKPOINT_FORMAT:
+            raise ValueError(f"{path}: not a Monte-Carlo checkpoint "
+                             f"(format={header.get('format')!r})")
+        if header.get("config") != dict(config):
+            raise ValueError(
+                f"{path}: checkpoint was written with config "
+                f"{header.get('config')!r}, campaign runs "
+                f"{dict(config)!r}")
+        for line in fh:
+            if not line.strip():
+                continue
+            try:
+                rec = DieRecord.from_dict(json.loads(line))
+            except (json.JSONDecodeError, KeyError, ValueError):
+                break  # truncated tail from an interrupted write
+            done[rec.die] = rec
+    return done
+
+
+class _CheckpointWriter:
+    """Appends die records to a JSONL checkpoint, one flushed line each."""
+
+    def __init__(self, path: str, config: Mapping[str, object]):
+        fresh = not os.path.exists(path) or os.path.getsize(path) == 0
+        self._fh: Optional[IO[str]] = open(path, "a")
+        if fresh:
+            self._fh.write(json.dumps(_checkpoint_header(config)) + "\n")
+            self._fh.flush()
+
+    def write(self, record: DieRecord) -> None:
+        self._fh.write(json.dumps(record.to_dict()) + "\n")
+        self._fh.flush()
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+
+#: campaign/die-list handed to forked workers by :meth:`_run_parallel`;
+#: fork snapshots these at pool creation, so nothing is pickled and the
+#: workers inherit the parent's already-built tiers and goldens
+_WORKER_MC: Optional[MonteCarloCampaign] = None
+_WORKER_DIES: Sequence[int] = ()
+
+
+def _evaluate_die_chunk(bounds: Tuple[int, int]) -> List[DieRecord]:
+    lo, hi = bounds
+    return [_WORKER_MC.evaluate_die(_WORKER_DIES[i])
+            for i in range(lo, hi)]

@@ -1,0 +1,149 @@
+"""Per-device local mismatch: Pelgrom sampling from keyed seed streams.
+
+The sampling model is the standard matching description of a CMOS
+process: the threshold-voltage mismatch of a device is a zero-mean
+normal whose standard deviation scales with the inverse square root of
+gate area (Pelgrom's law), and the transconductance-factor mismatch
+follows the same area law as a relative scale on KP.  The defaults are
+calibrated so a 0.5u x 0.5u device — the paper's comparator input pair —
+sees sigma(V_T) = 5 mV, comfortably inside the ±15 mV programmed offset
+the DC test relies on.
+
+Draws are **keyed, not streamed**: the standard normal behind every
+per-device parameter comes from hashing ``(seed, die_index,
+device_name, parameter)`` and inverting the normal CDF on the resulting
+uniform.  That makes every draw a pure function of its key —
+bit-reproducible regardless of the order devices are visited, how the
+die loop is chunked over worker processes, or which benches a tier
+happens to build first.  Two devices with the same name in different
+benches (the campaign's shared-device convention) deliberately receive
+the *same* mismatch on a given die.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from hashlib import blake2b
+from statistics import NormalDist
+from typing import Dict, Optional, Tuple
+
+from ..analog.corners import ProcessCorner
+from ..analog.mosfet import MOSFET, MOSParams
+
+_NORMAL = NormalDist()
+
+#: lower clamp on the sampled KP scale — a draw this far out (>6 sigma at
+#: the default model) is a broken device, not mismatch; the clamp keeps
+#: the EKV model's beta positive so the solver sees a weak transistor
+#: rather than an unphysical negative one
+KP_SCALE_FLOOR = 0.05
+
+
+def _unit_interval(*key: object) -> float:
+    """Uniform in (0, 1) from a stable hash of *key*.
+
+    ``blake2b`` keeps the draw independent of Python's per-process hash
+    randomization; the +0.5 offset keeps the value strictly inside the
+    open interval so the normal inverse CDF is always finite.
+    """
+    text = ":".join(str(k) for k in key)
+    h = blake2b(text.encode("utf-8"), digest_size=8)
+    n = int.from_bytes(h.digest(), "big")
+    return (n + 0.5) / 2.0 ** 64
+
+
+def standard_normal(seed: int, die_index: int, device_name: str,
+                    parameter: str) -> float:
+    """Standard-normal draw, a pure function of its key.
+
+    The same ``(seed, die_index, device_name, parameter)`` always yields
+    the same float, independent of call order and process boundaries —
+    the property the campaign's worker-count/resume reproducibility
+    rests on.
+    """
+    return _NORMAL.inv_cdf(_unit_interval(seed, die_index,
+                                          device_name, parameter))
+
+
+@dataclass(frozen=True)
+class MismatchModel:
+    """Pelgrom-style local variation model.
+
+    ``sigma_vt`` and ``sigma_kp_rel`` are the standard deviations *at
+    the reference area* (default: the paper's 0.5u x 0.5u device);
+    a device of area ``W*L`` sees them scaled by
+    ``sqrt(reference_area / (W*L))``.
+    """
+
+    sigma_vt: float = 5e-3           # V_T sigma of the reference device [V]
+    sigma_kp_rel: float = 0.02       # relative KP sigma of the reference
+    reference_area: float = 0.25e-12  # 0.5 um x 0.5 um [m^2]
+
+    def area_factor(self, device: MOSFET) -> float:
+        """``sqrt(reference_area / (W*L))`` — Pelgrom's area law."""
+        return math.sqrt(self.reference_area / (device.w * device.l))
+
+    def sigma_vt_for(self, device: MOSFET) -> float:
+        return self.sigma_vt * self.area_factor(device)
+
+    def sigma_kp_for(self, device: MOSFET) -> float:
+        return self.sigma_kp_rel * self.area_factor(device)
+
+
+@dataclass(frozen=True)
+class DieSample:
+    """One sampled die: a deterministic per-device parameter transform.
+
+    Composes the global process corner (systematic, shared by every
+    device on the die) with the local mismatch draws (random, keyed per
+    device).  The V_T draw shifts the threshold *magnitude* — a positive
+    draw makes the device slower for either polarity, so NMOS and PMOS
+    devices of identical name and geometry receive the same magnitude
+    shift (the polarity handling lives entirely in the EKV model's sign
+    convention, not in the sampling).
+    """
+
+    seed: int
+    die_index: int
+    model: MismatchModel = MismatchModel()
+    corner: ProcessCorner = ProcessCorner("TT")
+
+    def vt_shift(self, device: MOSFET) -> float:
+        """Sampled threshold-magnitude shift of *device* [V]."""
+        z = standard_normal(self.seed, self.die_index, device.name, "vt")
+        return z * self.model.sigma_vt_for(device)
+
+    def kp_scale(self, device: MOSFET) -> float:
+        """Sampled multiplicative KP factor of *device* (> 0)."""
+        z = standard_normal(self.seed, self.die_index, device.name, "kp")
+        return max(1.0 + z * self.model.sigma_kp_for(device),
+                   KP_SCALE_FLOOR)
+
+    def params_for(self, device: MOSFET,
+                   nominal: Optional[MOSParams] = None) -> MOSParams:
+        """Corner-then-mismatch parameters for *device*.
+
+        *nominal* is the pre-variation parameter set; it defaults to the
+        device's current params (correct for freshly built circuits, but
+        callers re-tuning a long-lived bench must pass the recorded
+        nominal explicitly or the shifts would compound die over die).
+        """
+        base = nominal if nominal is not None else device.params
+        cornered = self.corner.apply_to_params(base)
+        return cornered.corner(dvt=self.vt_shift(device),
+                               kp_scale=self.kp_scale(device))
+
+    def shifts_for_circuit(self, circuit) -> Dict[str, Tuple[float, float]]:
+        """``{device name: (vt shift, kp scale)}`` for every MOSFET."""
+        return {dev.name: (self.vt_shift(dev), self.kp_scale(dev))
+                for dev in circuit.elements_of_type(MOSFET)}
+
+    def apply(self, circuit):
+        """Return a variation-shifted **clone** of *circuit* (mirrors
+        :meth:`repro.analog.corners.ProcessCorner.apply`)."""
+        dup = circuit.clone(
+            name=f"{circuit.name}@{self.corner.name}mc{self.die_index}")
+        for dev in dup.elements_of_type(MOSFET):
+            dev.params = self.params_for(dev)
+        return dup

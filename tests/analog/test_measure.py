@@ -1,6 +1,5 @@
 """Tests for the waveform measurement utilities."""
 
-import math
 
 import numpy as np
 import pytest

@@ -2,15 +2,12 @@
 
 import pytest
 
-from repro.analog import (
-    Capacitor,
-    Circuit,
-    CircuitError,
-    MOSFET,
-    Resistor,
-    VoltageSource,
-    is_ground,
-)
+from repro.analog import (Capacitor,
+                          Circuit,
+                          CircuitError,
+                          MOSFET,
+                          Resistor,
+                          is_ground)
 
 
 class TestGround:

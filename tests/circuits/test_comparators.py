@@ -3,7 +3,7 @@
 
 import pytest
 
-from repro.analog import Circuit, dc_operating_point
+from repro.analog import Circuit
 from repro.circuits import (
     build_offset_comparator,
     build_window_comparator,

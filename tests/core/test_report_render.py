@@ -1,6 +1,5 @@
 """Tests for the text report renderers."""
 
-import pytest
 
 from repro.core.report import (
     pct,

@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.digital import Gate, LogicCircuit, Mux2, from_bits, to_bits
+from repro.digital import Gate, LogicCircuit, from_bits, to_bits
 
 
 def eval_gate(kind, values):

@@ -2,14 +2,11 @@
 
 import pytest
 
-from repro.faults import (
-    CampaignResult,
-    DetectionRecord,
-    FaultCampaign,
-    FaultKind,
-    StructuralFault,
-    map_fault_to_knobs,
-)
+from repro.faults import (DetectionRecord,
+                          FaultCampaign,
+                          FaultKind,
+                          StructuralFault,
+                          map_fault_to_knobs)
 
 
 def F(dev, kind, block="cp", role=""):

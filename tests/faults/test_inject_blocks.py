@@ -7,7 +7,6 @@ bounded way (the campaign treats both as signal, never as a crash).
 
 import pytest
 
-from repro.analog import dc_operating_point
 from repro.dft.coverage import build_fault_universe
 from repro.dft.duts import build_receiver_dut, build_vcdl_dut
 from repro.faults import inject_fault, stratified_sample

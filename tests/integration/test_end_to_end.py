@@ -5,7 +5,6 @@ flowing from transistor benches into the behavioural loop, fault tiers
 agreeing on block ownership, and the public API wiring it all together.
 """
 
-import math
 
 import pytest
 

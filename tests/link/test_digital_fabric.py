@@ -1,7 +1,6 @@
 """Tests for the gate-level link fabric: TX digital side, Alexander PD,
 ring counter, lock detector."""
 
-import pytest
 
 from repro.circuits import build_alexander_pd, pd_decision
 from repro.circuits.phase_detector import CLK_SAMPLE, CLK_SAMPLE_B

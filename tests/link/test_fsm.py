@@ -1,6 +1,5 @@
 """Direct tests of the coarse-correction FSM (TRACK/CORRECT)."""
 
-import pytest
 
 from repro.link import (
     ChargePumpBeh,

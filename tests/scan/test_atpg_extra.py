@@ -1,6 +1,5 @@
 """Additional ATPG and scan-controller edge cases."""
 
-import pytest
 
 from repro.digital import LogicCircuit
 from repro.scan import ScanChain, ScanController, generate_patterns

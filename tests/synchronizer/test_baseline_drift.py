@@ -7,14 +7,11 @@ from repro.synchronizer.baseline import (
     ForegroundReceiver,
     quantization_error_sweep,
 )
-from repro.synchronizer.drift import (
-    DriftComparison,
-    compare_under_drift,
-    linear_drift,
-    run_background_through_drift,
-    run_foreground_through_drift,
-    sinusoidal_drift,
-)
+from repro.synchronizer.drift import (compare_under_drift,
+                                      linear_drift,
+                                      run_background_through_drift,
+                                      run_foreground_through_drift,
+                                      sinusoidal_drift)
 
 
 class TestForegroundBaseline:

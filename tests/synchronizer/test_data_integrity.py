@@ -4,7 +4,6 @@ The link's actual job is clean data; these verify that lock means
 error-free sampling and that faults show up as bit errors.
 """
 
-import pytest
 
 from repro.link import LinkParams
 from repro.synchronizer import run_synchronizer

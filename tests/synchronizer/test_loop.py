@@ -1,20 +1,16 @@
 """Tests for the closed-loop synchronizer (the Fig 2 machinery)."""
 
-import math
 
 import numpy as np
 import pytest
 
 from repro.link import LinkParams
-from repro.synchronizer import (
-    LOCK_BUDGET_S,
-    SynchronizerLoop,
-    coarse_correction_bound,
-    jitter_from_vp_drift,
-    lock_sweep,
-    run_synchronizer,
-    sampling_jitter_knob,
-)
+from repro.synchronizer import (LOCK_BUDGET_S,
+                                coarse_correction_bound,
+                                jitter_from_vp_drift,
+                                lock_sweep,
+                                run_synchronizer,
+                                sampling_jitter_knob)
 
 
 class TestHealthyLock:

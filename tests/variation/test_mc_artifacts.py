@@ -1,0 +1,122 @@
+"""MC artifact schema: round-trips, validation, statistical accounting."""
+
+import json
+
+import pytest
+
+from repro.faults.model import FaultKind, StructuralFault
+from repro.faults.sampling import wilson_interval
+from repro.variation import (DieRecord, MCResult, MismatchModel,
+                             format_mc_report)
+
+F1 = StructuralFault("tx_p_MD", FaultKind.GATE_OPEN, "tx", "driver")
+F2 = StructuralFault("cp_amp_MT", FaultKind.DRAIN_SOURCE_SHORT, "cp", "ota")
+
+
+def _records():
+    return [
+        # healthy passes everywhere; fault caught by scan
+        DieRecord(die=0, fault=F1,
+                  healthy={"dc": True, "scan": True},
+                  detected={"dc": False, "scan": True}),
+        # mismatch rejects the healthy die at dc; fault escapes
+        DieRecord(die=1, fault=F2,
+                  healthy={"dc": False, "scan": True},
+                  detected={"dc": False, "scan": False},
+                  errors=[("scan", "RuntimeError('x')")]),
+        # caught immediately by dc
+        DieRecord(die=2, fault=F2,
+                  healthy={"dc": True, "scan": True},
+                  detected={"dc": True, "scan": False}),
+    ]
+
+
+def _result():
+    return MCResult(records=_records(), tier_order=("dc", "scan"),
+                    seed=7, corner="SS",
+                    model=MismatchModel(sigma_vt=7e-3))
+
+
+class TestRoundTrips:
+    def test_die_record_round_trip(self):
+        for rec in _records():
+            assert DieRecord.from_dict(rec.to_dict()) == rec
+
+    def test_result_round_trip(self):
+        res = _result()
+        back = MCResult.from_json(res.to_json(indent=2))
+        assert back.records == res.records
+        assert back.tier_order == res.tier_order
+        assert back.seed == res.seed
+        assert back.corner == res.corner
+        assert back.model == res.model
+
+    def test_save_load(self, tmp_path):
+        path = str(tmp_path / "mc.json")
+        res = _result()
+        res.save(path)
+        assert MCResult.load(path).to_json() == res.to_json()
+
+    def test_json_is_byte_stable(self):
+        assert _result().to_json(indent=2) == _result().to_json(indent=2)
+
+    def test_wrong_format_rejected(self):
+        data = json.loads(_result().to_json())
+        data["format"] = "something-else"
+        with pytest.raises(ValueError, match="not a Monte-Carlo"):
+            MCResult.from_dict(data)
+
+    def test_wrong_version_rejected(self):
+        data = json.loads(_result().to_json())
+        data["version"] = 99
+        with pytest.raises(ValueError, match="version"):
+            MCResult.from_dict(data)
+
+
+class TestAccounting:
+    def test_yield_loss_counts(self):
+        res = _result()
+        assert res.yield_loss("dc").detected == 1
+        assert res.yield_loss("scan").detected == 0
+        assert res.yield_loss().detected == 1            # any tier
+        assert res.yield_loss().sampled == 3
+
+    def test_escape_rate(self):
+        est = _result().escape_rate()
+        assert (est.detected, est.sampled) == (1, 3)
+        assert est.interval == wilson_interval(1, 3, 0.95)
+
+    def test_cumulative_detection_is_monotone(self):
+        res = _result()
+        dc = res.cumulative_detection("dc")
+        both = res.cumulative_detection("scan")
+        assert dc.detected == 1
+        assert both.detected == 2
+        assert both.point >= dc.point
+
+    def test_detection_by_kind(self):
+        by_kind = _result().detection_by_kind()
+        assert by_kind["Gate open"].detected == 1
+        assert by_kind["Gate open"].sampled == 1
+        assert by_kind["Drain source short"].detected == 1
+        assert by_kind["Drain source short"].sampled == 2
+
+    def test_error_count(self):
+        assert _result().error_count() == 1
+
+
+class TestReport:
+    def test_report_mentions_everything(self):
+        text = format_mc_report(_result())
+        assert "3 dies @ SS, seed 7" in text
+        assert "dc + scan" in text
+        assert "Yield loss" in text
+        assert "Test escapes" in text
+        assert "Gate open" in text
+        assert "7.0 mV" in text
+        assert "1 tier error(s)" in text
+
+    def test_report_shows_wilson_bounds(self):
+        lo, hi = wilson_interval(1, 3, 0.95)
+        text = format_mc_report(_result())
+        assert f"[{lo * 100:5.1f}, {hi * 100:5.1f}]" in text

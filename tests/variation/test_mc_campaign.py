@@ -1,0 +1,126 @@
+"""End-to-end Monte-Carlo campaign guarantees.
+
+The expensive reproducibility claims (worker-count invariance,
+checkpoint resume, screen behaviour under zero and absurd mismatch) on
+deliberately small die counts — the properties are per-die, so a small
+population exercises them fully.
+"""
+
+
+import pytest
+
+from repro.dft.coverage import build_fault_universe
+from repro.faults.sampling import pick_die_fault
+from repro.variation import MismatchModel, MonteCarloCampaign
+
+
+@pytest.fixture(scope="module")
+def universe():
+    return build_fault_universe()
+
+
+class TestPickDieFault:
+    def test_deterministic_and_in_universe(self, universe):
+        a = [pick_die_fault(universe, 7, i) for i in range(20)]
+        b = [pick_die_fault(universe, 7, i) for i in range(20)]
+        assert a == b
+        assert all(f in universe for f in a)
+
+    def test_seed_and_die_both_matter(self, universe):
+        picks = {pick_die_fault(universe, 7, i) for i in range(30)}
+        assert len(picks) > 1          # not stuck on one fault
+        assert (pick_die_fault(universe, 7, 0)
+                != pick_die_fault(universe, 8, 0)
+                or pick_die_fault(universe, 7, 1)
+                != pick_die_fault(universe, 8, 1))
+
+    def test_empty_universe_rejected(self):
+        with pytest.raises(ValueError):
+            pick_die_fault([], 7, 0)
+
+
+class TestScreens:
+    def test_zero_sigma_die_passes_every_screen(self):
+        mc = MonteCarloCampaign(seed=7, model=MismatchModel(
+            sigma_vt=0.0, sigma_kp_rel=0.0))
+        rec = mc.evaluate_die(0)
+        assert rec.healthy_pass
+        assert rec.errors == []
+
+    def test_absurd_sigma_fails_dc_screen(self):
+        """A 300 mV V_T sigma must push DC observables off the goldens —
+        proof the die transform actually reaches the netlists."""
+        mc = MonteCarloCampaign(tiers=("dc",), seed=7,
+                                model=MismatchModel(sigma_vt=0.3))
+        fails = [not mc.evaluate_die(i).healthy["dc"] for i in range(4)]
+        assert any(fails)
+
+    def test_die_record_is_order_independent(self):
+        """Evaluating a die cold equals evaluating it after others."""
+        mc1 = MonteCarloCampaign(tiers=("dc",), seed=7)
+        for i in range(3):
+            mc1.evaluate_die(i)
+        warm = mc1.evaluate_die(3)
+        cold = MonteCarloCampaign(tiers=("dc",), seed=7).evaluate_die(3)
+        assert warm == cold
+
+
+class TestRunParity:
+    def test_workers_do_not_change_the_result(self):
+        mc = MonteCarloCampaign(seed=7)
+        serial = mc.run(3)
+        parallel = MonteCarloCampaign(seed=7).run(3, workers=2)
+        assert serial.to_json(indent=2) == parallel.to_json(indent=2)
+
+    def test_checkpoint_resume_matches_uninterrupted(self, tmp_path):
+        ck = str(tmp_path / "mc.jsonl")
+        # "interrupt" after 3 of 6 dies, then resume the full run
+        MonteCarloCampaign(tiers=("dc",), seed=7).run(3, checkpoint=ck)
+        with open(ck) as fh:
+            assert len(fh.readlines()) == 4          # header + 3 records
+        resumed = MonteCarloCampaign(tiers=("dc",), seed=7).run(
+            6, checkpoint=ck, workers=2)
+        fresh = MonteCarloCampaign(tiers=("dc",), seed=7).run(6)
+        assert resumed.to_json(indent=2) == fresh.to_json(indent=2)
+
+    def test_checkpoint_config_mismatch_rejected(self, tmp_path):
+        ck = str(tmp_path / "mc.jsonl")
+        MonteCarloCampaign(tiers=("dc",), seed=7).run(1, checkpoint=ck)
+        with pytest.raises(ValueError, match="config"):
+            MonteCarloCampaign(tiers=("dc",), seed=8).run(1, checkpoint=ck)
+
+    def test_checkpoint_truncated_tail_is_discarded(self, tmp_path):
+        ck = str(tmp_path / "mc.jsonl")
+        MonteCarloCampaign(tiers=("dc",), seed=7).run(2, checkpoint=ck)
+        with open(ck) as fh:
+            lines = fh.readlines()
+        with open(ck, "w") as fh:
+            fh.writelines(lines[:-1])
+            fh.write(lines[-1][: len(lines[-1]) // 2])    # torn write
+        resumed = MonteCarloCampaign(tiers=("dc",), seed=7).run(
+            2, checkpoint=ck)
+        fresh = MonteCarloCampaign(tiers=("dc",), seed=7).run(2)
+        assert resumed.to_json() == fresh.to_json()
+
+    def test_progress_reports_resumed_base(self, tmp_path):
+        ck = str(tmp_path / "mc.jsonl")
+        MonteCarloCampaign(tiers=("dc",), seed=7).run(2, checkpoint=ck)
+        calls = []
+        MonteCarloCampaign(tiers=("dc",), seed=7).run(
+            4, checkpoint=ck, progress=lambda i, n: calls.append((i, n)))
+        assert calls == [(3, 4), (4, 4)]
+
+
+class TestContextHygiene:
+    def test_campaign_leaves_nominal_flows_untouched(self):
+        """After a campaign, the undecorated world still sees nominal
+        netlists (the context deactivates, builders pass through)."""
+        from repro.circuits.full_link import build_full_link
+        from repro.dft.golden import GoldenSignatures
+
+        before = build_full_link().run_dc_test()
+        mc = MonteCarloCampaign(tiers=("dc",), seed=7,
+                                model=MismatchModel(sigma_vt=0.3))
+        mc.run(2)
+        after = build_full_link().run_dc_test()
+        assert after == before == GoldenSignatures().dc_link

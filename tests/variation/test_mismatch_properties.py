@@ -1,0 +1,137 @@
+"""Property tests on the keyed mismatch sampling (hypothesis-driven).
+
+The Monte-Carlo campaign's reproducibility guarantees rest on the
+sampling layer being a pure function of ``(seed, die, device,
+parameter)`` with the right statistics: zero mean, Pelgrom area
+scaling, polarity-symmetric threshold shifts, and draws that cannot go
+unphysical (negative KP).
+"""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analog import Circuit
+from repro.variation import DieSample, MismatchModel, standard_normal
+
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+dies = st.integers(min_value=0, max_value=100_000)
+names = st.text(alphabet="ABCMXcpw_0123456789", min_size=1, max_size=12)
+dims = st.floats(min_value=0.2e-6, max_value=10e-6)
+
+
+class TestKeyedDraws:
+    @given(seed=seeds, die=dies, name=names)
+    @settings(max_examples=50)
+    def test_pure_function_of_key(self, seed, die, name):
+        """The same key always yields the same float, regardless of
+        which other draws happen in between."""
+        first = standard_normal(seed, die, name, "vt")
+        # interleave neighbouring draws; they must not perturb the key
+        standard_normal(seed + 1, die, name, "vt")
+        standard_normal(seed, die + 1, name, "vt")
+        standard_normal(seed, die, name + "_", "vt")
+        standard_normal(seed, die, name, "kp")
+        assert standard_normal(seed, die, name, "vt") == first
+
+    @given(seed=seeds, die=dies, name=names)
+    @settings(max_examples=30)
+    def test_parameter_streams_are_distinct(self, seed, die, name):
+        """V_T and KP draws of one device are separate variates."""
+        assert (standard_normal(seed, die, name, "vt")
+                != standard_normal(seed, die, name, "kp"))
+
+    def test_order_independent(self):
+        """A shuffled evaluation order reproduces every draw bit-exactly
+        (what makes worker chunking invisible in the results)."""
+        keys = [(7, die, f"M{k}", p)
+                for die in range(6) for k in range(8) for p in ("vt", "kp")]
+        forward = {key: standard_normal(*key) for key in keys}
+        shuffled = list(keys)
+        random.Random(1).shuffle(shuffled)
+        backward = {key: standard_normal(*key) for key in shuffled}
+        assert backward == forward
+
+    def test_population_mean_zero_unit_variance(self):
+        """Across dies the draws behave as standard normals."""
+        zs = [standard_normal(2016, die, "M1", "vt") for die in range(2000)]
+        n = len(zs)
+        mean = sum(zs) / n
+        var = sum(z * z for z in zs) / n - mean * mean
+        assert abs(mean) < 4.0 / math.sqrt(n)
+        assert 0.9 < var < 1.1
+
+
+class TestPelgromScaling:
+    @given(w=dims, l=dims)
+    @settings(max_examples=30)
+    def test_sigma_scales_as_inverse_sqrt_area(self, w, l):
+        model = MismatchModel()
+        c = Circuit()
+        m = c.add_nmos("d", "g", "s", w=w, l=l, name="M1")
+        expected = model.sigma_vt * math.sqrt(model.reference_area / (w * l))
+        assert model.sigma_vt_for(m) == pytest.approx(expected, rel=1e-12)
+        assert model.sigma_kp_for(m) == pytest.approx(
+            model.sigma_kp_rel * math.sqrt(model.reference_area / (w * l)),
+            rel=1e-12)
+
+    def test_quadrupled_area_halves_sigma(self):
+        model = MismatchModel()
+        c = Circuit()
+        small = c.add_nmos("d", "g", "s", w=0.5e-6, l=0.5e-6, name="M1")
+        big = c.add_nmos("d", "g", "s", w=1.0e-6, l=1.0e-6, name="M2")
+        assert model.sigma_vt_for(big) == pytest.approx(
+            model.sigma_vt_for(small) / 2.0, rel=1e-12)
+
+    def test_reference_device_sees_reference_sigma(self):
+        """The paper's 0.5u x 0.5u device is the calibration point."""
+        model = MismatchModel()
+        c = Circuit()
+        m = c.add_nmos("d", "g", "s", name="M1")     # default 0.5u/0.5u
+        assert model.sigma_vt_for(m) == pytest.approx(model.sigma_vt)
+
+
+class TestPolarityAndPhysicality:
+    def test_polarity_correct_threshold_shift(self):
+        """``vt0`` is a threshold *magnitude* for both polarities: NMOS
+        and PMOS devices of identical name and geometry receive the
+        same magnitude shift, applied identically."""
+        cn, cp = Circuit(), Circuit()
+        mn = cn.add_nmos("d", "g", "s", name="MX")
+        mp = cp.add_pmos("d", "g", "s", name="MX")
+        sample = DieSample(seed=3, die_index=11)
+        assert sample.vt_shift(mn) == sample.vt_shift(mp)
+        pn = sample.params_for(mn)
+        pp = sample.params_for(mp)
+        assert pn.vt0 - mn.params.vt0 == pytest.approx(sample.vt_shift(mn))
+        assert pp.vt0 - mp.params.vt0 == pytest.approx(sample.vt_shift(mp))
+        assert pn.polarity == "n" and pp.polarity == "p"
+
+    @given(seed=seeds, die=dies, name=names)
+    @settings(max_examples=50)
+    def test_kp_scale_stays_positive(self, seed, die, name):
+        """Even a many-sigma draw cannot flip KP negative (the clamp)."""
+        c = Circuit()
+        m = c.add_nmos("d", "g", "s", w=0.2e-6, l=0.2e-6, name="dev")
+        big = MismatchModel(sigma_kp_rel=5.0)   # absurdly wide on purpose
+        sample = DieSample(seed=seed, die_index=die, model=big)
+        assert sample.kp_scale(m) > 0.0
+        assert sample.params_for(m).kp > 0.0
+
+    def test_zero_sigma_is_identity_at_tt(self):
+        c = Circuit()
+        m = c.add_nmos("d", "g", "s", name="M1")
+        sample = DieSample(seed=9, die_index=0,
+                           model=MismatchModel(sigma_vt=0.0,
+                                               sigma_kp_rel=0.0))
+        assert sample.params_for(m) == m.params
+
+    def test_shifts_for_circuit_covers_every_mosfet(self):
+        c = Circuit()
+        c.add_nmos("d", "g", "s", name="M1")
+        c.add_pmos("d2", "g2", "s2", name="M2")
+        shifts = DieSample(seed=1, die_index=2).shifts_for_circuit(c)
+        assert set(shifts) == {"M1", "M2"}
