@@ -1,0 +1,140 @@
+#!/usr/bin/env python
+"""Supervision acceptance smoke: poison faults cannot sink a campaign.
+
+Runs a synthetic fault campaign seeded with one *hanging* fault and one
+*worker-killing* fault, serially supervised (``--workers 1``) and fanned
+out (``--workers 4``), and asserts the issue's acceptance criteria:
+
+* both runs complete end-to-end instead of hanging or dying with a
+  broken pool;
+* every healthy fault's record is byte-identical to an unperturbed
+  run's;
+* the two bad faults surface as first-class ``timeout`` /
+  ``quarantined`` outcomes in the JSON export and the run-event trace;
+* serial and parallel runs report identical ``(done, total)`` progress
+  sequences.
+
+Used locally and as the CI guard-job supervision smoke.
+"""
+
+import json
+import multiprocessing
+import os
+import sys
+import tempfile
+import time
+
+from repro.faults.campaign import CampaignResult, FaultCampaign
+from repro.faults.model import FaultKind, StructuralFault
+
+HANG, KILL = 7, 13
+TIMEOUT = float(os.environ.get("SMOKE_TIMEOUT", "5.0"))
+
+
+def universe(n=24):
+    kinds = list(FaultKind)
+    return [
+        StructuralFault(
+            device=f"M{i}",
+            kind=kinds[i % len(kinds)],
+            block=("tx", "cp", "vcdl")[i % 3],
+        )
+        for i in range(n)
+    ]
+
+
+def make_campaign(poisoned):
+    campaign = FaultCampaign()
+    campaign.add_tier("dc", lambda f: int(f.device[1:]) % 3 == 0)
+
+    def sim(fault):
+        num = int(fault.device[1:])
+        if poisoned and num == HANG:
+            time.sleep(600)
+        if poisoned and num == KILL:
+            os._exit(1)
+        return num % 2 == 0
+
+    campaign.add_tier("sim", sim)
+    return campaign
+
+
+def check(condition, label):
+    status = "ok" if condition else "FAIL"
+    print(f"  [{status}] {label}")
+    if not condition:
+        sys.exit(f"supervision smoke failed: {label}")
+
+
+def main():
+    if "fork" not in multiprocessing.get_all_start_methods():
+        print("fork unavailable; supervision smoke skipped")
+        return
+
+    faults = universe()
+    clean = make_campaign(poisoned=False).run(faults)
+
+    runs = {}
+    with tempfile.TemporaryDirectory() as tmp:
+        for workers in (1, 4):
+            trace_path = os.path.join(tmp, f"w{workers}.trace.jsonl")
+            progress = []
+            t0 = time.monotonic()
+            result = make_campaign(poisoned=True).run(
+                faults,
+                workers=workers,
+                timeout=TIMEOUT,
+                trace=trace_path,
+                progress=lambda d, n: progress.append((d, n)),
+            )
+            wall = time.monotonic() - t0
+            events = [json.loads(line) for line in open(trace_path)]
+            runs[workers] = (result, progress)
+            print(f"--workers {workers}: {wall:.1f}s wall")
+
+            check(result.total == len(faults), "campaign completed")
+            by_dev = {r.fault.device: r for r in result.records}
+            check(
+                by_dev[f"M{HANG}"].outcome == "timeout",
+                "hanging fault settled as timeout",
+            )
+            check(
+                by_dev[f"M{KILL}"].outcome == "quarantined",
+                "worker-killing fault quarantined",
+            )
+            exported = CampaignResult.from_json(result.to_json())
+            check(
+                {r.fault.device for r in exported.unevaluated()}
+                == {f"M{HANG}", f"M{KILL}"},
+                "bad outcomes survive the JSON export",
+            )
+            names = {e["event"] for e in events}
+            check(
+                {"timeout", "quarantine", "worker_death"} <= names,
+                "trace records the supervision events",
+            )
+            healthy_match = all(
+                json.dumps(sup.to_dict()) == json.dumps(ref.to_dict())
+                for sup, ref in zip(result.records, clean.records)
+                if sup.fault.device not in (f"M{HANG}", f"M{KILL}")
+            )
+            check(
+                healthy_match,
+                "healthy records byte-identical to unperturbed run",
+            )
+
+    n = len(faults)
+    expected = [(i, n) for i in range(1, n + 1)]
+    check(
+        runs[1][1] == runs[4][1] == expected,
+        "progress sequences identical serial vs parallel",
+    )
+    check(
+        runs[1][0].records == runs[4][0].records,
+        "records identical for --workers 1 and --workers 4",
+    )
+    print("supervision smoke ok")
+
+
+if __name__ == "__main__":
+    main()

@@ -38,6 +38,14 @@ _FIELDS = (
     # campaign
     "campaign_faults",       # faults evaluated (serial or in a worker)
     "campaign_chunks",       # parallel work units dispatched
+    # supervised execution (repro.core.supervisor)
+    "supervisor_spawns",     # worker processes forked (incl. respawns)
+    "supervisor_worker_deaths",   # workers that died without a result
+    "supervisor_timeouts",   # items recorded as timeout outcomes
+    "supervisor_retries",    # poison-item re-dispatches after a death
+    "supervisor_quarantined",     # items settled as quarantined
+    "supervisor_serial_fallbacks",  # degradations to in-process serial
+    "trace_events",          # run-event trace lines emitted
     # Monte-Carlo variation
     "mc_dies",               # sampled dies evaluated (healthy + faulty)
     "mc_bench_reuse",        # die-bench circuits reused across dies

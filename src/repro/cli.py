@@ -146,7 +146,9 @@ def cmd_campaign(args) -> int:
         campaign.add_tier(tier)
     result = campaign.run(universe,
                           progress=progress if args.progress else None,
-                          workers=args.workers, checkpoint=args.resume)
+                          workers=args.workers, checkpoint=args.resume,
+                          timeout=args.timeout, max_retries=args.retries,
+                          trace=args.trace)
 
     if tier_names == TIER_ORDER:
         report = CoverageReport(result=result)
@@ -161,6 +163,7 @@ def cmd_campaign(args) -> int:
     n_detected = result.total - len(result.undetected())
     print(f"overall: {result.overall_coverage * 100:.1f}% "
           f"({n_detected}/{result.total})")
+    _print_outcomes(result.outcome_counts())
 
     if args.export:
         with open(args.export, "w") as fh:
@@ -191,7 +194,9 @@ def cmd_mc(args) -> int:
                                   model=model, seed=args.seed)
     result = campaign.run(args.dies,
                           progress=progress if args.progress else None,
-                          workers=args.workers, checkpoint=args.resume)
+                          workers=args.workers, checkpoint=args.resume,
+                          timeout=args.timeout, max_retries=args.retries,
+                          trace=args.trace)
 
     print(format_mc_report(result))
     if args.export:
@@ -233,6 +238,30 @@ def cmd_bench(args) -> int:
             json.dump(payload, fh, indent=2, sort_keys=True)
         print(f"wrote {args.json}")
     return 0
+
+
+def _print_outcomes(counts) -> None:
+    """One line naming the supervisor outcomes when any item was
+    settled abnormally (timed out / quarantined)."""
+    abnormal = {k: v for k, v in counts.items() if k != "ok"}
+    if abnormal:
+        body = ", ".join(f"{v} {k}" for k, v in sorted(abnormal.items()))
+        print(f"supervisor: {body} (counted undetected; see the "
+              f"records' __supervisor__ errors)")
+
+
+def _add_supervision(p: argparse.ArgumentParser, noun: str) -> None:
+    p.add_argument("--timeout", type=float, default=None, metavar="S",
+                   help=f"per-{noun} wall-clock budget in seconds; a "
+                        f"{noun} that exceeds it is recorded as a "
+                        f"timeout outcome (default: unbounded)")
+    p.add_argument("--retries", type=int, default=1, metavar="N",
+                   help=f"re-dispatches of a {noun} whose worker died "
+                        f"before it is quarantined (default 1)")
+    p.add_argument("--trace", default=None, metavar="PATH",
+                   help="append the structured run-event trace (worker "
+                        "spawns/deaths, retries, timeouts, checkpoint "
+                        "writes, per-item durations) as JSONL")
 
 
 def cmd_overhead(args) -> int:
@@ -344,6 +373,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--resume", default=None, metavar="PATH",
                    help="JSONL checkpoint to stream records into and "
                         "resume from")
+    _add_supervision(p, "fault")
     p.set_defaults(func=cmd_campaign)
 
     p = sub.add_parser("mc",
@@ -372,6 +402,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--resume", default=None, metavar="PATH",
                    help="JSONL checkpoint to stream die records into and "
                         "resume from")
+    _add_supervision(p, "die")
     p.set_defaults(func=cmd_mc)
 
     p = sub.add_parser("bench",

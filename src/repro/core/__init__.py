@@ -24,12 +24,12 @@ _LAZY = {
     "TestableLink": ".testable_link",
 }
 
-__all__ = sorted(_LAZY) + ["profiling"]
+__all__ = sorted(_LAZY) + ["profiling", "supervisor"]
 
 
 def __getattr__(name: str):
-    if name == "profiling":
-        return importlib.import_module(".profiling", __name__)
+    if name in ("profiling", "supervisor"):
+        return importlib.import_module("." + name, __name__)
     try:
         module = _LAZY[name]
     except KeyError:

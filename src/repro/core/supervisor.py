@@ -1,0 +1,590 @@
+"""Supervised campaign execution: timeouts, crash isolation, quarantine.
+
+The paper's coverage numbers come from running *every* structural fault
+through the full tier pipeline, so a single pathological fault must not
+be able to lose an hours-long campaign.  Two failure modes matter:
+
+* a **hang** — a non-converging Newton/synchronizer loop that never
+  returns (arXiv:1510.04241 shows the lock loop can fail to converge
+  under injected faults);
+* a **crash** — a worker process dying outright (segfault in a native
+  kernel, the OOM killer, an ``os._exit`` deep in a solver).
+
+``concurrent.futures.ProcessPoolExecutor`` offers neither isolation: a
+hung future blocks forever, and one dead worker raises
+``BrokenProcessPool`` for the *whole* pool, aborting every in-flight
+item.  This module replaces the shared pool with a per-worker
+supervisor:
+
+* each worker is its own forked :class:`multiprocessing.Process` with a
+  private duplex pipe, dispatched **one item at a time**, so the
+  supervisor always knows which item each worker is executing;
+* an item that exceeds its wall-clock budget gets its worker killed and
+  is recorded as a ``timeout`` outcome — the campaign continues;
+* a worker that dies mid-item has the item retried on a fresh worker a
+  bounded number of times, after which the item is recorded as a
+  ``quarantined`` outcome (the "poison fault");
+* if workers keep dying without completing anything (fork itself
+  failing, systemic OOM), the supervisor degrades gracefully to
+  in-process serial execution of the remaining items;
+* every lifecycle event (spawn, dispatch, completion, death, retry,
+  timeout, quarantine, fallback) can stream to a :class:`RunTrace`
+  JSONL file, and the :mod:`repro.core.profiling` counters aggregate
+  the same events for ``repro bench``.
+
+Healthy items evaluate exactly as they would in a plain serial loop —
+the worker calls the same ``evaluate`` callable on the same item — so
+records for healthy items are byte-identical to an unsupervised run.
+Timed-out and quarantined items are turned into first-class fallback
+records by the caller-supplied factory (never silently dropped: an
+unrecorded fault would inflate coverage, a silently re-run one could
+deflate it).
+
+In-process serial execution (``workers=1`` with no isolation requested)
+supports the timeout budget too, via ``SIGALRM`` — that catches
+pure-Python hangs, though obviously not crashes of the process itself.
+The deadline exception derives from ``BaseException`` so the campaign
+tier loops' ``except Exception`` capture cannot swallow it.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import signal
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from multiprocessing.connection import wait as _wait_ready
+from typing import (Any, Callable, Dict, IO, Iterator, List, Optional,
+                    Sequence)
+
+from .._profiling import COUNTERS
+
+__all__ = [
+    "OUTCOME_OK", "OUTCOME_TIMEOUT", "OUTCOME_QUARANTINED",
+    "ItemDeadline", "RunTrace", "SupervisorError", "SupervisorPolicy",
+    "run_supervised",
+]
+
+#: item outcome labels recorded on campaign records
+OUTCOME_OK = "ok"
+OUTCOME_TIMEOUT = "timeout"
+OUTCOME_QUARANTINED = "quarantined"
+
+#: pseudo-tier name used in fallback records' ``errors`` entries
+SUPERVISOR_TIER = "__supervisor__"
+
+
+class ItemDeadline(BaseException):
+    """Raised inside the supervised process when an item's wall-clock
+    budget expires.
+
+    Deliberately *not* an :class:`Exception`: the campaigns' per-tier
+    ``except Exception`` capture must never convert a deadline into an
+    ordinary tier error.
+    """
+
+
+class SupervisorError(RuntimeError):
+    """An ``evaluate`` call raised inside a worker (as opposed to the
+    worker dying): the campaign contract is that item evaluation never
+    raises, so this is a bug worth aborting loudly for — identically to
+    what the exception would have done in a serial run."""
+
+
+@dataclass(frozen=True)
+class SupervisorPolicy:
+    """Knobs for :func:`run_supervised`.
+
+    ``timeout``
+        Per-item wall-clock budget in seconds (``None`` = unbounded).
+    ``max_retries``
+        How many times an item whose worker *died* is re-dispatched to
+        a fresh worker before being quarantined.  Timeouts are not
+        retried — a deterministic hang would just spend the budget
+        again.
+    ``max_consecutive_failures``
+        Worker deaths without a single completed item in between before
+        the supervisor stops forking and finishes the remaining items
+        in-process (graceful degradation when fork itself is failing).
+    ``join_grace``
+        Seconds to wait for a worker to exit after being asked to.
+    """
+
+    timeout: Optional[float] = None
+    max_retries: int = 1
+    max_consecutive_failures: int = 4
+    join_grace: float = 5.0
+
+    def __post_init__(self):
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError("timeout must be positive (or None)")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+
+
+# ----------------------------------------------------------------------
+# run-event trace
+# ----------------------------------------------------------------------
+class RunTrace:
+    """Structured JSONL run-event trace.
+
+    One JSON object per line: ``{"event": ..., "t": <seconds since the
+    trace opened>, ...event fields...}``.  Events are flushed as they
+    are emitted so a killed run still leaves a complete prefix, and
+    every emit also bumps the ``trace_events`` profiling counter.
+    """
+
+    def __init__(self, path: str):
+        self.path = path
+        self._fh: Optional[IO[str]] = open(path, "a")
+        self._t0 = time.monotonic()
+        self.emit("trace_open", pid=os.getpid())
+
+    def emit(self, event: str, **fields: Any) -> None:
+        if self._fh is None:  # pragma: no cover - emit after close
+            return
+        payload: Dict[str, Any] = {
+            "event": event,
+            "t": round(time.monotonic() - self._t0, 6),
+        }
+        payload.update(fields)
+        self._fh.write(json.dumps(payload) + "\n")
+        self._fh.flush()
+        COUNTERS.trace_events += 1
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "RunTrace":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def _emit(trace: Optional[RunTrace], event: str, **fields: Any) -> None:
+    if trace is not None:
+        trace.emit(event, **fields)
+
+
+# ----------------------------------------------------------------------
+# in-process deadline (SIGALRM)
+# ----------------------------------------------------------------------
+def _alarm_usable() -> bool:
+    """SIGALRM deadlines need a real SIGALRM and the main thread."""
+    return (hasattr(signal, "SIGALRM")
+            and threading.current_thread() is threading.main_thread())
+
+
+@contextmanager
+def _deadline(seconds: Optional[float]) -> Iterator[None]:
+    """Raise :class:`ItemDeadline` in the current process after
+    *seconds* of wall-clock time; no-op when unbounded or unusable."""
+    if seconds is None or not _alarm_usable():
+        yield
+        return
+
+    def _on_alarm(signum, frame):
+        raise ItemDeadline(f"item exceeded {seconds:g}s wall-clock budget")
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+# ----------------------------------------------------------------------
+# forked worker
+# ----------------------------------------------------------------------
+def _worker_main(evaluate: Callable[[Any], Any], items: Sequence[Any],
+                 conn) -> None:
+    """Worker loop: receive an item index, evaluate, send the record.
+
+    ``evaluate`` and ``items`` arrive through the fork snapshot (never
+    pickled), so workers inherit already-built detector state exactly
+    like the previous pool did.  Only indices and records cross the
+    pipe.
+    """
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            break
+        if message is None:
+            break
+        index = message
+        try:
+            record = evaluate(items[index])
+        except BaseException as exc:  # noqa: BLE001 - reported to parent
+            try:
+                conn.send((index, "error", repr(exc)))
+            except (BrokenPipeError, OSError):
+                pass
+            continue
+        try:
+            conn.send((index, "ok", record))
+        except (BrokenPipeError, OSError):
+            break
+    try:
+        conn.close()
+    except OSError:  # pragma: no cover - already torn down
+        pass
+
+
+class _Worker:
+    """Book-keeping for one supervised worker process."""
+
+    __slots__ = ("proc", "conn", "item", "deadline", "started")
+
+    def __init__(self, proc, conn):
+        self.proc = proc
+        self.conn = conn
+        self.item: Optional[int] = None     # index currently executing
+        self.deadline: Optional[float] = None
+        self.started: Optional[float] = None
+
+    @property
+    def idle(self) -> bool:
+        return self.item is None
+
+    def kill(self, grace: float) -> None:
+        """Tear the worker down unconditionally (timeout/shutdown)."""
+        if self.proc.is_alive():
+            self.proc.kill()
+        self.proc.join(grace)
+        try:
+            self.conn.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+
+
+# ----------------------------------------------------------------------
+# the supervisor proper
+# ----------------------------------------------------------------------
+class _Supervision:
+    """One supervised run over a list of items (parallel, fork)."""
+
+    def __init__(self, items: Sequence[Any],
+                 evaluate: Callable[[Any], Any],
+                 workers: int,
+                 policy: SupervisorPolicy,
+                 fallback: Callable[[Any, str, str], Any],
+                 on_record: Optional[Callable[[int, Any, Any, str], None]],
+                 trace: Optional[RunTrace]):
+        self.items = items
+        self.evaluate = evaluate
+        self.max_workers = max(1, min(workers, len(items)))
+        self.policy = policy
+        self.fallback = fallback
+        self.on_record = on_record
+        self.trace = trace
+        self.ctx = multiprocessing.get_context("fork")
+        self.results: List[Any] = [None] * len(items)
+        self.settled: List[bool] = [False] * len(items)
+        self.attempts: List[int] = [0] * len(items)
+        self.queue: List[int] = list(range(len(items)))
+        self.workers: List[_Worker] = []
+        self.completed = 0
+        self.consecutive_failures = 0
+        self.degraded = False
+
+    # -- record plumbing ----------------------------------------------
+    def _settle(self, index: int, record: Any, outcome: str) -> None:
+        self.results[index] = record
+        self.settled[index] = True
+        self.completed += 1
+        if self.on_record is not None:
+            self.on_record(index, self.items[index], record, outcome)
+
+    def _settle_fallback(self, index: int, outcome: str,
+                         detail: str) -> None:
+        record = self.fallback(self.items[index], outcome, detail)
+        self._settle(index, record, outcome)
+
+    # -- worker lifecycle ---------------------------------------------
+    def _spawn(self) -> Optional[_Worker]:
+        parent_conn, child_conn = self.ctx.Pipe()
+        proc = self.ctx.Process(
+            target=_worker_main,
+            args=(self.evaluate, self.items, child_conn),
+            daemon=True)
+        try:
+            proc.start()
+        except OSError as exc:
+            # fork failing outright: close the pipe, report, and let the
+            # caller degrade to serial
+            parent_conn.close()
+            child_conn.close()
+            _emit(self.trace, "spawn_failed", error=repr(exc))
+            self.consecutive_failures = self.policy.max_consecutive_failures
+            return None
+        child_conn.close()
+        worker = _Worker(proc, parent_conn)
+        self.workers.append(worker)
+        COUNTERS.supervisor_spawns += 1
+        _emit(self.trace, "worker_spawn", pid=proc.pid)
+        return worker
+
+    def _retire(self, worker: _Worker, reason: str,
+                emit: bool = True) -> None:
+        if worker in self.workers:
+            self.workers.remove(worker)
+        worker.kill(self.policy.join_grace)
+        if emit:
+            _emit(self.trace, "worker_exit", pid=worker.proc.pid,
+                  reason=reason, exitcode=worker.proc.exitcode)
+
+    def _dispatch(self, worker: _Worker, index: int) -> None:
+        worker.item = index
+        worker.started = time.monotonic()
+        worker.deadline = (None if self.policy.timeout is None
+                           else worker.started + self.policy.timeout)
+        self.attempts[index] += 1
+        COUNTERS.campaign_chunks += 1
+        _emit(self.trace, "dispatch", item=index, pid=worker.proc.pid,
+              attempt=self.attempts[index])
+        worker.conn.send(index)
+
+    def _fill(self) -> None:
+        """Hand queued items to idle workers; spawn up to the cap."""
+        while self.queue:
+            idle = next((w for w in self.workers if w.idle), None)
+            if idle is None:
+                if len(self.workers) >= self.max_workers:
+                    return
+                idle = self._spawn()
+                if idle is None:
+                    return
+            self._dispatch(idle, self.queue.pop(0))
+
+    # -- failure handling ---------------------------------------------
+    def _handle_result(self, worker: _Worker) -> None:
+        try:
+            index, status, payload = worker.conn.recv()
+        except (EOFError, OSError):
+            self._handle_death(worker)
+            return
+        duration = time.monotonic() - (worker.started or time.monotonic())
+        worker.item = worker.deadline = worker.started = None
+        self.consecutive_failures = 0
+        if status == "error":
+            # evaluate() raised: abort exactly as a serial run would
+            raise SupervisorError(
+                f"item {index} ({self.items[index]!r}) raised in "
+                f"worker: {payload}")
+        _emit(self.trace, "item_done", item=index, pid=worker.proc.pid,
+              duration_s=round(duration, 6))
+        self._settle(index, payload, OUTCOME_OK)
+
+    def _handle_death(self, worker: _Worker) -> None:
+        """Worker hung up without delivering a result."""
+        index = worker.item
+        self._retire(worker, "died", emit=False)  # joins, so exitcode is real
+        exitcode = worker.proc.exitcode
+        COUNTERS.supervisor_worker_deaths += 1
+        self.consecutive_failures += 1
+        _emit(self.trace, "worker_death", pid=worker.proc.pid,
+              exitcode=exitcode, item=index)
+        if index is None:
+            return
+        if self.attempts[index] > self.policy.max_retries:
+            COUNTERS.supervisor_quarantined += 1
+            _emit(self.trace, "quarantine", item=index,
+                  attempts=self.attempts[index])
+            self._settle_fallback(
+                index, OUTCOME_QUARANTINED,
+                f"worker died {self.attempts[index]}x evaluating this "
+                f"item (last exit code {exitcode})")
+        else:
+            COUNTERS.supervisor_retries += 1
+            _emit(self.trace, "retry", item=index,
+                  attempt=self.attempts[index] + 1)
+            self.queue.insert(0, index)
+
+    def _handle_timeout(self, worker: _Worker) -> None:
+        index = worker.item
+        self._retire(worker, "timeout")
+        COUNTERS.supervisor_timeouts += 1
+        _emit(self.trace, "timeout", item=index,
+              budget_s=self.policy.timeout, pid=worker.proc.pid)
+        self._settle_fallback(
+            index, OUTCOME_TIMEOUT,
+            f"timeout after {self.policy.timeout:g}s wall-clock budget")
+
+    # -- main loop -----------------------------------------------------
+    def run(self) -> List[Any]:
+        try:
+            self._fill()
+            while self.completed < len(self.items):
+                if (self.consecutive_failures
+                        >= self.policy.max_consecutive_failures):
+                    self._degrade_to_serial()
+                    break
+                if not self.workers:
+                    # every worker retired and nothing queued them back
+                    self._fill()
+                    if not self.workers:
+                        self._degrade_to_serial()
+                        break
+                self._pump()
+                self._fill()
+        finally:
+            self._shutdown()
+        return self.results
+
+    def _pump(self) -> None:
+        """Wait for one readiness/deadline event and service it."""
+        now = time.monotonic()
+        deadlines = [w.deadline for w in self.workers
+                     if w.deadline is not None]
+        wait_s = (None if not deadlines
+                  else max(0.0, min(deadlines) - now))
+        ready = _wait_ready([w.conn for w in self.workers],
+                            timeout=wait_s)
+        by_conn = {w.conn: w for w in self.workers}
+        for conn in ready:
+            worker = by_conn.get(conn)
+            if worker is not None and worker in self.workers:
+                self._handle_result(worker)
+        now = time.monotonic()
+        for worker in list(self.workers):
+            if worker.deadline is not None and now >= worker.deadline:
+                self._handle_timeout(worker)
+
+    def _degrade_to_serial(self) -> None:
+        """Fork keeps failing: finish the remaining items in-process."""
+        self.degraded = True
+        COUNTERS.supervisor_serial_fallbacks += 1
+        # reclaim whatever was in flight on still-alive workers
+        for worker in list(self.workers):
+            if worker.item is not None and not self.settled[worker.item]:
+                self.queue.append(worker.item)
+            self._retire(worker, "serial_fallback")
+        remaining = sorted(set(self.queue)
+                           | {i for i, s in enumerate(self.settled)
+                              if not s})
+        self.queue = []
+        _emit(self.trace, "serial_fallback", remaining=len(remaining))
+        run_serial(
+            [(i, self.items[i]) for i in remaining],
+            lambda pair: self.evaluate(pair[1]),
+            policy=self.policy,
+            fallback=lambda pair, outcome, detail: self.fallback(
+                pair[1], outcome, detail),
+            on_record=None,
+            trace=None,
+            settle=lambda pair, rec, outcome: self._settle(
+                pair[0], rec, outcome))
+
+    def _shutdown(self) -> None:
+        """Deterministic teardown: cancel outstanding work, reap every
+        worker (KeyboardInterrupt lands here too)."""
+        for worker in list(self.workers):
+            self._retire(worker, "shutdown")
+        self.workers = []
+
+
+def run_serial(items: Sequence[Any], evaluate: Callable[[Any], Any],
+               policy: SupervisorPolicy,
+               fallback: Optional[Callable[[Any, str, str], Any]],
+               on_record: Optional[Callable[[int, Any, Any, str], None]],
+               trace: Optional[RunTrace],
+               settle: Optional[Callable[[Any, Any, str], None]] = None,
+               ) -> List[Any]:
+    """In-process supervised loop: per-item SIGALRM deadlines only.
+
+    This is both the ``workers=1`` path and the graceful-degradation
+    target of the forked supervisor.  It cannot survive the process
+    itself dying, but a pure-Python hang still becomes a recorded
+    ``timeout`` outcome instead of a wedged campaign.
+    """
+    results: List[Any] = []
+    for position, item in enumerate(items):
+        started = time.monotonic()
+        try:
+            with _deadline(policy.timeout):
+                record = evaluate(item)
+            outcome = OUTCOME_OK
+        except ItemDeadline:
+            if fallback is None:  # pragma: no cover - defensive
+                raise
+            COUNTERS.supervisor_timeouts += 1
+            _emit(trace, "timeout", item=position,
+                  budget_s=policy.timeout, pid=os.getpid())
+            record = fallback(
+                item, OUTCOME_TIMEOUT,
+                f"timeout after {policy.timeout:g}s wall-clock budget")
+            outcome = OUTCOME_TIMEOUT
+        else:
+            _emit(trace, "item_done", item=position, pid=os.getpid(),
+                  duration_s=round(time.monotonic() - started, 6))
+        results.append(record)
+        if settle is not None:
+            settle(item, record, outcome)
+        if on_record is not None:
+            on_record(position, item, record, outcome)
+    return results
+
+
+def run_supervised(items: Sequence[Any],
+                   evaluate: Callable[[Any], Any],
+                   *,
+                   workers: int = 1,
+                   policy: Optional[SupervisorPolicy] = None,
+                   fallback: Optional[Callable[[Any, str, str], Any]] = None,
+                   on_record: Optional[
+                       Callable[[int, Any, Any, str], None]] = None,
+                   trace: Optional[RunTrace] = None) -> List[Any]:
+    """Evaluate *items* under supervision; returns records in item order.
+
+    ``evaluate``
+        Called once per item, in a forked worker (``workers >= 1`` with
+        fork available) or in-process otherwise.  Healthy items produce
+        records identical to a plain ``[evaluate(i) for i in items]``.
+    ``fallback(item, outcome, detail)``
+        Builds the first-class record for a timed-out or quarantined
+        item.  Required whenever ``policy.timeout`` is set or crash
+        isolation is in play.
+    ``on_record(index, item, record, outcome)``
+        Completion hook (checkpoint writes, progress) — called once per
+        item as it settles, in completion order.
+    ``trace``
+        Optional :class:`RunTrace` receiving the run-event stream.
+
+    The forked path is engaged when fork is available and either
+    ``workers > 1`` or a timeout is set (single supervised worker:
+    sequential execution that still survives crashes and hangs).
+    """
+    policy = policy or SupervisorPolicy()
+    items = list(items)
+    if (policy.timeout is not None or policy.max_retries > 0) \
+            and fallback is None:
+        raise TypeError("run_supervised needs a fallback record factory "
+                        "when timeouts/quarantine are possible")
+    fork_ok = "fork" in multiprocessing.get_all_start_methods()
+    use_fork = (bool(items) and fork_ok
+                and (workers > 1 or policy.timeout is not None))
+    _emit(trace, "run_start", items=len(items),
+          workers=workers if use_fork else 1,
+          mode="fork" if use_fork else "serial",
+          timeout_s=policy.timeout, max_retries=policy.max_retries)
+    if use_fork:
+        supervision = _Supervision(items, evaluate, workers, policy,
+                                   fallback, on_record, trace)
+        results = supervision.run()
+        _emit(trace, "run_end", items=len(items),
+              degraded=supervision.degraded)
+        return results
+    results = run_serial(items, evaluate, policy, fallback,
+                         on_record, trace)
+    _emit(trace, "run_end", items=len(items), degraded=False)
+    return results

@@ -113,20 +113,32 @@ class CoverageReport:
         lines = [f"{'Test tier':<20}{'Measured':>10}{'Paper':>8}"]
         for tier, measured, paper in self.headline_rows():
             lines.append(f"{tier:<20}{measured * 100:>9.1f}%{paper * 100:>7.1f}%")
+        abnormal = {k: v for k, v in self.result.outcome_counts().items()
+                    if k != "ok"}
+        if abnormal:
+            body = ", ".join(f"{v} {k}"
+                             for k, v in sorted(abnormal.items()))
+            lines.append(f"  supervisor: {body} fault(s) counted "
+                         f"undetected (see records' errors)")
         return "\n".join(lines)
 
 
 def run_paper_campaign(universe: Optional[List[StructuralFault]] = None,
                        progress: Optional[Callable[[int, int], None]] = None,
                        workers: Optional[int] = None,
-                       checkpoint: Optional[str] = None) -> CoverageReport:
+                       checkpoint: Optional[str] = None,
+                       timeout: Optional[float] = None,
+                       max_retries: int = 1,
+                       trace: Optional[str] = None) -> CoverageReport:
     """Run the complete three-tier campaign over the fault universe.
 
-    ``workers`` > 1 fans the universe out over forked worker processes
-    (see :meth:`repro.faults.campaign.FaultCampaign.run`); the tiers and
-    their shared golden signatures are built once, before the fork, so
-    every worker inherits them for free.  ``checkpoint`` names a JSONL
-    file to stream completed records into (and resume from).
+    ``workers`` > 1 fans the universe out over supervised forked worker
+    processes (see :meth:`repro.faults.campaign.FaultCampaign.run`);
+    the tiers and their shared golden signatures are built once, before
+    the fork, so every worker inherits them for free.  ``checkpoint``
+    names a JSONL file to stream completed records into (and resume
+    from); ``timeout``/``max_retries``/``trace`` configure the
+    supervision layer.
     """
     if universe is None:
         universe = build_fault_universe()
@@ -135,5 +147,6 @@ def run_paper_campaign(universe: Optional[List[StructuralFault]] = None,
     for tier in create_tiers(("dc", "scan", "bist"), GoldenSignatures()):
         campaign.add_tier(tier)
     result = campaign.run(universe, progress=progress, workers=workers,
-                          checkpoint=checkpoint)
+                          checkpoint=checkpoint, timeout=timeout,
+                          max_retries=max_retries, trace=trace)
     return CoverageReport(result=result)

@@ -16,7 +16,10 @@ fan the universe out over worker processes (``workers=N``).  Workers are
 forked *after* the detectors are built, so they inherit the golden
 signatures without re-solving them, and results are reassembled in
 universe order — the records (and therefore every coverage number) are
-identical to a serial run.
+identical to a serial run.  Execution is *supervised*
+(:mod:`repro.core.supervisor`): a fault that hangs past its wall-clock
+budget becomes a ``timeout`` record, a fault that kills its worker is
+retried and then ``quarantined``, and the campaign finishes regardless.
 
 Campaigns are also *artifacts*: :meth:`CampaignResult.to_json` /
 :meth:`CampaignResult.from_json` round-trip a result losslessly, and
@@ -28,14 +31,15 @@ an interrupted multi-hour campaign resumes where it stopped.
 from __future__ import annotations
 
 import json
-import multiprocessing
 import os
-from concurrent.futures import ProcessPoolExecutor, as_completed
+from contextlib import ExitStack
 from dataclasses import dataclass
 from typing import (Callable, Dict, IO, List, Mapping, Optional, Sequence,
                     Set, Tuple, Union)
 
 from .._profiling import COUNTERS
+from ..core.supervisor import (SUPERVISOR_TIER, RunTrace, SupervisorPolicy,
+                               run_supervised)
 from .model import DetectionRecord, StructuralFault
 
 DetectorFunc = Callable[[StructuralFault], bool]
@@ -108,6 +112,20 @@ class CampaignResult:
 
     def undetected(self) -> List[StructuralFault]:
         return [r.fault for r in self.records if not r.detected]
+
+    def outcome_counts(self) -> Dict[str, int]:
+        """How many records settled per outcome (``ok`` / ``timeout`` /
+        ``quarantined``)."""
+        counts: Dict[str, int] = {}
+        for r in self.records:
+            counts[r.outcome] = counts.get(r.outcome, 0) + 1
+        return counts
+
+    def unevaluated(self) -> List[DetectionRecord]:
+        """Records the supervisor settled without a full evaluation
+        (timed out or quarantined).  They count as undetected in every
+        coverage number — explicit conservatism, never silent loss."""
+        return [r for r in self.records if r.outcome != "ok"]
 
     def sets_intersect_not_nested(self, a: str = "scan",
                                   b: str = "bist") -> bool:
@@ -208,15 +226,23 @@ class FaultCampaign:
     def run(self, universe: Sequence[StructuralFault],
             progress: Optional[Callable[[int, int], None]] = None,
             workers: Optional[int] = None,
-            checkpoint: Optional[str] = None) -> CampaignResult:
+            checkpoint: Optional[str] = None,
+            timeout: Optional[float] = None,
+            max_retries: int = 1,
+            trace: Optional[Union[str, RunTrace]] = None) -> CampaignResult:
         """Evaluate every fault against every applicable tier.
 
-        With ``workers`` > 1 (and fork available on this platform) the
-        universe is split into chunks evaluated by a process pool; the
-        records come back in universe order and match a serial run
-        exactly, including the per-tier exception capture.  ``progress``
-        is called per fault serially and per completed chunk in
-        parallel, with the same ``(done, total)`` signature.
+        Execution is handed to :func:`repro.core.supervisor.run_supervised`:
+        with ``workers`` > 1 (or a ``timeout`` set) and fork available,
+        faults are dispatched one at a time to supervised forked
+        workers.  Healthy faults produce records identical to a plain
+        serial loop — including the per-tier exception capture — while
+        a fault that hangs past ``timeout`` seconds is settled as a
+        ``timeout`` outcome and a fault that repeatedly kills its worker
+        is settled as ``quarantined`` after ``max_retries``
+        re-dispatches.  ``progress`` is called once per completed fault
+        with the same ``(done, total)`` signature in both serial and
+        parallel runs, error-carrying records included.
 
         With ``checkpoint`` set, every finished record is appended to
         that JSONL file as it completes, and faults already present in
@@ -224,71 +250,57 @@ class FaultCampaign:
         same tier pipeline) are *skipped* — their records are read back
         instead of re-simulated.  The returned result is identical to
         an uninterrupted run either way.
+
+        ``trace`` (a path or an open :class:`RunTrace`) streams the
+        structured run-event log: worker spawns/deaths, dispatches,
+        per-fault durations, retries, timeouts and checkpoint writes.
         """
         universe = list(universe)
         n = len(universe)
         done: Dict[Tuple[str, str, str, str], DetectionRecord] = {}
-        writer: Optional[_CheckpointWriter] = None
-        if checkpoint is not None:
-            done = _load_checkpoint(checkpoint, self.tier_names)
-            writer = _CheckpointWriter(checkpoint, self.tier_names)
-        pending = [f for f in universe if f.key() not in done]
-        base = n - len(pending)
-        COUNTERS.campaign_faults += len(pending)
-        try:
+        with ExitStack() as stack:
+            if isinstance(trace, str):
+                trace = stack.enter_context(RunTrace(trace))
+            writer: Optional[_CheckpointWriter] = None
+            if checkpoint is not None:
+                done = _load_checkpoint(checkpoint, self.tier_names)
+                writer = stack.enter_context(
+                    _CheckpointWriter(checkpoint, self.tier_names))
+            pending = [f for f in universe if f.key() not in done]
+            base = n - len(pending)
+            COUNTERS.campaign_faults += len(pending)
+            completed = [base]
+
+            def on_record(index: int, fault: StructuralFault,
+                          rec: DetectionRecord, outcome: str) -> None:
+                done[fault.key()] = rec
+                if writer is not None:
+                    writer.write(rec)
+                    if isinstance(trace, RunTrace):
+                        trace.emit("checkpoint_write", item=index,
+                                   fault=str(fault), outcome=outcome)
+                completed[0] += 1
+                if progress is not None:
+                    progress(completed[0], n)
+
             n_workers = (1 if workers is None
                          else min(int(workers), max(len(pending), 1)))
-            if (n_workers > 1 and pending
-                    and "fork" in multiprocessing.get_all_start_methods()):
-                self._run_parallel(pending, n_workers, progress,
-                                   done, writer, base, n)
-            else:
-                for i, fault in enumerate(pending):
-                    rec = self.evaluate(fault)
-                    done[fault.key()] = rec
-                    if writer is not None:
-                        writer.write(rec)
-                    if progress is not None:
-                        progress(base + i + 1, n)
-        finally:
-            if writer is not None:
-                writer.close()
+            run_supervised(
+                pending, self.evaluate, workers=n_workers,
+                policy=SupervisorPolicy(timeout=timeout,
+                                        max_retries=max_retries),
+                fallback=self._fallback_record, on_record=on_record,
+                trace=trace if isinstance(trace, RunTrace) else None)
         return CampaignResult(records=[done[f.key()] for f in universe],
                               tier_order=self.tier_names)
 
-    def _run_parallel(self, pending: List[StructuralFault], workers: int,
-                      progress: Optional[Callable[[int, int], None]],
-                      done: Dict[Tuple, DetectionRecord],
-                      writer: Optional["_CheckpointWriter"],
-                      base: int, total: int) -> None:
-        global _WORKER_CAMPAIGN, _WORKER_UNIVERSE
-        n = len(pending)
-        # a few chunks per worker keeps the pool busy even though fault
-        # evaluation cost is heavily skewed (BIST lock tests dominate)
-        size = max(1, -(-n // (workers * 4)))
-        bounds = [(lo, min(lo + size, n)) for lo in range(0, n, size)]
-        COUNTERS.campaign_chunks += len(bounds)
-        ctx = multiprocessing.get_context("fork")
-        _WORKER_CAMPAIGN, _WORKER_UNIVERSE = self, pending
-        try:
-            with ProcessPoolExecutor(max_workers=workers,
-                                     mp_context=ctx) as pool:
-                futures = {pool.submit(_evaluate_chunk, b): k
-                           for k, b in enumerate(bounds)}
-                completed = 0
-                for fut in as_completed(futures):
-                    k = futures[fut]
-                    records = fut.result()
-                    lo = bounds[k][0]
-                    for j, rec in enumerate(records):
-                        done[pending[lo + j].key()] = rec
-                        if writer is not None:
-                            writer.write(rec)
-                    completed += len(records)
-                    if progress is not None:
-                        progress(base + completed, total)
-        finally:
-            _WORKER_CAMPAIGN = _WORKER_UNIVERSE = None
+    def _fallback_record(self, fault: StructuralFault, outcome: str,
+                         detail: str) -> DetectionRecord:
+        """First-class record for a fault the supervisor gave up on:
+        no tier hits (an unevaluated fault never inflates coverage),
+        the outcome label, and the supervisor's reason on ``errors``."""
+        return DetectionRecord(fault=fault, outcome=outcome,
+                               errors=[(SUPERVISOR_TIER, detail)])
 
 
 # ----------------------------------------------------------------------
@@ -305,13 +317,21 @@ def _load_checkpoint(path: str, tier_names: Sequence[str]
 
     An empty/missing file yields an empty map.  A header whose tier
     pipeline differs from the current campaign is an error — mixing
-    records from different pipelines would corrupt the accounting.  A
-    truncated trailing line (interrupted mid-write) is discarded.
+    records from different pipelines would corrupt the accounting.
+
+    Only the *final* line may be malformed (a write torn by an
+    interrupted run); it is discarded **and physically truncated from
+    the file**, so the writer's subsequent appends land on a clean line
+    boundary instead of gluing onto the torn fragment.  A malformed
+    line with valid records after it means the file is corrupted in the
+    middle — resuming would silently discard every later record and
+    then re-append duplicates, so that raises instead.
     """
     if not os.path.exists(path) or os.path.getsize(path) == 0:
         return {}
     done: Dict[Tuple[str, str, str, str], DetectionRecord] = {}
-    with open(path) as fh:
+    # binary mode: tell()/truncate() must speak byte offsets
+    with open(path, "rb+") as fh:
         header_line = fh.readline()
         try:
             header = json.loads(header_line)
@@ -325,19 +345,38 @@ def _load_checkpoint(path: str, tier_names: Sequence[str]
                 f"{path}: checkpoint was written by tier pipeline "
                 f"{header.get('tier_order')!r}, campaign runs "
                 f"{list(tier_names)!r}")
-        for line in fh:
+        while True:
+            offset = fh.tell()
+            line = fh.readline()
+            if not line:
+                break
             if not line.strip():
                 continue
             try:
                 rec = DetectionRecord.from_dict(json.loads(line))
             except (json.JSONDecodeError, KeyError, ValueError):
-                break  # truncated tail from an interrupted write
+                if fh.read().strip():
+                    raise ValueError(
+                        f"{path}: corrupted checkpoint record at byte "
+                        f"{offset} with valid records after it; "
+                        f"refusing to resume (repair or delete the "
+                        f"file)") from None
+                fh.seek(offset)
+                fh.truncate()
+                break
             done[rec.fault.key()] = rec
     return done
 
 
 class _CheckpointWriter:
-    """Appends records to a JSONL checkpoint, one flushed line each."""
+    """Appends records to a JSONL checkpoint, one flushed line each.
+
+    A context manager so interrupted runs (``KeyboardInterrupt``, a
+    worker failure propagating out) still close the stream
+    deterministically: every record line is written in a single
+    ``write`` + ``flush``, so the file never holds a half-written
+    record beyond the last flushed line.
+    """
 
     def __init__(self, path: str, tier_names: Sequence[str]):
         fresh = not os.path.exists(path) or os.path.getsize(path) == 0
@@ -355,15 +394,8 @@ class _CheckpointWriter:
             self._fh.close()
             self._fh = None
 
+    def __enter__(self) -> "_CheckpointWriter":
+        return self
 
-#: campaign/universe handed to forked workers by :meth:`_run_parallel`;
-#: fork snapshots these at pool creation, so nothing is pickled and the
-#: workers share the parent's already-built detector state
-_WORKER_CAMPAIGN: Optional[FaultCampaign] = None
-_WORKER_UNIVERSE: Sequence[StructuralFault] = ()
-
-
-def _evaluate_chunk(bounds: Tuple[int, int]) -> List[DetectionRecord]:
-    lo, hi = bounds
-    return [_WORKER_CAMPAIGN.evaluate(_WORKER_UNIVERSE[i])
-            for i in range(lo, hi)]
+    def __exit__(self, *exc_info) -> None:
+        self.close()

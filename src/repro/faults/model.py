@@ -108,13 +108,21 @@ class DetectionRecord:
     ``errors`` collects ``(tier, repr(exception))`` pairs from detectors
     that raised; it is a first-class field, so it survives pickling
     through forked campaign workers and JSON round-trips.
+
+    ``outcome`` is ``"ok"`` for a normally evaluated fault; the
+    supervised runner (:mod:`repro.core.supervisor`) settles a fault
+    that hung as ``"timeout"`` and one that repeatedly killed its
+    worker as ``"quarantined"``.  Non-ok records carry no tier hits —
+    an unevaluated fault must never inflate coverage — and they stay
+    visible in the accounting instead of being silently dropped.
     """
 
-    __slots__ = ("fault", "tiers", "errors")
+    __slots__ = ("fault", "tiers", "errors", "outcome")
 
     def __init__(self, fault: StructuralFault,
                  tiers: Optional[Mapping[str, bool]] = None,
                  errors: Optional[Iterable[Sequence[str]]] = None,
+                 outcome: str = "ok",
                  **tier_flags: bool):
         self.fault = fault
         self.tiers: Dict[str, bool] = {name: True for name, hit
@@ -124,6 +132,7 @@ class DetectionRecord:
                 self.tiers[name] = True
         self.errors: List[Tuple[str, str]] = \
             [tuple(e) for e in (errors or [])]
+        self.outcome = outcome
 
     # -- paper-tier attribute compatibility ----------------------------
     @property
@@ -161,22 +170,32 @@ class DetectionRecord:
         if not isinstance(other, DetectionRecord):
             return NotImplemented
         return (self.fault == other.fault and self.tiers == other.tiers
-                and self.errors == other.errors)
+                and self.errors == other.errors
+                and self.outcome == other.outcome)
 
     __hash__ = None  # mutable
 
     def __repr__(self) -> str:
+        suffix = "" if self.outcome == "ok" else f", outcome={self.outcome}"
         return (f"DetectionRecord(fault={self.fault!s}, "
-                f"tiers={sorted(self.tiers)}, errors={len(self.errors)})")
+                f"tiers={sorted(self.tiers)}, "
+                f"errors={len(self.errors)}{suffix})")
 
     # -- artifact serialization ----------------------------------------
     def to_dict(self) -> Dict[str, object]:
-        return {"fault": self.fault.to_dict(),
-                "tiers": dict(self.tiers),
-                "errors": [list(e) for e in self.errors]}
+        # "outcome" is emitted only for abnormal records so ok-records
+        # stay byte-identical to pre-supervision artifacts/checkpoints
+        data: Dict[str, object] = {
+            "fault": self.fault.to_dict(),
+            "tiers": dict(self.tiers),
+            "errors": [list(e) for e in self.errors]}
+        if self.outcome != "ok":
+            data["outcome"] = self.outcome
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, object]) -> "DetectionRecord":
         return cls(fault=StructuralFault.from_dict(data["fault"]),
                    tiers=data.get("tiers") or {},
-                   errors=data.get("errors") or [])
+                   errors=data.get("errors") or [],
+                   outcome=str(data.get("outcome", "ok")))

@@ -18,10 +18,12 @@ Each die evaluates as a pure function of ``(seed, die_index)``:
   transient, faults inject into clones).
 
 Die independence is what lets :meth:`MonteCarloCampaign.run` reuse the
-fault campaign's machinery shape: fork-parallel chunked workers whose
-records reassemble in die order (bit-identical to a serial run), and a
-JSONL checkpoint that lets an interrupted run resume without
-re-simulating finished dies.  Within a worker, benches are built once
+fault campaign's machinery shape: supervised fork-parallel workers
+(:mod:`repro.core.supervisor`) whose records reassemble in die order
+(bit-identical to a serial run for every healthy die, with hanging or
+worker-killing dies settled as first-class timeout/quarantine
+outcomes), and a JSONL checkpoint that lets an interrupted run resume
+without re-simulating finished dies.  Within a worker, benches are built once
 and *re-tuned* per die through :class:`repro.variation.context.DieContext`,
 so the compiled MNA plans of PR 1 amortise across the whole sweep.
 """
@@ -29,15 +31,16 @@ so the compiled MNA plans of PR 1 amortise across the whole sweep.
 from __future__ import annotations
 
 import json
-import multiprocessing
 import os
-from concurrent.futures import ProcessPoolExecutor, as_completed
+from contextlib import ExitStack
 from dataclasses import dataclass, field
 from typing import (Callable, Dict, IO, List, Mapping, Optional, Sequence,
-                    Tuple)
+                    Tuple, Union)
 
 from .._profiling import COUNTERS
 from ..analog.corners import ProcessCorner, get_corner
+from ..core.supervisor import (SUPERVISOR_TIER, RunTrace, SupervisorPolicy,
+                               run_supervised)
 from ..faults.model import StructuralFault
 from ..faults.sampling import SampledCoverage, pick_die_fault
 from .context import DieContext, activated
@@ -63,6 +66,12 @@ class DieRecord:
     when the tier missed or does not apply to the fault's block).
     Everything is bools, ints and strings — records serialize to
     byte-stable JSON by construction.
+
+    ``outcome`` is ``"ok"`` for a normally evaluated die; the
+    supervised runner settles a hanging die as ``"timeout"`` and one
+    that repeatedly kills its worker as ``"quarantined"``.  Non-ok dies
+    fail every healthy screen and detect nothing — conservative in
+    both directions, and visible in the accounting instead of lost.
     """
 
     die: int
@@ -70,6 +79,7 @@ class DieRecord:
     healthy: Dict[str, bool]
     detected: Dict[str, bool]
     errors: List[Tuple[str, str]] = field(default_factory=list)
+    outcome: str = "ok"
 
     # ------------------------------------------------------------------
     @property
@@ -92,11 +102,17 @@ class DieRecord:
 
     # -- artifact serialization ----------------------------------------
     def to_dict(self) -> Dict[str, object]:
-        return {"die": self.die,
-                "fault": self.fault.to_dict(),
-                "healthy": dict(self.healthy),
-                "detected": dict(self.detected),
-                "errors": [list(e) for e in self.errors]}
+        # "outcome" is emitted only for abnormal records so ok-records
+        # stay byte-identical to pre-supervision artifacts/checkpoints
+        data: Dict[str, object] = {
+            "die": self.die,
+            "fault": self.fault.to_dict(),
+            "healthy": dict(self.healthy),
+            "detected": dict(self.detected),
+            "errors": [list(e) for e in self.errors]}
+        if self.outcome != "ok":
+            data["outcome"] = self.outcome
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, object]) -> "DieRecord":
@@ -106,7 +122,8 @@ class DieRecord:
                             for k, v in (data.get("healthy") or {}).items()},
                    detected={k: bool(v)
                              for k, v in (data.get("detected") or {}).items()},
-                   errors=[tuple(e) for e in (data.get("errors") or [])])
+                   errors=[tuple(e) for e in (data.get("errors") or [])],
+                   outcome=str(data.get("outcome", "ok")))
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, DieRecord):
@@ -114,7 +131,8 @@ class DieRecord:
         return (self.die == other.die and self.fault == other.fault
                 and self.healthy == other.healthy
                 and self.detected == other.detected
-                and self.errors == other.errors)
+                and self.errors == other.errors
+                and self.outcome == other.outcome)
 
 
 @dataclass
@@ -180,6 +198,20 @@ class MCResult:
 
     def error_count(self) -> int:
         return sum(len(r.errors) for r in self.records)
+
+    def outcome_counts(self) -> Dict[str, int]:
+        """How many dies settled per outcome (``ok`` / ``timeout`` /
+        ``quarantined``)."""
+        counts: Dict[str, int] = {}
+        for r in self.records:
+            counts[r.outcome] = counts.get(r.outcome, 0) + 1
+        return counts
+
+    def unevaluated(self) -> List[DieRecord]:
+        """Dies the supervisor settled without a full evaluation (timed
+        out or quarantined).  They count as screen failures and missed
+        detections in every rate — explicit conservatism."""
+        return [r for r in self.records if r.outcome != "ok"]
 
     # -- artifact layer ------------------------------------------------
     def to_dict(self) -> Dict[str, object]:
@@ -313,81 +345,80 @@ class MonteCarloCampaign:
     def run(self, dies: int,
             progress: Optional[Callable[[int, int], None]] = None,
             workers: Optional[int] = None,
-            checkpoint: Optional[str] = None) -> MCResult:
+            checkpoint: Optional[str] = None,
+            timeout: Optional[float] = None,
+            max_retries: int = 1,
+            trace: Optional[Union[str, RunTrace]] = None) -> MCResult:
         """Evaluate dies ``0..dies-1`` and assemble the result.
 
-        Mirrors :meth:`repro.faults.campaign.FaultCampaign.run`: with
-        ``workers`` > 1 and fork available, pending dies are chunked
-        over a process pool (records reassemble in die order, identical
-        to a serial run); with ``checkpoint`` set, finished dies append
-        to a JSONL file and are skipped on resume.
+        Mirrors :meth:`repro.faults.campaign.FaultCampaign.run`:
+        execution goes through the supervised runner
+        (:func:`repro.core.supervisor.run_supervised`), so with
+        ``workers`` > 1 (or a ``timeout`` set) and fork available,
+        pending dies are dispatched to supervised forked workers —
+        records reassemble in die order, identical to a serial run for
+        every healthy die, while a hanging die settles as a ``timeout``
+        outcome and a worker-killing die as ``quarantined`` after
+        ``max_retries`` re-dispatches.  With ``checkpoint`` set,
+        finished dies append to a JSONL file and are skipped on resume;
+        ``trace`` streams the structured run-event log.
         """
         indices = list(range(int(dies)))
         n = len(indices)
         done: Dict[int, DieRecord] = {}
-        writer: Optional[_CheckpointWriter] = None
         config = _config_dict(self.seed, self.corner.name,
                               self.tier_names, self.model)
-        if checkpoint is not None:
-            done = _load_checkpoint(checkpoint, config)
-            writer = _CheckpointWriter(checkpoint, config)
-        pending = [i for i in indices if i not in done]
-        base = n - len(pending)
-        try:
+        with ExitStack() as stack:
+            if isinstance(trace, str):
+                trace = stack.enter_context(RunTrace(trace))
+            writer: Optional[_CheckpointWriter] = None
+            if checkpoint is not None:
+                done = _load_checkpoint(checkpoint, config)
+                writer = stack.enter_context(
+                    _CheckpointWriter(checkpoint, config))
+            pending = [i for i in indices if i not in done]
+            base = n - len(pending)
+            completed = [base]
+
+            def on_record(index: int, die: int, rec: DieRecord,
+                          outcome: str) -> None:
+                done[die] = rec
+                if writer is not None:
+                    writer.write(rec)
+                    if isinstance(trace, RunTrace):
+                        trace.emit("checkpoint_write", item=index,
+                                   die=die, outcome=outcome)
+                completed[0] += 1
+                if progress is not None:
+                    progress(completed[0], n)
+
             n_workers = (1 if workers is None
                          else min(int(workers), max(len(pending), 1)))
-            if (n_workers > 1 and pending
-                    and "fork" in multiprocessing.get_all_start_methods()):
-                self._run_parallel(pending, n_workers, progress,
-                                   done, writer, base, n)
-            else:
-                for k, die in enumerate(pending):
-                    rec = self.evaluate_die(die)
-                    done[die] = rec
-                    if writer is not None:
-                        writer.write(rec)
-                    if progress is not None:
-                        progress(base + k + 1, n)
-        finally:
-            if writer is not None:
-                writer.close()
+            run_supervised(
+                pending, self.evaluate_die, workers=n_workers,
+                policy=SupervisorPolicy(timeout=timeout,
+                                        max_retries=max_retries),
+                fallback=self._fallback_record, on_record=on_record,
+                trace=trace if isinstance(trace, RunTrace) else None)
         return MCResult(records=[done[i] for i in indices],
                         tier_order=self.tier_names, seed=self.seed,
                         corner=self.corner.name, model=self.model)
 
-    def _run_parallel(self, pending: List[int], workers: int,
-                      progress: Optional[Callable[[int, int], None]],
-                      done: Dict[int, DieRecord],
-                      writer: Optional["_CheckpointWriter"],
-                      base: int, total: int) -> None:
-        global _WORKER_MC, _WORKER_DIES
-        n = len(pending)
-        # several chunks per worker: per-die cost is uniform-ish, but
-        # resumed runs can leave ragged pending lists
-        size = max(1, -(-n // (workers * 4)))
-        bounds = [(lo, min(lo + size, n)) for lo in range(0, n, size)]
-        COUNTERS.campaign_chunks += len(bounds)
-        ctx = multiprocessing.get_context("fork")
-        _WORKER_MC, _WORKER_DIES = self, pending
-        try:
-            with ProcessPoolExecutor(max_workers=workers,
-                                     mp_context=ctx) as pool:
-                futures = {pool.submit(_evaluate_die_chunk, b): k
-                           for k, b in enumerate(bounds)}
-                completed = 0
-                for fut in as_completed(futures):
-                    k = futures[fut]
-                    records = fut.result()
-                    lo = bounds[k][0]
-                    for j, rec in enumerate(records):
-                        done[pending[lo + j]] = rec
-                        if writer is not None:
-                            writer.write(rec)
-                    completed += len(records)
-                    if progress is not None:
-                        progress(base + completed, total)
-        finally:
-            _WORKER_MC = _WORKER_DIES = None
+    def _fallback_record(self, die: int, outcome: str,
+                         detail: str) -> DieRecord:
+        """First-class record for a die the supervisor gave up on.
+
+        The die's fault is still the deterministic
+        :func:`pick_die_fault` draw, so the record slots into the same
+        accounting; every screen counts as failed and every detection
+        as missed (a tester crash rejects the part; an unevaluated test
+        never inflates coverage)."""
+        fault = pick_die_fault(self.universe, self.seed, die)
+        return DieRecord(die=die, fault=fault,
+                         healthy={t: False for t in self.tier_names},
+                         detected={t: False for t in self.tier_names},
+                         errors=[(SUPERVISOR_TIER, detail)],
+                         outcome=outcome)
 
 
 # ----------------------------------------------------------------------
@@ -405,13 +436,20 @@ def _load_checkpoint(path: str, config: Mapping[str, object]
     The header's full config (seed, corner, tiers, mismatch model) must
     match the current campaign — a record sampled under different
     parameters is a different die, and mixing them would corrupt every
-    rate.  A truncated trailing line (interrupted mid-write) is
-    discarded.
+    rate.
+
+    Only the *final* line may be malformed (a write torn by an
+    interrupted run); it is discarded and physically truncated from the
+    file so subsequent appends land on a clean line boundary.  A
+    malformed line with valid records after it means mid-file
+    corruption — resuming would discard later records and then append
+    duplicates, so that raises instead.
     """
     if not os.path.exists(path) or os.path.getsize(path) == 0:
         return {}
     done: Dict[int, DieRecord] = {}
-    with open(path) as fh:
+    # binary mode: tell()/truncate() must speak byte offsets
+    with open(path, "rb+") as fh:
         header_line = fh.readline()
         try:
             header = json.loads(header_line)
@@ -426,19 +464,37 @@ def _load_checkpoint(path: str, config: Mapping[str, object]
                 f"{path}: checkpoint was written with config "
                 f"{header.get('config')!r}, campaign runs "
                 f"{dict(config)!r}")
-        for line in fh:
+        while True:
+            offset = fh.tell()
+            line = fh.readline()
+            if not line:
+                break
             if not line.strip():
                 continue
             try:
                 rec = DieRecord.from_dict(json.loads(line))
             except (json.JSONDecodeError, KeyError, ValueError):
-                break  # truncated tail from an interrupted write
+                if fh.read().strip():
+                    raise ValueError(
+                        f"{path}: corrupted checkpoint record at byte "
+                        f"{offset} with valid records after it; "
+                        f"refusing to resume (repair or delete the "
+                        f"file)") from None
+                fh.seek(offset)
+                fh.truncate()
+                break
             done[rec.die] = rec
     return done
 
 
 class _CheckpointWriter:
-    """Appends die records to a JSONL checkpoint, one flushed line each."""
+    """Appends die records to a JSONL checkpoint, one flushed line each.
+
+    A context manager so interrupted runs still close the stream
+    deterministically; every record line is a single ``write`` +
+    ``flush``, so the file never holds a half-written record beyond the
+    last flushed line.
+    """
 
     def __init__(self, path: str, config: Mapping[str, object]):
         fresh = not os.path.exists(path) or os.path.getsize(path) == 0
@@ -456,15 +512,8 @@ class _CheckpointWriter:
             self._fh.close()
             self._fh = None
 
+    def __enter__(self) -> "_CheckpointWriter":
+        return self
 
-#: campaign/die-list handed to forked workers by :meth:`_run_parallel`;
-#: fork snapshots these at pool creation, so nothing is pickled and the
-#: workers inherit the parent's already-built tiers and goldens
-_WORKER_MC: Optional[MonteCarloCampaign] = None
-_WORKER_DIES: Sequence[int] = ()
-
-
-def _evaluate_die_chunk(bounds: Tuple[int, int]) -> List[DieRecord]:
-    lo, hi = bounds
-    return [_WORKER_MC.evaluate_die(_WORKER_DIES[i])
-            for i in range(lo, hi)]
+    def __exit__(self, *exc_info) -> None:
+        self.close()

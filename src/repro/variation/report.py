@@ -68,6 +68,15 @@ def format_mc_report(result: MCResult, confidence: float = 0.95) -> str:
     for label in sorted(by_kind):
         lines.append(f"  {label:<{kind_width}}  {_fmt(by_kind[label])}")
 
+    abnormal = {k: v for k, v in result.outcome_counts().items()
+                if k != "ok"}
+    if abnormal:
+        body = ", ".join(f"{v} die(s) {k}"
+                         for k, v in sorted(abnormal.items()))
+        lines.append("")
+        lines.append(f"  supervisor: {body} — counted as screen "
+                     f"failures and missed detections")
+
     errors = result.error_count()
     if errors:
         lines.append("")

@@ -7,11 +7,21 @@ population exercises them fully.
 """
 
 
+import json
+import multiprocessing
+import os
+import time
+
 import pytest
 
 from repro.dft.coverage import build_fault_universe
 from repro.faults.sampling import pick_die_fault
 from repro.variation import MismatchModel, MonteCarloCampaign
+from repro.variation.campaign import DieRecord, MCResult
+
+HAVE_FORK = "fork" in multiprocessing.get_all_start_methods()
+needs_fork = pytest.mark.skipif(not HAVE_FORK,
+                                reason="fork start method required")
 
 
 @pytest.fixture(scope="module")
@@ -109,6 +119,120 @@ class TestRunParity:
         MonteCarloCampaign(tiers=("dc",), seed=7).run(
             4, checkpoint=ck, progress=lambda i, n: calls.append((i, n)))
         assert calls == [(3, 4), (4, 4)]
+
+    def test_checkpoint_corrupted_middle_line_raises(self, tmp_path):
+        """A malformed line *before* valid records is mid-file
+        corruption — resuming would drop the later records and append
+        duplicates, so the run must refuse."""
+        ck = str(tmp_path / "mc.jsonl")
+        MonteCarloCampaign(tiers=("dc",), seed=7).run(3, checkpoint=ck)
+        with open(ck) as fh:
+            lines = fh.readlines()
+        lines[2] = lines[2][: len(lines[2]) // 2] + "\n"
+        with open(ck, "w") as fh:
+            fh.writelines(lines)
+        with pytest.raises(ValueError, match="corrupted"):
+            MonteCarloCampaign(tiers=("dc",), seed=7).run(
+                3, checkpoint=ck)
+        with open(ck) as fh:
+            assert fh.readlines() == lines      # untouched, no appends
+
+    def test_torn_tail_is_physically_truncated(self, tmp_path):
+        """The discarded torn tail must leave the file, so the resumed
+        run's append lands on a clean boundary instead of gluing onto
+        the fragment (which lost both records)."""
+        ck = str(tmp_path / "mc.jsonl")
+        MonteCarloCampaign(tiers=("dc",), seed=7).run(3, checkpoint=ck)
+        with open(ck) as fh:
+            lines = fh.readlines()
+        with open(ck, "w") as fh:
+            fh.writelines(lines[:-1])
+            fh.write(lines[-1][: len(lines[-1]) // 2])
+        MonteCarloCampaign(tiers=("dc",), seed=7).run(3, checkpoint=ck)
+        with open(ck) as fh:
+            dies = [json.loads(line)["die"]
+                    for line in fh.readlines()[1:]]
+        assert sorted(dies) == [0, 1, 2]
+
+
+class _PoisonedMC(MonteCarloCampaign):
+    """Cheap synthetic die evaluation with designated hang/kill dies.
+
+    Exercises the supervision path through the real ``run`` machinery
+    (checkpoints, fallback records, trace) without paying for actual
+    tier simulations per die."""
+
+    def __init__(self, hang=(), kill=(), **kwargs):
+        super().__init__(tiers=("dc",), seed=7, **kwargs)
+        self.hang_dies = frozenset(hang)
+        self.kill_dies = frozenset(kill)
+
+    def evaluate_die(self, die_index):
+        if die_index in self.hang_dies:
+            time.sleep(120)
+        if die_index in self.kill_dies:
+            os._exit(1)
+        fault = pick_die_fault(self.universe, self.seed, die_index)
+        return DieRecord(die=die_index, fault=fault,
+                         healthy={"dc": True},
+                         detected={"dc": die_index % 2 == 0})
+
+
+@needs_fork
+class TestSupervisedMC:
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_poisoned_population_completes(self, workers):
+        mc = _PoisonedMC(hang=[3], kill=[5])
+        result = mc.run(8, workers=workers, timeout=1.5)
+        assert result.total == 8
+        by_die = {r.die: r for r in result.records}
+        assert by_die[3].outcome == "timeout"
+        assert by_die[5].outcome == "quarantined"
+        assert result.outcome_counts() == {"ok": 6, "timeout": 1,
+                                           "quarantined": 1}
+        assert {r.die for r in result.unevaluated()} == {3, 5}
+        # conservative in both directions: screens failed, nothing hit
+        for die in (3, 5):
+            assert not by_die[die].healthy_pass
+            assert by_die[die].escaped
+
+    def test_healthy_dies_identical_to_unpoisoned_run(self):
+        poisoned = _PoisonedMC(hang=[3], kill=[5]).run(
+            8, workers=4, timeout=1.5)
+        clean = _PoisonedMC().run(8)
+        for bad, ref in zip(poisoned.records, clean.records):
+            if bad.die in (3, 5):
+                continue
+            assert json.dumps(bad.to_dict()) == json.dumps(ref.to_dict())
+
+    def test_outcomes_round_trip_and_render(self):
+        from repro.variation.report import format_mc_report
+
+        result = _PoisonedMC(hang=[3], kill=[5]).run(
+            8, workers=4, timeout=1.5)
+        back = MCResult.from_json(result.to_json())
+        assert back.records == result.records
+        assert back.outcome_counts() == result.outcome_counts()
+        report = format_mc_report(back)
+        assert "supervisor:" in report
+        assert "1 die(s) quarantined" in report
+        assert "1 die(s) timeout" in report
+
+    def test_trace_and_checkpoint_capture_bad_dies(self, tmp_path):
+        trace = str(tmp_path / "mc.trace.jsonl")
+        ck = str(tmp_path / "mc.ckpt")
+        _PoisonedMC(hang=[3], kill=[5]).run(
+            8, workers=4, timeout=1.5, checkpoint=ck, trace=trace)
+        events = [json.loads(line) for line in open(trace)]
+        names = [e["event"] for e in events]
+        for expected in ("run_start", "timeout", "quarantine",
+                         "checkpoint_write", "run_end"):
+            assert expected in names
+        # resume skips even the poison dies: their outcome records are
+        # checkpointed, so the rerun never hangs or forks again
+        resumed = _PoisonedMC(hang=[3], kill=[5]).run(8, checkpoint=ck)
+        assert resumed.outcome_counts() == {"ok": 6, "timeout": 1,
+                                            "quarantined": 1}
 
 
 class TestContextHygiene:
