@@ -18,11 +18,12 @@ Environment knobs:
   keeps the per-die retune/reuse counters in this process for the
   BENCH artifact).
 
-Every session writes ``BENCH_PR3.json`` next to this file: per-bench
+Every session writes ``BENCH_PR5.json`` next to this file: per-bench
 wall time plus the engine's profiling counters (including the per-die
-plan-retune / bench-reuse counters of the Monte-Carlo path), so
-performance PRs have a before/after record.  The newest *older*
-``BENCH_PR*.json`` found beside it is referenced as the baseline.
+plan-retune / bench-reuse counters of the Monte-Carlo path and the
+resilience ladder's fallback-rung counters), so performance PRs have a
+before/after record.  The newest *older* ``BENCH_PR*.json`` found
+beside it is referenced as the baseline.
 """
 
 from __future__ import annotations
@@ -37,7 +38,7 @@ import time
 import pytest
 
 _HERE = os.path.dirname(__file__)
-_OUTPUT_NAME = "BENCH_PR3.json"
+_OUTPUT_NAME = "BENCH_PR5.json"
 
 _campaign_cache = {}
 _mc_cache = {}

@@ -49,6 +49,16 @@ _FIELDS = (
     # Monte-Carlo variation
     "mc_dies",               # sampled dies evaluated (healthy + faulty)
     "mc_bench_reuse",        # die-bench circuits reused across dies
+    # numerical resilience (repro.analog.resilience)
+    "rescue_refined",        # ladder climbs into iterative refinement
+    "rescue_equilibrated",   # ladder climbs into row/col equilibration
+    "rescue_lstsq",          # ladder climbs into the SVD lstsq rescue
+    "degraded_solves",       # accepted solves above the good threshold
+    "unsolvable_systems",    # solves rejected as unsolvable
+    "dc_ptc_steps",          # pseudo-transient continuation steps taken
+    "dc_ptc_rescues",        # DC points rescued by the PTC homotopy
+    "tran_step_rejections",  # transient steps rejected by Newton failure
+    "tran_step_halvings",    # dt halvings spent recovering those steps
 )
 
 

@@ -64,7 +64,17 @@ from .mosfet import (
     PHI_T,
 )
 from .netlist import Circuit, CircuitError, is_ground
-from .solver import SolverError
+from .resilience import (
+    NumericsPolicy,
+    SolveDiagnostics,
+    UnsolvableError,
+    condition_estimate_1norm,
+    get_policy,
+    numerics_policy,
+    relative_residual,
+    resilient_solve,
+)
+from .solver import DEFAULT_GMIN, SolverError, solve_linear, solve_linear_diag
 from .transient import (
     TransientResult,
     bit_waveform,
@@ -90,7 +100,10 @@ __all__ = [
     "MOSFET", "MOSParams", "NMOS_130", "NMOS_130_FF", "NMOS_130_SS",
     "PMOS_130", "PMOS_130_FF", "PMOS_130_SS", "PHI_T",
     "Circuit", "CircuitError", "is_ground",
-    "SolverError",
+    "NumericsPolicy", "SolveDiagnostics", "UnsolvableError",
+    "condition_estimate_1norm", "get_policy", "numerics_policy",
+    "relative_residual", "resilient_solve",
+    "DEFAULT_GMIN", "SolverError", "solve_linear", "solve_linear_diag",
     "TransientResult", "bit_waveform", "clock_waveform", "step_waveform",
     "transient",
 ]

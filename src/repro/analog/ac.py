@@ -7,7 +7,7 @@ basic amplifier cells.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Optional, Sequence
 
 import numpy as np
@@ -15,7 +15,8 @@ import numpy as np
 from .dc import OperatingPoint, dc_operating_point
 from .devices import VoltageSource
 from .netlist import Circuit, is_ground
-from .solver import SolverError, assemble, build_index, solve_linear
+from .resilience import SolveDiagnostics
+from .solver import SolverError, assemble, build_index, solve_linear_diag
 
 
 @dataclass
@@ -24,6 +25,9 @@ class ACResult:
 
     freqs: np.ndarray
     waves: Dict[str, np.ndarray]
+    #: worst solve quality across the sweep (condition estimated at the
+    #: highest frequency, where the capacitive coupling is strongest)
+    diagnostics: Optional[SolveDiagnostics] = field(repr=False, default=None)
 
     def v(self, node: str) -> np.ndarray:
         if is_ground(node):
@@ -91,16 +95,20 @@ def ac_analysis(circuit: Circuit, input_source: str,
         A1, _ = assemble(circuit, node_index, n_total, xz, "ac",
                          xop=xop, omega=1.0, dtype=complex)
         cmat = (A1 - A0).imag
+        agg: Optional[SolveDiagnostics] = None
+        last = len(freqs) - 1
         for k, f in enumerate(freqs):
             omega = 2.0 * np.pi * f
-            x = solve_linear(A0 + (1j * omega) * cmat, b)
+            x, diag = solve_linear_diag(A0 + (1j * omega) * cmat, b,
+                                        want_condition=k == last)
+            agg = diag.worst(agg)
             for name, i in node_index.items():
                 waves[name][k] = x[i]
     finally:
         src.ac_magnitude = 0.0
         del src.ac_magnitude
 
-    return ACResult(freqs=freqs, waves=waves)
+    return ACResult(freqs=freqs, waves=waves, diagnostics=agg)
 
 
 def logspace_freqs(f_start: float, f_stop: float, points: int = 60) -> np.ndarray:

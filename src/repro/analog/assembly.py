@@ -52,7 +52,7 @@ from .devices import (
     is_ground,
 )
 from .mosfet import MOSFET, PHI_T
-from .solver import SolverError
+from .solver import DEFAULT_GMIN, SolverError
 
 #: element classes whose stamps never depend on x, t, or xprev
 _STATIC_TYPES = (Resistor, VoltageControlledVoltageSource)
@@ -107,6 +107,16 @@ class LinearSolverCache:
         COUNTERS.lu_factor += 1
         return lu_solve((lu, piv), b, check_finite=False)
 
+    def last_factorization(self, A: np.ndarray):
+        """``(lu, piv)`` when the cached factorization is of *A*, else
+        ``None`` (lets the resilience ladder refine and estimate the
+        condition number without re-factoring)."""
+        if self._lu is None or self._A is None:
+            return None
+        if self._A is A or np.array_equal(self._A, A):
+            return self._lu, self._piv
+        return None
+
 
 def _vccs_entries(op: int, on: int, cp: int, cn: int, src: int):
     """COO entries for a VCCS gm*V(cp,cn) flowing op -> on (-1 = ground)."""
@@ -152,7 +162,7 @@ class CompiledAssembly:
 
     def __init__(self, circuit, node_index: Dict[str, int], n_total: int,
                  mode: str, *, dt: float = 0.0, method: str = "be",
-                 gmin: float = 1e-12):
+                 gmin: float = DEFAULT_GMIN):
         if mode not in ("dc", "tran"):
             raise ValueError(f"unsupported compiled mode {mode!r}")
         self.circuit = circuit
@@ -430,6 +440,40 @@ class CompiledAssembly:
         return self.lu_cache.solve(A, b, reuse=reuse,
                                    assume_same=self.is_linear)
 
+    def solve_diag(self, A: np.ndarray, b: np.ndarray, *,
+                   reuse: bool = True, want_condition: bool = False):
+        """Like :meth:`solve` but returns ``(x, SolveDiagnostics)``.
+
+        Rung 0 of the ladder is exactly :meth:`solve` (cached LU, same
+        ``assume_same`` shortcut), so healthy solves keep their bit
+        pattern; refinement replays the cached factorization.
+        """
+        from .resilience import resilient_solve  # lazy: import cycle
+
+        def direct(A_, b_):
+            return self.lu_cache.solve(A_, b_, reuse=reuse,
+                                       assume_same=self.is_linear)
+
+        lu_piv = None
+
+        def refine(r):
+            nonlocal lu_piv
+            if lu_piv is None:
+                lu_piv = self.lu_cache.last_factorization(A)
+            if lu_piv is None:
+                raise SolverError("no factorization available to refine")
+            return lu_solve(lu_piv, r, check_finite=False)
+
+        return resilient_solve(A, b, direct=direct, refine=refine,
+                               want_condition=want_condition)
+
+    def condition_estimate(self, A: np.ndarray) -> float:
+        """1-norm condition estimate of *A*, reusing the cached LU."""
+        from .resilience import condition_estimate_1norm
+
+        return condition_estimate_1norm(
+            A, self.lu_cache.last_factorization(A))
+
 
 #: compiled-plan cache bound for a single circuit (gmin stepping can
 #: legitimately want several plans; anything beyond this is churn)
@@ -438,7 +482,7 @@ _MAX_PLANS_PER_CIRCUIT = 16
 
 def get_compiled(circuit, mode: str, *, node_index: Dict[str, int],
                  n_total: int, dt: float = 0.0, method: str = "be",
-                 gmin: float = 1e-12) -> CompiledAssembly:
+                 gmin: float = DEFAULT_GMIN) -> CompiledAssembly:
     """Fetch (or build) the compiled plan for *circuit* in *mode*.
 
     Plans are cached on the circuit keyed by every compile-relevant knob

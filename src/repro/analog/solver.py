@@ -15,6 +15,10 @@ class SolverError(Exception):
     """Raised when an analysis fails to converge or is ill-posed."""
 
 
+#: shunt conductance stamped from every node to ground by default
+DEFAULT_GMIN = 1e-12
+
+
 def build_index(circuit: Circuit) -> Tuple[Dict[str, int], int, int]:
     """Assign matrix indices to nodes and auxiliary branch currents.
 
@@ -35,7 +39,7 @@ def build_index(circuit: Circuit) -> Tuple[Dict[str, int], int, int]:
 def assemble(circuit: Circuit, node_index: Dict[str, int], n_total: int,
              x: np.ndarray, mode: str, *, dt: float = 0.0, xprev=None,
              xop=None, omega: float = 0.0, method: str = "be",
-             time: float = 0.0, gmin: float = 1e-12,
+             time: float = 0.0, gmin: float = DEFAULT_GMIN,
              dtype=float) -> Tuple[np.ndarray, np.ndarray]:
     """Assemble the MNA system ``A @ x_new = b`` linearised at *x*.
 
@@ -57,12 +61,34 @@ def assemble(circuit: Circuit, node_index: Dict[str, int], n_total: int,
     return A, b
 
 
-def solve_linear(A: np.ndarray, b: np.ndarray) -> np.ndarray:
-    """Solve the assembled system, raising :class:`SolverError` if singular."""
+def _direct_np_solve(A: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """The historical direct solve (``np.linalg.solve``), kept as rung 0
+    of the fallback ladder so healthy solves stay bit-identical."""
     try:
         return np.linalg.solve(A, b)
     except np.linalg.LinAlgError as exc:
         raise SolverError(f"singular MNA matrix: {exc}") from exc
+
+
+def solve_linear(A: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Solve the assembled system, raising :class:`SolverError` if singular."""
+    x, _ = solve_linear_diag(A, b)
+    return x
+
+
+def solve_linear_diag(A: np.ndarray, b: np.ndarray, *,
+                      want_condition: bool = False):
+    """Like :func:`solve_linear` but returns ``(x, SolveDiagnostics)``.
+
+    Routes through the :func:`repro.analog.resilience.resilient_solve`
+    fallback ladder with ``np.linalg.solve`` as rung 0, so a healthy
+    solve is bit-identical to the historical behaviour and a degraded
+    one is rescued (or rejected) with an explicit diagnostics record.
+    """
+    from .resilience import resilient_solve  # lazy: avoids import cycle
+
+    return resilient_solve(A, b, direct=_direct_np_solve,
+                           want_condition=want_condition)
 
 
 def node_voltages(circuit: Circuit, node_index: Dict[str, int],

@@ -4,12 +4,17 @@ Each time step solves the nonlinear companion-model system by Newton
 iteration, warm-started from the previous time point.  Sources may carry a
 ``waveform`` callable (``t -> value``) for stimulus.  The step size is fixed
 (the circuits here are driven by known clocks, so adaptive stepping buys
-little) but the integrator falls back to step halving when Newton stalls.
+little) but a step whose Newton iteration stalls is rejected and retried
+at dt/2, dt/4, then dt/8 before the interval is given up.  Every linear
+solve goes through the :mod:`repro.analog.resilience` ladder; the result
+carries the worst :class:`SolveDiagnostics` seen across the run, and a
+step whose systems the ladder declares unsolvable raises
+:class:`UnsolvableError` when no halving level recovers it.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional, Sequence
 
 import numpy as np
@@ -18,9 +23,13 @@ from .._profiling import COUNTERS
 from .assembly import get_compiled
 from .dc import MAX_STEP, VOLTAGE_TOL, dc_operating_point
 from .netlist import Circuit, is_ground
+from .resilience import RUNG_UNSOLVABLE, SolveDiagnostics, UnsolvableError
 from .solver import SolverError, build_index
 
 MAX_NEWTON_ITER = 80
+
+#: step-halving ladder tried when a step's Newton iteration stalls
+HALVING_LEVELS = (2, 4, 8)
 
 
 @dataclass
@@ -34,6 +43,8 @@ class TransientResult:
     time: np.ndarray
     waves: Dict[str, np.ndarray]
     converged: bool = True
+    #: worst solve quality across every accepted step (None: no solves)
+    diagnostics: Optional[SolveDiagnostics] = field(repr=False, default=None)
 
     def v(self, node: str) -> np.ndarray:
         if is_ground(node):
@@ -51,16 +62,27 @@ class TransientResult:
         return float(self.v(node)[-1])
 
 
-def _newton_step(compiled, x_guess, xprev, t, lu_reuse: bool = True):
+def _newton_step(compiled, x_guess, xprev, t, lu_reuse: bool = True,
+                 want_condition: bool = False):
+    """One implicit time step; returns ``(x, ok, diagnostics)``.
+
+    ``diagnostics`` aggregates the worst solve of the step (or carries
+    the ladder's failing diagnostics, rung ``unsolvable``, when it
+    rejected an iteration's system).
+    """
     x = x_guess.copy()
     n_nodes = compiled.n_nodes
+    agg: Optional[SolveDiagnostics] = None
     for _ in range(MAX_NEWTON_ITER):
         COUNTERS.newton_iterations += 1
         A, b = compiled.assemble(x, time=t, xprev=xprev)
         try:
-            x_new = compiled.solve(A, b, reuse=lu_reuse)
+            x_new, diag = compiled.solve_diag(A, b, reuse=lu_reuse)
+        except UnsolvableError as exc:
+            return x, False, exc.diagnostics
         except SolverError:
-            return x, False
+            return x, False, agg
+        agg = diag.worst(agg)
         dx = x_new - x
         step = float(np.max(np.abs(dx[:n_nodes]))) if n_nodes else 0.0
         if step > MAX_STEP:
@@ -68,8 +90,10 @@ def _newton_step(compiled, x_guess, xprev, t, lu_reuse: bool = True):
         else:
             x = x_new
         if step < VOLTAGE_TOL * 100:  # transient tolerance can be looser
-            return x, True
-    return x, False
+            if want_condition:
+                agg.condition = compiled.condition_estimate(A)
+            return x, True, agg
+    return x, False, agg
 
 
 def transient(circuit: Circuit, t_stop: float, dt: float,
@@ -123,31 +147,50 @@ def transient(circuit: Circuit, t_stop: float, dt: float,
 
     compiled = get_compiled(circuit, "tran", node_index=node_index,
                             n_total=n_total, dt=dt, method=method)
-    compiled_half = None  # built lazily on the first stalled step
+    halved = {}  # level -> compiled plan, built lazily on stalled steps
 
     all_converged = True
+    run_diag: Optional[SolveDiagnostics] = None
     t = 0.0
     for k in range(1, n_steps + 1):
         t_next = k * dt
-        x_new, ok = _newton_step(compiled, x, x, t_next, lu_reuse)
+        want_cond = k == n_steps  # estimate condition once, at the end
+        x_new, ok, diag = _newton_step(compiled, x, x, t_next, lu_reuse,
+                                       want_condition=want_cond)
+        unsolv_diag = (diag if diag is not None
+                       and diag.rung == RUNG_UNSOLVABLE else None)
         if not ok:
-            # halve the step twice before giving up on this interval
-            if compiled_half is None:
-                compiled_half = get_compiled(circuit, "tran",
-                                             node_index=node_index,
-                                             n_total=n_total, dt=dt / 2,
-                                             method=method)
-            x_half = x
-            sub_ok = True
-            for j in (1, 2):
-                x_half, sub_ok = _newton_step(compiled_half, x_half, x_half,
-                                              t + j * dt / 2, lu_reuse)
-                if not sub_ok:
+            # reject the step; retry at dt/2, dt/4, dt/8
+            COUNTERS.tran_step_rejections += 1
+            for level in HALVING_LEVELS:
+                COUNTERS.tran_step_halvings += 1
+                sub = halved.get(level)
+                if sub is None:
+                    sub = halved[level] = get_compiled(
+                        circuit, "tran", node_index=node_index,
+                        n_total=n_total, dt=dt / level, method=method)
+                x_sub = x
+                sub_ok = True
+                for j in range(1, level + 1):
+                    x_sub, sub_ok, diag = _newton_step(
+                        sub, x_sub, x_sub, t + j * dt / level, lu_reuse)
+                    if not sub_ok:
+                        if diag is not None and diag.rung == RUNG_UNSOLVABLE:
+                            unsolv_diag = diag
+                        break
+                if sub_ok:
+                    x_new, ok = x_sub, True
+                    unsolv_diag = None
                     break
-            if sub_ok:
-                x_new, ok = x_half, True
         if not ok:
+            if unsolv_diag is not None:
+                raise UnsolvableError(
+                    f"transient step at t={t_next:.3e}s unsolvable after "
+                    f"{len(HALVING_LEVELS)} dt halvings "
+                    f"({unsolv_diag.summary()})", diagnostics=unsolv_diag)
             all_converged = False
+        if diag is not None:
+            run_diag = diag.worst(run_diag)
         if method == "trap":
             for cap in caps:
                 cap.accept_step(cap_voltage(cap, x_new))
@@ -157,7 +200,8 @@ def transient(circuit: Circuit, t_stop: float, dt: float,
         for p in record:
             data[p][k] = 0.0 if is_ground(p) else float(x[idx_of[p]])
 
-    return TransientResult(time=times, waves=data, converged=all_converged)
+    return TransientResult(time=times, waves=data, converged=all_converged,
+                           diagnostics=run_diag)
 
 
 # ----------------------------------------------------------------------

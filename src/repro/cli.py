@@ -141,7 +141,7 @@ def cmd_campaign(args) -> int:
         if i % 25 == 0 or i == n:
             print(f"  {i}/{n} faults simulated", file=sys.stderr)
 
-    campaign = FaultCampaign()
+    campaign = FaultCampaign(strict_numerics=args.strict_numerics)
     for tier in create_tiers(tier_names, GoldenSignatures()):
         campaign.add_tier(tier)
     result = campaign.run(universe,
@@ -164,6 +164,7 @@ def cmd_campaign(args) -> int:
     print(f"overall: {result.overall_coverage * 100:.1f}% "
           f"({n_detected}/{result.total})")
     _print_outcomes(result.outcome_counts())
+    _print_numerics()
 
     if args.export:
         with open(args.export, "w") as fh:
@@ -191,7 +192,8 @@ def cmd_mc(args) -> int:
 
     campaign = MonteCarloCampaign(tiers=tier_names,
                                   corner=get_corner(args.corner),
-                                  model=model, seed=args.seed)
+                                  model=model, seed=args.seed,
+                                  strict_numerics=args.strict_numerics)
     result = campaign.run(args.dies,
                           progress=progress if args.progress else None,
                           workers=args.workers, checkpoint=args.resume,
@@ -199,6 +201,7 @@ def cmd_mc(args) -> int:
                           trace=args.trace)
 
     print(format_mc_report(result))
+    _print_numerics()
     if args.export:
         with open(args.export, "w") as fh:
             fh.write(result.to_json(indent=2))
@@ -241,13 +244,38 @@ def cmd_bench(args) -> int:
 
 
 def _print_outcomes(counts) -> None:
-    """One line naming the supervisor outcomes when any item was
-    settled abnormally (timed out / quarantined)."""
-    abnormal = {k: v for k, v in counts.items() if k != "ok"}
+    """Lines naming the abnormal outcomes: numerics failures
+    (unsolvable) separately from supervisor ones (timeout/quarantine)."""
+    unsolvable = counts.get("unsolvable", 0)
+    if unsolvable:
+        print(f"numerics: {unsolvable} unsolvable (resilience ladder "
+              f"exhausted; see the records' errors)")
+    abnormal = {k: v for k, v in counts.items()
+                if k not in ("ok", "unsolvable")}
     if abnormal:
         body = ", ".join(f"{v} {k}" for k, v in sorted(abnormal.items()))
         print(f"supervisor: {body} (counted undetected; see the "
               f"records' __supervisor__ errors)")
+
+
+def _print_numerics() -> None:
+    """One line of fallback-ladder counters when any rescue engaged.
+
+    Counters are process-local: a ``--workers N`` run increments them
+    in the forked workers, so this line reflects in-process (serial)
+    evaluation only.
+    """
+    from .core.profiling import COUNTERS
+
+    rungs = (("refined", COUNTERS.rescue_refined),
+             ("equilibrated", COUNTERS.rescue_equilibrated),
+             ("lstsq", COUNTERS.rescue_lstsq),
+             ("ptc", COUNTERS.dc_ptc_rescues),
+             ("degraded", COUNTERS.degraded_solves),
+             ("unsolvable", COUNTERS.unsolvable_systems))
+    engaged = [f"{name} {count}" for name, count in rungs if count]
+    if engaged:
+        print(f"numerics rescues: {', '.join(engaged)}")
 
 
 def _add_supervision(p: argparse.ArgumentParser, noun: str) -> None:
@@ -262,6 +290,11 @@ def _add_supervision(p: argparse.ArgumentParser, noun: str) -> None:
                    help="append the structured run-event trace (worker "
                         "spawns/deaths, retries, timeouts, checkpoint "
                         "writes, per-item durations) as JSONL")
+    p.add_argument("--strict-numerics", action="store_true",
+                   help=f"escalate degraded solves (accepted above the "
+                        f"verified-residual threshold) to an unsolvable "
+                        f"{noun} outcome instead of trusting the "
+                        f"fallback ladder's best effort")
 
 
 def cmd_overhead(args) -> int:

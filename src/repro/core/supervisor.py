@@ -65,14 +65,31 @@ from .._profiling import COUNTERS
 
 __all__ = [
     "OUTCOME_OK", "OUTCOME_TIMEOUT", "OUTCOME_QUARANTINED",
+    "OUTCOME_UNSOLVABLE",
     "ItemDeadline", "RunTrace", "SupervisorError", "SupervisorPolicy",
-    "run_supervised",
+    "record_outcome", "run_supervised",
 ]
 
 #: item outcome labels recorded on campaign records
 OUTCOME_OK = "ok"
 OUTCOME_TIMEOUT = "timeout"
 OUTCOME_QUARANTINED = "quarantined"
+#: the analog engine's resilience ladder rejected the item's linear
+#: systems (singular/inconsistent beyond rescue) — classified apart from
+#: crashes (quarantined) and hangs (timeout)
+OUTCOME_UNSOLVABLE = "unsolvable"
+
+
+def record_outcome(record: Any, default: str = OUTCOME_OK) -> str:
+    """The outcome a finished record declares for itself.
+
+    Campaign evaluators settle numerics failures *on the record*
+    (``record.outcome = "unsolvable"``) rather than by raising — the
+    item finished normally from the supervisor's point of view — so the
+    supervisor reads the record's verdict back when settling and
+    tracing, instead of assuming ``ok``.
+    """
+    return getattr(record, "outcome", default) or default
 
 #: pseudo-tier name used in fallback records' ``errors`` entries
 SUPERVISOR_TIER = "__supervisor__"
@@ -381,9 +398,10 @@ class _Supervision:
             raise SupervisorError(
                 f"item {index} ({self.items[index]!r}) raised in "
                 f"worker: {payload}")
+        outcome = record_outcome(payload)
         _emit(self.trace, "item_done", item=index, pid=worker.proc.pid,
-              duration_s=round(duration, 6))
-        self._settle(index, payload, OUTCOME_OK)
+              duration_s=round(duration, 6), outcome=outcome)
+        self._settle(index, payload, outcome)
 
     def _handle_death(self, worker: _Worker) -> None:
         """Worker hung up without delivering a result."""
@@ -513,7 +531,7 @@ def run_serial(items: Sequence[Any], evaluate: Callable[[Any], Any],
         try:
             with _deadline(policy.timeout):
                 record = evaluate(item)
-            outcome = OUTCOME_OK
+            outcome = record_outcome(record)
         except ItemDeadline:
             if fallback is None:  # pragma: no cover - defensive
                 raise
@@ -526,7 +544,8 @@ def run_serial(items: Sequence[Any], evaluate: Callable[[Any], Any],
             outcome = OUTCOME_TIMEOUT
         else:
             _emit(trace, "item_done", item=position, pid=os.getpid(),
-                  duration_s=round(time.monotonic() - started, 6))
+                  duration_s=round(time.monotonic() - started, 6),
+                  outcome=outcome)
         results.append(record)
         if settle is not None:
             settle(item, record, outcome)

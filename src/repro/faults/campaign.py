@@ -38,8 +38,10 @@ from typing import (Callable, Dict, IO, List, Mapping, Optional, Sequence,
                     Set, Tuple, Union)
 
 from .._profiling import COUNTERS
-from ..core.supervisor import (SUPERVISOR_TIER, RunTrace, SupervisorPolicy,
-                               run_supervised)
+from ..analog.resilience import numerics_policy
+from ..analog.solver import SolverError
+from ..core.supervisor import (OUTCOME_UNSOLVABLE, SUPERVISOR_TIER, RunTrace,
+                               SupervisorPolicy, run_supervised)
 from .model import DetectionRecord, StructuralFault
 
 DetectorFunc = Callable[[StructuralFault], bool]
@@ -115,16 +117,17 @@ class CampaignResult:
 
     def outcome_counts(self) -> Dict[str, int]:
         """How many records settled per outcome (``ok`` / ``timeout`` /
-        ``quarantined``)."""
+        ``quarantined`` / ``unsolvable``)."""
         counts: Dict[str, int] = {}
         for r in self.records:
             counts[r.outcome] = counts.get(r.outcome, 0) + 1
         return counts
 
     def unevaluated(self) -> List[DetectionRecord]:
-        """Records the supervisor settled without a full evaluation
-        (timed out or quarantined).  They count as undetected in every
-        coverage number — explicit conservatism, never silent loss."""
+        """Records that did not get a full, numerically clean evaluation
+        (timed out, quarantined, or unsolvable).  Tiers they did not
+        reach count as undetected in every coverage number — explicit
+        conservatism, never silent loss."""
         return [r for r in self.records if r.outcome != "ok"]
 
     def sets_intersect_not_nested(self, a: str = "scan",
@@ -171,10 +174,17 @@ class CampaignResult:
 
 
 class FaultCampaign:
-    """Orchestrates registered test tiers over a fault universe."""
+    """Orchestrates registered test tiers over a fault universe.
 
-    def __init__(self):
+    ``strict_numerics`` escalates degraded analog solves (accepted by
+    the resilience ladder but not verified good) to ``unsolvable``
+    outcomes — the ``--strict-numerics`` CLI semantics.  It is applied
+    inside :meth:`evaluate`, so forked campaign workers inherit it.
+    """
+
+    def __init__(self, strict_numerics: bool = False):
         self._tiers: List[Tuple[str, DetectorFunc, AppliesFunc]] = []
+        self.strict_numerics = strict_numerics
 
     @property
     def tier_names(self) -> Tuple[str, ...]:
@@ -209,18 +219,26 @@ class FaultCampaign:
         """Run every applicable tier on one fault.
 
         A detector that raises is treated as "not detected" for that
-        tier (a broken test must never inflate coverage); the exception
-        is recorded on the record's ``errors`` list for debugging.
+        tier (a broken test must never inflate coverage), with typed
+        triage: :class:`~repro.analog.solver.SolverError` means the
+        analog engine's resilience ladder rejected the faulted circuit's
+        linear systems, so the record is settled with the first-class
+        ``unsolvable`` outcome (alongside the error detail); any other
+        exception is a tier bug and lands on ``errors`` only.
         """
         rec = DetectionRecord(fault=fault)
-        for name, detector, applies in self._tiers:
-            if not applies(fault):
-                continue
-            try:
-                if detector(fault):
-                    rec.tiers[name] = True
-            except Exception as exc:  # noqa: BLE001 - keep campaign alive
-                rec.errors.append((name, repr(exc)))
+        with numerics_policy(strict=self.strict_numerics):
+            for name, detector, applies in self._tiers:
+                if not applies(fault):
+                    continue
+                try:
+                    if detector(fault):
+                        rec.tiers[name] = True
+                except SolverError as exc:
+                    rec.outcome = OUTCOME_UNSOLVABLE
+                    rec.errors.append((name, repr(exc)))
+                except Exception as exc:  # noqa: BLE001 - keep campaign alive
+                    rec.errors.append((name, repr(exc)))
         return rec
 
     def run(self, universe: Sequence[StructuralFault],

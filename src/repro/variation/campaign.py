@@ -39,8 +39,10 @@ from typing import (Callable, Dict, IO, List, Mapping, Optional, Sequence,
 
 from .._profiling import COUNTERS
 from ..analog.corners import ProcessCorner, get_corner
-from ..core.supervisor import (SUPERVISOR_TIER, RunTrace, SupervisorPolicy,
-                               run_supervised)
+from ..analog.resilience import numerics_policy
+from ..analog.solver import SolverError
+from ..core.supervisor import (OUTCOME_UNSOLVABLE, SUPERVISOR_TIER, RunTrace,
+                               SupervisorPolicy, run_supervised)
 from ..faults.model import StructuralFault
 from ..faults.sampling import SampledCoverage, pick_die_fault
 from .context import DieContext, activated
@@ -69,9 +71,11 @@ class DieRecord:
 
     ``outcome`` is ``"ok"`` for a normally evaluated die; the
     supervised runner settles a hanging die as ``"timeout"`` and one
-    that repeatedly kills its worker as ``"quarantined"``.  Non-ok dies
-    fail every healthy screen and detect nothing — conservative in
-    both directions, and visible in the accounting instead of lost.
+    that repeatedly kills its worker as ``"quarantined"``, and a die
+    whose linear systems the analog resilience ladder rejected settles
+    as ``"unsolvable"``.  Non-ok dies fail the affected screens and
+    detect nothing there — conservative in both directions, and visible
+    in the accounting instead of lost.
     """
 
     die: int
@@ -150,6 +154,7 @@ class MCResult:
     seed: int = 2016
     corner: str = "TT"
     model: MismatchModel = field(default_factory=MismatchModel)
+    strict_numerics: bool = False
 
     def __post_init__(self):
         self.tier_order = tuple(self.tier_order)
@@ -201,16 +206,17 @@ class MCResult:
 
     def outcome_counts(self) -> Dict[str, int]:
         """How many dies settled per outcome (``ok`` / ``timeout`` /
-        ``quarantined``)."""
+        ``quarantined`` / ``unsolvable``)."""
         counts: Dict[str, int] = {}
         for r in self.records:
             counts[r.outcome] = counts.get(r.outcome, 0) + 1
         return counts
 
     def unevaluated(self) -> List[DieRecord]:
-        """Dies the supervisor settled without a full evaluation (timed
-        out or quarantined).  They count as screen failures and missed
-        detections in every rate — explicit conservatism."""
+        """Dies that did not get a full, numerically clean evaluation
+        (timed out, quarantined, or unsolvable).  Tiers they did not
+        reach count as screen failures and missed detections in every
+        rate — explicit conservatism."""
         return [r for r in self.records if r.outcome != "ok"]
 
     # -- artifact layer ------------------------------------------------
@@ -218,7 +224,8 @@ class MCResult:
         return {"format": _RESULT_FORMAT,
                 "version": ARTIFACT_VERSION,
                 "config": _config_dict(self.seed, self.corner,
-                                       self.tier_order, self.model),
+                                       self.tier_order, self.model,
+                                       self.strict_numerics),
                 "dies": self.total,
                 "records": [r.to_dict() for r in self.records]}
 
@@ -238,7 +245,9 @@ class MCResult:
                    tier_order=tuple(config.get("tiers", MC_TIER_ORDER)),
                    seed=int(config.get("seed", 2016)),
                    corner=str(config.get("corner", "TT")),
-                   model=_model_from_config(config))
+                   model=_model_from_config(config),
+                   strict_numerics=bool(config.get("strict_numerics",
+                                                   False)))
 
     @classmethod
     def from_json(cls, text: str) -> "MCResult":
@@ -255,12 +264,23 @@ class MCResult:
 
 
 def _config_dict(seed: int, corner: str, tiers: Sequence[str],
-                 model: MismatchModel) -> Dict[str, object]:
-    """The campaign parameters that must match for records to mix."""
-    return {"seed": seed, "corner": corner, "tiers": list(tiers),
-            "sigma_vt": model.sigma_vt,
-            "sigma_kp_rel": model.sigma_kp_rel,
-            "reference_area": model.reference_area}
+                 model: MismatchModel,
+                 strict_numerics: bool = False) -> Dict[str, object]:
+    """The campaign parameters that must match for records to mix.
+
+    ``strict_numerics`` is emitted only when set: strict runs settle
+    degraded solves differently, so their records must not mix with
+    default-policy ones — while default-policy artifacts stay
+    byte-identical to pre-resilience ones.
+    """
+    config: Dict[str, object] = {
+        "seed": seed, "corner": corner, "tiers": list(tiers),
+        "sigma_vt": model.sigma_vt,
+        "sigma_kp_rel": model.sigma_kp_rel,
+        "reference_area": model.reference_area}
+    if strict_numerics:
+        config["strict_numerics"] = True
+    return config
 
 
 def _model_from_config(config: Mapping[str, object]) -> MismatchModel:
@@ -276,26 +296,33 @@ def _model_from_config(config: Mapping[str, object]) -> MismatchModel:
 class MonteCarloCampaign:
     """Runs the registered tiers over a population of sampled dies."""
 
-    def __init__(self, tiers: Sequence[str] = MC_TIER_ORDER,
+    def __init__(self, tiers: Sequence[Union[str, object]] = MC_TIER_ORDER,
                  corner: Optional[ProcessCorner] = None,
                  model: Optional[MismatchModel] = None,
                  seed: int = 2016,
-                 universe: Optional[Sequence[StructuralFault]] = None):
+                 universe: Optional[Sequence[StructuralFault]] = None,
+                 strict_numerics: bool = False):
         # the dft package routes its DUT builders through this package's
         # context seam, so import it lazily to keep the layering acyclic
         from ..dft.coverage import build_fault_universe
         from ..dft.golden import GoldenSignatures
-        from ..dft.registry import create_tiers
+        from ..dft.registry import create_tier
 
         self.seed = int(seed)
         self.corner = corner if corner is not None else get_corner("TT")
         self.model = model if model is not None else MismatchModel()
-        self.tier_names = tuple(tiers)
+        self.strict_numerics = bool(strict_numerics)
         # tiers (and their goldens) are built OUTSIDE any die context:
         # the tester's expected signatures are the nominal design's, and
         # a die fails a screen exactly when mismatch moves an observable
-        # off that nominal reference
-        self._tiers = create_tiers(self.tier_names, GoldenSignatures())
+        # off that nominal reference.  Each entry is a registered tier
+        # name or a ready-made TestTier object (custom tiers let smoke
+        # scripts drive deliberately pathological circuits through the
+        # campaign).
+        goldens = GoldenSignatures()
+        self._tiers = [create_tier(t, goldens) if isinstance(t, str) else t
+                       for t in tiers]
+        self.tier_names = tuple(t.name for t in self._tiers)
         self.universe: List[StructuralFault] = (
             list(universe) if universe is not None
             else build_fault_universe())
@@ -312,14 +339,20 @@ class MonteCarloCampaign:
         A tier that raises is conservative in both directions: the
         healthy screen counts as *failed* (a tester crash rejects the
         part) and the detection counts as *missed* (a broken test never
-        inflates coverage).  The exception lands on ``errors``.
+        inflates coverage) — with typed triage:
+        :class:`~repro.analog.solver.SolverError` means the resilience
+        ladder rejected the die's linear systems, so the record settles
+        with the first-class ``unsolvable`` outcome; any other exception
+        is a tier bug and lands on ``errors`` only.
         """
         COUNTERS.mc_dies += 1
         fault = pick_die_fault(self.universe, self.seed, die_index)
         healthy: Dict[str, bool] = {}
         detected: Dict[str, bool] = {}
         errors: List[Tuple[str, str]] = []
-        with activated(self._ctx):
+        outcome = "ok"
+        with activated(self._ctx), \
+                numerics_policy(strict=self.strict_numerics):
             self._ctx.set_die(die_index)
             for tier in self._tiers:
                 screen = getattr(tier, "screen", None)
@@ -328,6 +361,10 @@ class MonteCarloCampaign:
                     continue
                 try:
                     healthy[tier.name] = bool(screen())
+                except SolverError as exc:
+                    healthy[tier.name] = False
+                    errors.append((tier.name, repr(exc)))
+                    outcome = OUTCOME_UNSOLVABLE
                 except Exception as exc:  # noqa: BLE001 - keep run alive
                     healthy[tier.name] = False
                     errors.append((tier.name, repr(exc)))
@@ -336,11 +373,14 @@ class MonteCarloCampaign:
                 if tier.applies_to(fault):
                     try:
                         hit = bool(tier.detect(fault))
+                    except SolverError as exc:
+                        errors.append((tier.name, repr(exc)))
+                        outcome = OUTCOME_UNSOLVABLE
                     except Exception as exc:  # noqa: BLE001
                         errors.append((tier.name, repr(exc)))
                 detected[tier.name] = hit
         return DieRecord(die=die_index, fault=fault, healthy=healthy,
-                         detected=detected, errors=errors)
+                         detected=detected, errors=errors, outcome=outcome)
 
     def run(self, dies: int,
             progress: Optional[Callable[[int, int], None]] = None,
@@ -367,7 +407,8 @@ class MonteCarloCampaign:
         n = len(indices)
         done: Dict[int, DieRecord] = {}
         config = _config_dict(self.seed, self.corner.name,
-                              self.tier_names, self.model)
+                              self.tier_names, self.model,
+                              self.strict_numerics)
         with ExitStack() as stack:
             if isinstance(trace, str):
                 trace = stack.enter_context(RunTrace(trace))
@@ -402,7 +443,8 @@ class MonteCarloCampaign:
                 trace=trace if isinstance(trace, RunTrace) else None)
         return MCResult(records=[done[i] for i in indices],
                         tier_order=self.tier_names, seed=self.seed,
-                        corner=self.corner.name, model=self.model)
+                        corner=self.corner.name, model=self.model,
+                        strict_numerics=self.strict_numerics)
 
     def _fallback_record(self, die: int, outcome: str,
                          detail: str) -> DieRecord:

@@ -10,7 +10,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.analog import Circuit, dc_operating_point
+from repro.analog import DEFAULT_GMIN, Circuit, dc_operating_point
 
 resistances = st.floats(min_value=10.0, max_value=1e6)
 voltages = st.floats(min_value=-5.0, max_value=5.0)
@@ -37,13 +37,26 @@ class TestKCL:
     def test_source_current_equals_load_current(self, v, r):
         """The V-source branch variable is the loop current (MNA sign
         convention: positive = current entering the positive terminal
-        from the external circuit, i.e. -v/r when sourcing)."""
+        from the external circuit, i.e. -v/r when sourcing).
+
+        The source branch also carries the gmin shunt stamped from node
+        "a" to ground (v * DEFAULT_GMIN, up to 5e-12 A here) — that term
+        is physics of the solved netlist, not solver error, so it belongs
+        in the expected value.  What remains is linear-solve residual:
+        the resilience ladder verifies ||Ax-b||/||b|| <= 1e-8 on every
+        accepted solve, and for this 3x3 system the solve is exact to a
+        few ulps, so the comparison can be pinned far tighter than the
+        old rel=1e-6 (which still failed because it omitted the gmin
+        leak: for r = 1e6 the leak is 1e-6 of the load current).
+        """
         c = Circuit()
         src = c.add_vsource("a", "0", v, name="V1")
         c.add_resistor("a", "0", r)
         op = dc_operating_point(c)
+        assert op.diagnostics is not None and op.diagnostics.verified
         i_branch = float(op.x[src.aux_base])
-        assert i_branch == pytest.approx(-v / r, rel=1e-6, abs=1e-12)
+        i_expected = -(v / r + v * DEFAULT_GMIN)
+        assert i_branch == pytest.approx(i_expected, rel=1e-9, abs=1e-15)
 
     def test_mosfet_terminal_currents_balance(self):
         """I(D->S) reported by the model equals the current the rest of

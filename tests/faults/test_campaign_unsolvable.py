@@ -1,0 +1,157 @@
+"""Regression tests: singular faulted circuits settle as first-class
+``unsolvable`` outcomes.
+
+The pre-resilience campaign had one blanket ``except Exception`` around
+each detector, so a faulted circuit whose MNA system the solver rejected
+was indistinguishable from a crashed detector.  These tests pin the
+typed triage: :class:`SolverError` (which :class:`UnsolvableError`
+subclasses) means *the numerics gave up* — the record carries
+``outcome="unsolvable"``, visible in ``outcome_counts()``, the exported
+artifact, the run trace, and the headline report — while any other
+exception stays an ordinary tier error on an ``ok`` record.
+"""
+
+import json
+
+from repro.analog import (Circuit, Resistor, VoltageSource,
+                          dc_operating_point)
+from repro.core.supervisor import OUTCOME_OK, record_outcome
+from repro.dft.coverage import CoverageReport
+from repro.faults import FaultCampaign, FaultKind, StructuralFault
+from repro.faults.campaign import CampaignResult
+
+
+def F(dev, kind=FaultKind.DRAIN_OPEN, block="cp"):
+    return StructuralFault(dev, kind, block, "")
+
+
+def solve_conflicting_sources(fault):
+    """A genuinely singular *inconsistent* circuit: two parallel voltage
+    sources demanding different node voltages.  Every homotopy fails and
+    the ladder's best residual stays far above the unsolvable threshold,
+    so this raises UnsolvableError from a real solve."""
+    c = Circuit("conflict")
+    c.add(VoltageSource("V1", "a", "0", 1.0))
+    c.add(VoltageSource("V2", "a", "0", 2.0))
+    c.add(Resistor("R1", "a", "0", 1e3))
+    dc_operating_point(c)
+    return True  # pragma: no cover - the solve above raises
+
+
+def solve_degraded_sources(fault):
+    """A *mildly* inconsistent circuit: the ladder accepts its best
+    effort as degraded by default, but --strict-numerics escalates."""
+    c = Circuit("mild-conflict")
+    c.add(VoltageSource("V1", "b", "0", 1.0))
+    c.add(VoltageSource("V2", "b", "0", 1.0 + 4e-4))
+    c.add(Resistor("R1", "b", "0", 1e3))
+    op = dc_operating_point(c)
+    return op.v("b") > 0.5
+
+
+class TestUnsolvableOutcome:
+    def _run(self, **campaign_kw):
+        campaign = FaultCampaign(**campaign_kw)
+        campaign.add_tier(
+            "dc", lambda f: (solve_conflicting_sources(f)
+                             if f.device == "bad" else True))
+        return campaign.run([F("bad"), F("good")])
+
+    def test_singular_fault_settles_unsolvable(self):
+        res = self._run()
+        bad, good = res.records
+        assert bad.outcome == "unsolvable"
+        assert not bad.detected  # an unsolvable fault never inflates coverage
+        assert bad.errors and bad.errors[0][0] == "dc"
+        assert "Unsolvable" in bad.errors[0][1]
+        assert good.outcome == "ok" and good.detected
+
+    def test_outcome_counts_and_unevaluated(self):
+        res = self._run()
+        assert res.outcome_counts() == {"unsolvable": 1, "ok": 1}
+        assert [r.fault.device for r in res.unevaluated()] == ["bad"]
+
+    def test_export_round_trips_outcome(self):
+        res = self._run()
+        back = CampaignResult.from_json(res.to_json())
+        assert back.records[0].outcome == "unsolvable"
+        assert back.outcome_counts() == res.outcome_counts()
+        # healthy records must serialize without the key at all, so
+        # pre-resilience artifacts stay byte-identical
+        assert "outcome" in res.records[0].to_dict()
+        assert "outcome" not in res.records[1].to_dict()
+
+    def test_trace_records_unsolvable_outcome(self, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        campaign = FaultCampaign()
+        campaign.add_tier("dc", solve_conflicting_sources)
+        campaign.run([F("bad")], trace=str(trace))
+        events = [json.loads(line) for line in
+                  trace.read_text().splitlines()]
+        done = [e for e in events if e["event"] == "item_done"]
+        assert done and done[0]["outcome"] == "unsolvable"
+
+    def test_headline_report_names_the_unsolvable_faults(self):
+        campaign = FaultCampaign()
+        campaign.add_tier(
+            "dc", lambda f: (solve_conflicting_sources(f)
+                             if f.device == "bad" else True))
+        campaign.add_tier("scan", lambda f: False)
+        campaign.add_tier("bist", lambda f: False)
+        report = CoverageReport(result=campaign.run([F("bad"), F("good")]))
+        text = report.format_headline()
+        assert "1 fault(s) unsolvable" in text
+        assert "resilience ladder" in text
+
+    def test_tier_bug_is_not_unsolvable(self):
+        """A non-solver crash stays an ordinary error on an ok record —
+        the typed split this PR replaced the blanket handler with."""
+        campaign = FaultCampaign()
+
+        def boom(fault):
+            raise RuntimeError("detector bug")
+
+        campaign.add_tier("dc", boom)
+        res = campaign.run([F("x")])
+        assert res.records[0].outcome == "ok"
+        assert res.records[0].errors
+        assert res.outcome_counts() == {"ok": 1}
+
+    def test_later_tiers_still_run_after_unsolvable(self):
+        """The campaign keeps evaluating the remaining tiers — a scan
+        pattern may still catch a fault whose DC solve diverged."""
+        campaign = FaultCampaign()
+        campaign.add_tier("dc", solve_conflicting_sources)
+        campaign.add_tier("scan", lambda f: True)
+        res = campaign.run([F("x")])
+        rec = res.records[0]
+        assert rec.outcome == "unsolvable"
+        assert rec.hit("scan") and rec.detected
+
+
+class TestStrictNumerics:
+    def test_default_policy_trusts_degraded_solves(self):
+        campaign = FaultCampaign()
+        campaign.add_tier("dc", solve_degraded_sources)
+        res = campaign.run([F("x")])
+        assert res.records[0].outcome == "ok"
+        assert res.records[0].detected
+
+    def test_strict_escalates_degraded_to_unsolvable(self):
+        campaign = FaultCampaign(strict_numerics=True)
+        campaign.add_tier("dc", solve_degraded_sources)
+        res = campaign.run([F("x")])
+        assert res.records[0].outcome == "unsolvable"
+        assert not res.records[0].detected
+
+
+class TestRecordOutcomeHelper:
+    def test_reads_self_declared_outcome(self):
+        campaign = FaultCampaign()
+        campaign.add_tier("dc", solve_conflicting_sources)
+        rec = campaign.evaluate(F("x"))
+        assert record_outcome(rec) == "unsolvable"
+
+    def test_defaults_for_plain_objects(self):
+        assert record_outcome(object()) == OUTCOME_OK
+        assert record_outcome(object(), default="timeout") == "timeout"

@@ -1,0 +1,124 @@
+"""Monte-Carlo campaign: dies whose solves the resilience ladder
+rejects settle as first-class ``unsolvable`` outcomes.
+
+Uses custom :class:`~repro.dft.registry.TestTier`-protocol objects whose
+screens/detectors run *real* DC solves on deliberately singular
+circuits, so the ``SolverError`` triage path is exercised end to end —
+record, outcome_counts, serialization (including the healthy-record
+byte-identity guarantee) and the statistical report.
+"""
+
+import pytest
+
+from repro.analog import (Circuit, Resistor, VoltageSource,
+                          dc_operating_point)
+from repro.faults import FaultKind, StructuralFault
+from repro.variation.campaign import MCResult, MonteCarloCampaign
+from repro.variation.report import format_mc_report
+
+UNIVERSE = [StructuralFault("M1", FaultKind.DRAIN_OPEN, "cp", "")]
+
+
+class SolvingTier:
+    """Minimal TestTier whose screen and detector both run a DC solve
+    of the circuit the factory builds."""
+
+    def __init__(self, name, circuit_factory):
+        self.name = name
+        self._build = circuit_factory
+
+    def screen(self):
+        dc_operating_point(self._build())
+        return True
+
+    def applies_to(self, fault):
+        return True
+
+    def detect(self, fault):
+        dc_operating_point(self._build())
+        return True
+
+
+def healthy_circuit():
+    c = Circuit("ok")
+    c.add(VoltageSource("VS", "a", "0", 1.0))
+    c.add(Resistor("R1", "a", "0", 1e3))
+    return c
+
+
+def conflicting_circuit():
+    c = Circuit("conflict")
+    c.add(VoltageSource("V1", "a", "0", 1.0))
+    c.add(VoltageSource("V2", "a", "0", 2.0))
+    c.add(Resistor("R1", "a", "0", 1e3))
+    return c
+
+
+def degraded_circuit():
+    c = Circuit("mild-conflict")
+    c.add(VoltageSource("V1", "b", "0", 1.0))
+    c.add(VoltageSource("V2", "b", "0", 1.0 + 4e-4))
+    c.add(Resistor("R1", "b", "0", 1e3))
+    return c
+
+
+def make_campaign(factory, **kw):
+    return MonteCarloCampaign(tiers=[SolvingTier("dc", factory)],
+                              universe=UNIVERSE, seed=7, **kw)
+
+
+class TestMCUnsolvable:
+    def test_unsolvable_die_record(self):
+        rec = make_campaign(conflicting_circuit).evaluate_die(0)
+        assert rec.outcome == "unsolvable"
+        assert rec.healthy == {"dc": False}  # tester rejects the part
+        assert rec.detected == {"dc": False}  # never inflates coverage
+        assert rec.errors and rec.errors[0][0] == "dc"
+
+    def test_healthy_die_record_stays_lean(self):
+        rec = make_campaign(healthy_circuit).evaluate_die(0)
+        assert rec.outcome == "ok"
+        assert rec.healthy == {"dc": True} and rec.detected == {"dc": True}
+        # ok records serialize without the outcome key: artifacts and
+        # checkpoints stay byte-identical to pre-resilience ones
+        assert "outcome" not in rec.to_dict()
+
+    def test_run_counts_and_report(self):
+        res = make_campaign(conflicting_circuit).run(3)
+        assert res.outcome_counts() == {"unsolvable": 3}
+        assert len(res.unevaluated()) == 3
+        text = format_mc_report(res)
+        assert "3 die(s) unsolvable" in text
+        assert "resilience ladder" in text
+
+    def test_outcome_round_trips_through_artifact(self):
+        res = make_campaign(conflicting_circuit).run(2)
+        back = MCResult.from_json(res.to_json())
+        assert back.outcome_counts() == {"unsolvable": 2}
+        assert back.records[0] == res.records[0]
+
+    def test_default_config_omits_strict_numerics(self):
+        res = make_campaign(healthy_circuit).run(1)
+        assert "strict_numerics" not in res.to_dict()["config"]
+        assert MCResult.from_json(res.to_json()).strict_numerics is False
+
+    def test_strict_numerics_escalates_degraded_dies(self):
+        relaxed = make_campaign(degraded_circuit).run(2)
+        assert relaxed.outcome_counts() == {"ok": 2}
+
+        strict = make_campaign(degraded_circuit,
+                               strict_numerics=True).run(2)
+        assert strict.outcome_counts() == {"unsolvable": 2}
+        config = strict.to_dict()["config"]
+        assert config["strict_numerics"] is True
+        assert MCResult.from_json(strict.to_json()).strict_numerics is True
+
+    def test_strict_config_guards_checkpoint_mixing(self, tmp_path):
+        """A strict-run checkpoint must not resume a default-policy
+        campaign: the config hash differs exactly because strict
+        settles degraded solves differently."""
+        path = tmp_path / "mc.jsonl"
+        make_campaign(degraded_circuit,
+                      strict_numerics=True).run(1, checkpoint=str(path))
+        with pytest.raises(ValueError, match="config"):
+            make_campaign(degraded_circuit).run(1, checkpoint=str(path))
