@@ -16,14 +16,20 @@ Environment knobs:
   (default 8);
 * ``REPRO_MC_WORKERS=<n>`` — fork the die sweep (default serial, which
   keeps the per-die retune/reuse counters in this process for the
-  BENCH artifact).
+  BENCH artifact);
+* ``REPRO_BACKEND=serial|batched`` — linear-solve path for the campaign
+  and Monte-Carlo benches (default ``batched``; records are
+  byte-identical either way, only the counters and walls move).
 
-Every session writes ``BENCH_PR5.json`` next to this file: per-bench
-wall time plus the engine's profiling counters (including the per-die
-plan-retune / bench-reuse counters of the Monte-Carlo path and the
-resilience ladder's fallback-rung counters), so performance PRs have a
-before/after record.  The newest *older* ``BENCH_PR*.json`` found
-beside it is referenced as the baseline.
+Every session writes ``BENCH_PR6.json`` next to this file: per-bench
+wall time, per-bench ``lu_factor`` deltas, and the engine's profiling
+counters (including the batched-solver counters — ``batched_solves``,
+``batch_fill``, ``woodbury_hits``, ``batch_fallbacks``), so performance
+PRs have a before/after record.  The newest *older* ``BENCH_PR*.json``
+found beside it is referenced as the baseline; older baselines may lack
+counters the current engine emits (and vice versa), so consumers —
+``repro bench --compare`` included — must treat absent keys as absent,
+never as zero-vs-N regressions.
 """
 
 from __future__ import annotations
@@ -38,11 +44,24 @@ import time
 import pytest
 
 _HERE = os.path.dirname(__file__)
-_OUTPUT_NAME = "BENCH_PR5.json"
+_OUTPUT_NAME = "BENCH_PR6.json"
 
 _campaign_cache = {}
 _mc_cache = {}
 _bench_times = {}
+_bench_lu = {}
+_economics = {}
+
+
+def record_economics(name, data):
+    """Store a serial-vs-batched comparison for the BENCH artifact
+    (see ``test_bench_backend_economics``)."""
+    _economics[name] = data
+
+
+def _bench_backend():
+    """Linear-solve backend for the session's expensive artifacts."""
+    return os.environ.get("REPRO_BACKEND", "batched")
 
 
 def get_campaign_report():
@@ -56,8 +75,8 @@ def get_campaign_report():
             n = min(int(sample), len(universe))
             universe = random.Random(2016).sample(universe, n)
         workers = int(os.environ.get("REPRO_CAMPAIGN_WORKERS", "0")) or None
-        _campaign_cache["report"] = run_paper_campaign(universe,
-                                                       workers=workers)
+        _campaign_cache["report"] = run_paper_campaign(
+            universe, workers=workers, backend=_bench_backend())
     return _campaign_cache["report"]
 
 
@@ -72,7 +91,7 @@ def get_mc_result():
         # forked sweep would leave them in the (discarded) children
         workers = int(os.environ.get("REPRO_MC_WORKERS", "0")) or None
         _mc_cache["result"] = MonteCarloCampaign(seed=2016).run(
-            dies, workers=workers)
+            dies, workers=workers, backend=_bench_backend())
     return _mc_cache["result"]
 
 
@@ -104,9 +123,16 @@ def _baseline_name() -> str:
 
 @pytest.hookimpl(hookwrapper=True)
 def pytest_runtest_call(item):
+    from repro.core.profiling import COUNTERS
+
+    lu0 = COUNTERS.lu_factor
     t0 = time.perf_counter()
     yield
     _bench_times[item.nodeid] = round(time.perf_counter() - t0, 4)
+    # which bench paid for which factorizations: the session-cached
+    # campaign/MC artifacts bill their solves to the bench that ran
+    # first (the one that owns the timing), matching bench_wall_s
+    _bench_lu[item.nodeid] = COUNTERS.lu_factor - lu0
 
 
 def pytest_sessionfinish(session, exitstatus):
@@ -116,10 +142,13 @@ def pytest_sessionfinish(session, exitstatus):
 
     payload = {
         "baseline": _baseline_name(),
+        "backend": _bench_backend(),
         "campaign_sample": os.environ.get("REPRO_CAMPAIGN_SAMPLE"),
         "campaign_workers": os.environ.get("REPRO_CAMPAIGN_WORKERS"),
         "mc_dies": os.environ.get("REPRO_MC_DIES"),
         "bench_wall_s": _bench_times,
+        "bench_lu_factor": _bench_lu,
+        "backend_economics": _economics,
         "counters": COUNTERS.snapshot(),
     }
     path = os.path.join(_HERE, _OUTPUT_NAME)

@@ -1,0 +1,82 @@
+"""Serial vs batched backend economics on identical workloads.
+
+The session-level benches (``test_bench_table1_coverage``, the MC
+variation bench) run once, on whichever backend ``REPRO_BACKEND``
+selects — their ``bench_lu_factor`` entries show what the session paid,
+not what the other backend would have cost.  This bench closes that gap:
+it runs a reduced campaign and die sweep through *both* backends in the
+same process, asserts the records stay byte-identical, and records the
+factorization/wall ratios in the BENCH artifact under
+``backend_economics``.
+
+The 5x floor is the PR's acceptance bar for the batched path; it holds
+with margin at full scale (336 faults: ~10x, 8 dies: ~11x) and is
+asserted here at the reduced size where the fixed per-run golden and
+tier-construction solves weigh heaviest against the ratio.
+"""
+
+import random
+import time
+
+from repro.core.profiling import COUNTERS
+
+from .conftest import record_economics
+
+CAMPAIGN_SAMPLE = 24
+MC_DIES = 4
+MIN_LU_RATIO = 5.0
+
+
+def _measure(fn):
+    lu0 = COUNTERS.lu_factor
+    t0 = time.perf_counter()
+    result = fn()
+    return result, COUNTERS.lu_factor - lu0, time.perf_counter() - t0
+
+
+def _economics(name, run):
+    # Meter both backends on a side workload, then put the session's
+    # counter ledger back: this bench's deliberate double-run must not
+    # skew the BENCH artifact totals that `repro bench --compare` diffs
+    # against earlier PRs.
+    ledger = COUNTERS.snapshot()
+    try:
+        serial, lu_serial, wall_serial = _measure(lambda: run("serial"))
+        batched, lu_batched, wall_batched = _measure(
+            lambda: run("batched"))
+    finally:
+        for field, value in ledger.items():
+            setattr(COUNTERS, field, value)
+    assert batched.to_json() == serial.to_json(), \
+        f"{name}: batched records diverged from serial"
+    record_economics(name, {
+        "lu_factor_serial": lu_serial,
+        "lu_factor_batched": lu_batched,
+        "lu_ratio": round(lu_serial / max(lu_batched, 1), 2),
+        "wall_serial_s": round(wall_serial, 4),
+        "wall_batched_s": round(wall_batched, 4),
+        "wall_ratio": round(wall_serial / max(wall_batched, 1e-9), 2),
+    })
+    assert lu_serial >= MIN_LU_RATIO * lu_batched, (
+        f"{name}: batched backend saved only "
+        f"{lu_serial}/{lu_batched} = "
+        f"{lu_serial / max(lu_batched, 1):.1f}x factorizations")
+
+
+class TestBackendEconomics:
+    def test_bench_campaign_backends(self):
+        from repro.dft.coverage import build_fault_universe, \
+            run_paper_campaign
+
+        universe = build_fault_universe()
+        sample = random.Random(2016).sample(universe, CAMPAIGN_SAMPLE)
+        _economics("campaign",
+                   lambda backend: run_paper_campaign(
+                       sample, backend=backend).result)
+
+    def test_bench_mc_backends(self):
+        from repro.variation import MonteCarloCampaign
+
+        _economics("mc",
+                   lambda backend: MonteCarloCampaign(seed=2016).run(
+                       MC_DIES, backend=backend))

@@ -59,6 +59,12 @@ _FIELDS = (
     "dc_ptc_rescues",        # DC points rescued by the PTC homotopy
     "tran_step_rejections",  # transient steps rejected by Newton failure
     "tran_step_halvings",    # dt halvings spent recovering those steps
+    # batched linear backend (repro.analog.backend / batch)
+    "batched_solves",        # broadcast solve_stack dispatches
+    "batch_fill",            # systems carried by those dispatches
+    "woodbury_hits",         # solves served by low-rank golden-LU updates
+    "batch_fallbacks",       # stacked items peeled back to the serial
+                             # resilience ladder / serial analyses
 )
 
 

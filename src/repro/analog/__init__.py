@@ -8,6 +8,17 @@ why this substitutes for the paper's UMC 130 nm + commercial-SPICE flow.
 
 from .ac import ACResult, ac_analysis, logspace_freqs
 from .assembly import CompiledAssembly, LinearSolverCache, get_compiled
+from .backend import (
+    BACKENDS,
+    BatchedBackend,
+    LinearBackend,
+    SerialBackend,
+    get_backend,
+    resolve_backend,
+    set_backend,
+    use_backend,
+)
+from .batch import batch_dc_operating_points, batch_transients
 from .corners import (
     ALL_CORNERS,
     FF,
@@ -86,6 +97,9 @@ from .transient import (
 __all__ = [
     "ACResult", "ac_analysis", "logspace_freqs",
     "CompiledAssembly", "LinearSolverCache", "get_compiled",
+    "BACKENDS", "BatchedBackend", "LinearBackend", "SerialBackend",
+    "get_backend", "resolve_backend", "set_backend", "use_backend",
+    "batch_dc_operating_points", "batch_transients",
     "ALL_CORNERS", "FF", "FS", "MismatchSpec", "ProcessCorner", "SF",
     "SS", "TT", "get_corner", "monte_carlo", "sweep_corners",
     "EdgeSummary", "MeasureError", "crossings", "fall_time", "overshoot",

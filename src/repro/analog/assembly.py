@@ -58,6 +58,12 @@ from .solver import DEFAULT_GMIN, SolverError
 _STATIC_TYPES = (Resistor, VoltageControlledVoltageSource)
 
 
+#: factorizations retained for matrices seen more than once
+_STICKY_MAX = 12
+#: digest-doorkeeper bound; cleared wholesale when full
+_SEEN_MAX = 4096
+
+
 class LinearSolverCache:
     """LU factorization cache for repeated solves of slowly-changing A.
 
@@ -65,57 +71,121 @@ class LinearSolverCache:
     raises :class:`SolverError`; near-singular systems return whatever
     LAPACK produces (faulted circuits rely on observing the resulting
     non-convergence rather than an exception).
+
+    Two retention layers back the reuse check:
+
+    * the **most recent** factorization — the historical single slot,
+      hit when consecutive assemblies produce the same matrix (linear
+      circuits, converged Newton tails);
+    * a **sticky store** admitted through a digest doorkeeper: a matrix
+      is kept only once its byte digest has been seen twice, which
+      filters out the never-repeating Newton-trajectory matrices while
+      capturing the ones operating-point restarts re-assemble verbatim
+      (every ``dc_operating_point`` on an unchanged circuit starts from
+      the identical ``A(x=0)`` — the BIST window bisection re-solves it
+      dozens of times per fault).
+
+    A hit replays ``lu_solve`` on the stored factorization of a
+    bitwise-equal matrix, so solutions are bit-identical to what a
+    fresh factorization would produce.
     """
 
-    __slots__ = ("_A", "_lu", "_piv")
+    __slots__ = ("_last", "_seen", "_sticky", "_tick", "backend")
 
-    def __init__(self) -> None:
-        self._A = None
-        self._lu = None
-        self._piv = None
+    def __init__(self, backend=None) -> None:
+        self.backend = backend
+        self._last = None     # (A, lu, piv) of the newest factorization
+        self._seen = {}       # digest -> sightings (doorkeeper, counts only)
+        self._sticky = {}     # digest -> [A, lu, piv, last_hit_tick]
+        self._tick = 0
 
     def invalidate(self) -> None:
-        self._A = self._lu = self._piv = None
+        self._last = None
+        self._seen.clear()
+        self._sticky.clear()
 
+    # ------------------------------------------------------------------
+    def _lookup(self, A: np.ndarray):
+        """Stored ``(lu, piv)`` for a bitwise-equal *A*, else ``None``."""
+        last = self._last
+        if last is not None and (last[0] is A or np.array_equal(last[0], A)):
+            return last[1], last[2]
+        if self._sticky:
+            entry = self._sticky.get(hash(A.tobytes()))
+            if entry is not None and np.array_equal(entry[0], A):
+                self._tick += 1
+                entry[3] = self._tick
+                return entry[1], entry[2]
+        return None
+
+    def _remember(self, A: np.ndarray, lu, piv) -> None:
+        self._last = (A, lu, piv)
+        if len(self._seen) >= _SEEN_MAX:
+            self._seen.clear()
+        digest = hash(A.tobytes())
+        count = self._seen.get(digest, 0) + 1
+        self._seen[digest] = count
+        if count >= 2 and digest not in self._sticky:
+            if len(self._sticky) >= _STICKY_MAX:
+                stalest = min(self._sticky, key=lambda d: self._sticky[d][3])
+                del self._sticky[stalest]
+            self._tick += 1
+            self._sticky[digest] = [A, lu, piv, self._tick]
+
+    # ------------------------------------------------------------------
     def solve(self, A: np.ndarray, b: np.ndarray, *, reuse: bool = True,
-              assume_same: bool = False) -> np.ndarray:
-        """Solve ``A @ x = b``, reusing the cached factorization when *A*
+              assume_same: bool = False, backend=None) -> np.ndarray:
+        """Solve ``A @ x = b``, reusing a cached factorization when *A*
         is unchanged.
 
         The caller must not mutate *A* after passing it in (the fast path
         hands over a fresh array each assembly, so this holds by
         construction).  ``assume_same`` skips the equality check for
-        circuits whose matrix is provably constant.
+        circuits whose matrix is provably constant.  *backend* (or the
+        cache-level default) routes factor/solve through a
+        :class:`~repro.analog.backend.LinearBackend`; ``None`` keeps the
+        historical scipy path.
         """
         if A.shape[0] == 0:
             return np.zeros(0, dtype=A.dtype)
-        if reuse and self._lu is not None and (
-                assume_same or np.array_equal(self._A, A)):
-            COUNTERS.lu_reuse += 1
-            return lu_solve((self._lu, self._piv), b, check_finite=False)
-        with warnings.catch_warnings():
-            warnings.simplefilter("ignore", LinAlgWarning)
-            try:
-                lu, piv = lu_factor(A, check_finite=False)
-            except (ValueError, np.linalg.LinAlgError) as exc:
-                self.invalidate()
-                raise SolverError(f"MNA factorization failed: {exc}") from exc
-        if np.any(np.diagonal(lu) == 0.0):
+        be = backend if backend is not None else self.backend
+        if reuse:
+            if assume_same and self._last is not None:
+                lu_piv = (self._last[1], self._last[2])
+            else:
+                lu_piv = self._lookup(A)
+            if lu_piv is not None:
+                COUNTERS.lu_reuse += 1
+                if be is not None:
+                    return be.solve_factored(lu_piv, b)
+                return lu_solve(lu_piv, b, check_finite=False)
+        try:
+            if be is not None:
+                lu, piv = be.factor(A)
+            else:
+                with warnings.catch_warnings():
+                    warnings.simplefilter("ignore", LinAlgWarning)
+                    try:
+                        lu, piv = lu_factor(A, check_finite=False)
+                    except (ValueError, np.linalg.LinAlgError) as exc:
+                        raise SolverError(
+                            f"MNA factorization failed: {exc}") from exc
+                if np.any(np.diagonal(lu) == 0.0):
+                    raise SolverError("singular MNA matrix: exact zero pivot")
+        except SolverError:
             self.invalidate()
-            raise SolverError("singular MNA matrix: exact zero pivot")
-        self._A, self._lu, self._piv = A, lu, piv
+            raise
+        self._remember(A, lu, piv)
         COUNTERS.lu_factor += 1
+        if be is not None:
+            return be.solve_factored((lu, piv), b)
         return lu_solve((lu, piv), b, check_finite=False)
 
     def last_factorization(self, A: np.ndarray):
-        """``(lu, piv)`` when the cached factorization is of *A*, else
+        """``(lu, piv)`` when a cached factorization is of *A*, else
         ``None`` (lets the resilience ladder refine and estimate the
         condition number without re-factoring)."""
-        if self._lu is None or self._A is None:
-            return None
-        if self._A is A or np.array_equal(self._A, A):
-            return self._lu, self._piv
-        return None
+        return self._lookup(A)
 
 
 def _vccs_entries(op: int, on: int, cp: int, cn: int, src: int):
@@ -435,13 +505,15 @@ class CompiledAssembly:
 
     # ------------------------------------------------------------------
     def solve(self, A: np.ndarray, b: np.ndarray, *,
-              reuse: bool = True) -> np.ndarray:
+              reuse: bool = True, backend=None) -> np.ndarray:
         """Solve through the cached-LU layer (see :class:`LinearSolverCache`)."""
         return self.lu_cache.solve(A, b, reuse=reuse,
-                                   assume_same=self.is_linear)
+                                   assume_same=self.is_linear,
+                                   backend=backend)
 
     def solve_diag(self, A: np.ndarray, b: np.ndarray, *,
-                   reuse: bool = True, want_condition: bool = False):
+                   reuse: bool = True, want_condition: bool = False,
+                   backend=None):
         """Like :meth:`solve` but returns ``(x, SolveDiagnostics)``.
 
         Rung 0 of the ladder is exactly :meth:`solve` (cached LU, same
@@ -452,7 +524,8 @@ class CompiledAssembly:
 
         def direct(A_, b_):
             return self.lu_cache.solve(A_, b_, reuse=reuse,
-                                       assume_same=self.is_linear)
+                                       assume_same=self.is_linear,
+                                       backend=backend)
 
         lu_piv = None
 

@@ -1,0 +1,213 @@
+"""Pluggable dense linear-solve backends for the MNA engine.
+
+Every linear solve in the repo ultimately funnels through one of three
+call shapes:
+
+* ``factor(A)`` / ``solve_factored((lu, piv), b)`` — the cached-LU path
+  used by :class:`repro.analog.assembly.LinearSolverCache` and replayed
+  by the resilience ladder's refinement rung;
+* ``solve_one(A, b)`` — a one-shot factor-and-solve;
+* ``solve_stack(As, Bs)`` — *k* independent systems with a shared shape,
+  stacked as ``(k, n, n)`` / ``(k, n)``.
+
+A :class:`LinearBackend` supplies all three.  The default
+:class:`SerialBackend` reproduces the historical scipy
+``lu_factor``/``lu_solve`` path bit-for-bit (including the
+zero-pivot check and :class:`~repro.analog.solver.SolverError`
+conversion), so threading a backend beneath the existing layers changes
+nothing unless a caller opts in.  :class:`BatchedBackend` overrides only
+``solve_stack``: the whole stack is dispatched through a single
+broadcast ``numpy.linalg.solve`` (one LAPACK ``gesv`` call over a 3-D
+operand), which is where the batched campaign path gets its speedup.
+
+Backend choice is orthogonal to correctness: ``solve_stack`` returns a
+per-item ``ok`` mask, and every caller is required to route not-ok items
+(singular, non-finite) back through the serial resilience ladder — no
+item may silently lose its ladder (see DESIGN.md §13).
+
+Determinism note: on this BLAS, broadcast ``numpy.linalg.solve`` over a
+``(k, n, n)`` stack is bit-identical to per-item ``numpy.linalg.solve``
+(the property tests assert it), but *not* to scipy's
+``lu_factor``+``lu_solve``.  Record-level equivalence between backends
+is therefore enforced by the campaign byte-identity gate rather than
+assumed from solver bits.
+"""
+
+from __future__ import annotations
+
+import warnings
+from contextlib import contextmanager
+from typing import Iterator, Tuple, Type, Union
+
+import numpy as np
+from scipy.linalg import LinAlgWarning, lu_factor, lu_solve
+
+from .._profiling import COUNTERS
+from .solver import SolverError
+
+Factorization = Tuple[np.ndarray, np.ndarray]
+
+
+def scipy_factor(A: np.ndarray) -> Factorization:
+    """``lu_factor`` with the repo's historical error contract.
+
+    Exactly-singular matrices raise :class:`SolverError`; near-singular
+    systems return whatever LAPACK produces (faulted circuits rely on
+    observing the resulting non-convergence rather than an exception).
+    """
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", LinAlgWarning)
+        try:
+            lu, piv = lu_factor(A, check_finite=False)
+        except (ValueError, np.linalg.LinAlgError) as exc:
+            raise SolverError(f"MNA factorization failed: {exc}") from exc
+    if np.any(np.diagonal(lu) == 0.0):
+        raise SolverError("singular MNA matrix: exact zero pivot")
+    return lu, piv
+
+
+class LinearBackend:
+    """Interface every backend implements; see module docstring."""
+
+    name = "abstract"
+
+    # -- single systems -------------------------------------------------
+    def factor(self, A: np.ndarray) -> Factorization:
+        raise NotImplementedError
+
+    def solve_factored(self, factorization: Factorization,
+                       b: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def solve_one(self, A: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return self.solve_factored(self.factor(A), b)
+
+    # -- stacked systems ------------------------------------------------
+    def solve_stack(self, As: np.ndarray, Bs: np.ndarray
+                    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Solve ``As[j] @ Xs[j] = Bs[j]`` for every *j*.
+
+        Returns ``(Xs, ok)`` where ``ok[j]`` is False for items whose
+        solve failed (singular matrix) or produced non-finite values;
+        such rows of ``Xs`` are undefined and the caller must re-route
+        them through the serial resilience ladder.
+        """
+        raise NotImplementedError
+
+
+class SerialBackend(LinearBackend):
+    """scipy ``lu_factor`` per system — the historical bit-exact path."""
+
+    name = "serial"
+
+    def factor(self, A: np.ndarray) -> Factorization:
+        return scipy_factor(A)
+
+    def solve_factored(self, factorization: Factorization,
+                       b: np.ndarray) -> np.ndarray:
+        return lu_solve(factorization, b, check_finite=False)
+
+    def solve_stack(self, As: np.ndarray, Bs: np.ndarray
+                    ) -> Tuple[np.ndarray, np.ndarray]:
+        k = As.shape[0]
+        Xs = np.empty_like(Bs, dtype=float)
+        ok = np.ones(k, dtype=bool)
+        for j in range(k):
+            try:
+                Xs[j] = lu_solve(scipy_factor(As[j]), Bs[j],
+                                 check_finite=False)
+            except SolverError:
+                Xs[j] = np.nan
+                ok[j] = False
+        ok &= np.isfinite(Xs).all(axis=1)
+        return Xs, ok
+
+
+class BatchedBackend(SerialBackend):
+    """Broadcast ``numpy.linalg.solve`` over the whole stack at once.
+
+    Single-system calls inherit the scipy path (so cached-LU replays and
+    the refinement rung keep their historical bits); only ``solve_stack``
+    differs.  A singular item makes the broadcast call raise, in which
+    case the stack is retried per item with the same ``numpy`` solver —
+    bit-identical for the healthy items on this BLAS — and the singular
+    ones are flagged instead.
+    """
+
+    name = "batched"
+
+    def solve_stack(self, As: np.ndarray, Bs: np.ndarray
+                    ) -> Tuple[np.ndarray, np.ndarray]:
+        k = As.shape[0]
+        COUNTERS.batched_solves += 1
+        COUNTERS.batch_fill += k
+        try:
+            Xs = np.linalg.solve(As, Bs[:, :, np.newaxis])[:, :, 0]
+            ok = np.isfinite(Xs).all(axis=1)
+            return Xs, ok
+        except np.linalg.LinAlgError:
+            pass
+        Xs = np.empty_like(Bs, dtype=float)
+        ok = np.ones(k, dtype=bool)
+        for j in range(k):
+            try:
+                Xs[j] = np.linalg.solve(As[j], Bs[j])
+            except np.linalg.LinAlgError:
+                Xs[j] = np.nan
+                ok[j] = False
+        ok &= np.isfinite(Xs).all(axis=1)
+        return Xs, ok
+
+
+#: backend registry the CLI / campaigns resolve ``--backend`` through
+BACKENDS: "dict[str, Type[LinearBackend]]" = {
+    SerialBackend.name: SerialBackend,
+    BatchedBackend.name: BatchedBackend,
+}
+
+BackendSpec = Union[None, str, LinearBackend]
+
+_DEFAULT = SerialBackend()
+_current: LinearBackend = _DEFAULT
+
+
+def resolve_backend(spec: BackendSpec) -> LinearBackend:
+    """Turn ``None`` / a name / an instance into a :class:`LinearBackend`.
+
+    ``None`` means "whatever is currently installed" (the serial scipy
+    backend unless :func:`set_backend`/:func:`use_backend` changed it).
+    """
+    if spec is None:
+        return _current
+    if isinstance(spec, LinearBackend):
+        return spec
+    try:
+        return BACKENDS[spec]()
+    except KeyError:
+        raise ValueError(
+            f"unknown linear backend {spec!r}; "
+            f"choices: {sorted(BACKENDS)}") from None
+
+
+def get_backend() -> LinearBackend:
+    """The process-current backend (serial scipy by default)."""
+    return _current
+
+
+def set_backend(spec: BackendSpec) -> LinearBackend:
+    """Install *spec* as the process-current backend and return it."""
+    global _current
+    _current = resolve_backend(spec)
+    return _current
+
+
+@contextmanager
+def use_backend(spec: BackendSpec) -> Iterator[LinearBackend]:
+    """Temporarily install *spec* as the process-current backend."""
+    global _current
+    prev = _current
+    _current = resolve_backend(spec)
+    try:
+        yield _current
+    finally:
+        _current = prev

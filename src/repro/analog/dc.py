@@ -38,6 +38,15 @@ MAX_NEWTON_ITER = 200
 VOLTAGE_TOL = 1e-9
 MAX_STEP = 0.5  # volts of damping per Newton update
 
+#: gmin-stepping continuation schedule (S), tightened toward the target
+#: gmin; shared with the lockstep batched rescue so both paths walk the
+#: identical ladder
+GMIN_STEPS = (1e-2, 1e-3, 1e-4, 1e-6, 1e-8, 1e-10)
+
+#: source-stepping continuation schedule (fraction of full excitation);
+#: shared with the lockstep batched rescue
+SOURCE_STEPS = (0.1, 0.25, 0.5, 0.75, 0.9, 1.0)
+
 #: decaying pseudo-transient shunt schedule (S); implicit-Euler steps of
 #: a fake transient whose steady state is the DC operating point
 PTC_ALPHAS = (1e-2, 1e-3, 1e-4, 1e-6, 1e-8)
@@ -214,7 +223,7 @@ def dc_operating_point(circuit: Circuit,
         # 2. gmin stepping: solve with heavy shunt, tighten geometrically
         x_g = np.zeros(n_total)
         ok_g = True
-        for g in (1e-2, 1e-3, 1e-4, 1e-6, 1e-8, 1e-10, gmin):
+        for g in GMIN_STEPS + (gmin,):
             x_g, ok_g, its, diag_g = _newton(circuit, node_index, n_total,
                                              x_g, g)
             total_its += its
@@ -227,7 +236,7 @@ def dc_operating_point(circuit: Circuit,
         # 3. source stepping from a quiescent circuit
         x_s = np.zeros(n_total)
         ok_s = True
-        for scale in (0.1, 0.25, 0.5, 0.75, 0.9, 1.0):
+        for scale in SOURCE_STEPS:
             x_s, ok_s, its, diag_s = _newton(circuit, node_index, n_total,
                                              x_s, gmin, source_scale=scale)
             total_its += its

@@ -277,6 +277,7 @@ def resilient_solve(A: np.ndarray, b: np.ndarray, *,
                     = None,
                     want_condition: bool = False,
                     policy: Optional[NumericsPolicy] = None,
+                    backend=None,
                     ) -> Tuple[np.ndarray, SolveDiagnostics]:
     """Solve ``A @ x = b`` through the fallback ladder.
 
@@ -284,11 +285,14 @@ def resilient_solve(A: np.ndarray, b: np.ndarray, *,
     a healthy solve returns the exact bits it always did; it may raise
     :class:`SolverError`.  ``refine(r)`` solves ``A @ dx = r`` reusing
     the direct rung's factorization (iterative refinement); when absent
-    the ladder factors *A* itself on demand.  Returns the accepted
-    solution and its :class:`SolveDiagnostics`; raises
-    :class:`UnsolvableError` instead of ever returning NaN/Inf or a
-    residual above ``policy.residual_unsolvable`` (or, under
-    ``policy.strict``, anything short of verified good).
+    the ladder factors *A* itself on demand.  *backend* (a
+    :class:`~repro.analog.backend.LinearBackend`) supplies rung 0 when
+    no ``direct`` callable is given; ``None`` keeps the historical
+    scipy one-shot LU.  Returns the accepted solution and its
+    :class:`SolveDiagnostics`; raises :class:`UnsolvableError` instead
+    of ever returning NaN/Inf or a residual above
+    ``policy.residual_unsolvable`` (or, under ``policy.strict``,
+    anything short of verified good).
     """
     policy = policy or _POLICY
     good = policy.residual_good
@@ -319,10 +323,14 @@ def resilient_solve(A: np.ndarray, b: np.ndarray, *,
     try:
         if direct is not None:
             x0 = direct(A, b)
+        elif backend is not None:
+            lu_hint = backend.factor(A)
+            x0 = backend.solve_factored(lu_hint, b)
         else:
             x0, lu_hint = _plain_lu(A, b)
     except SolverError:
         x0 = None
+        lu_hint = None
     res = consider(x0, RUNG_DIRECT) if x0 is not None else None
 
     # -- rung 1: iterative refinement on a large residual --------------

@@ -112,7 +112,8 @@ def cmd_coverage(args) -> int:
 
     report = run_paper_campaign(universe,
                                 progress=progress if args.progress else None,
-                                workers=args.workers)
+                                workers=args.workers,
+                                backend=args.backend)
     print(report.format_headline())
     print()
     print(report.format_table1())
@@ -148,7 +149,7 @@ def cmd_campaign(args) -> int:
                           progress=progress if args.progress else None,
                           workers=args.workers, checkpoint=args.resume,
                           timeout=args.timeout, max_retries=args.retries,
-                          trace=args.trace)
+                          trace=args.trace, backend=args.backend)
 
     if tier_names == TIER_ORDER:
         report = CoverageReport(result=result)
@@ -198,7 +199,7 @@ def cmd_mc(args) -> int:
                           progress=progress if args.progress else None,
                           workers=args.workers, checkpoint=args.resume,
                           timeout=args.timeout, max_retries=args.retries,
-                          trace=args.trace)
+                          trace=args.trace, backend=args.backend)
 
     print(format_mc_report(result))
     _print_numerics()
@@ -217,15 +218,20 @@ def cmd_bench(args) -> int:
     from .dft.coverage import build_fault_universe, run_paper_campaign
     from .faults.sampling import stratified_sample
 
+    if args.compare:
+        return _bench_compare(args.compare)
+
     universe = build_fault_universe()
     if args.sample:
         universe = stratified_sample(universe, args.sample, seed=args.seed)
     with profiled() as counters:
         t0 = time.perf_counter()
-        report = run_paper_campaign(universe, workers=args.workers)
+        report = run_paper_campaign(universe, workers=args.workers,
+                                    backend=args.backend)
         wall = time.perf_counter() - t0
     print(f"campaign : {len(universe)} faults in {wall:.2f} s "
-          f"({args.workers or 1} worker(s))")
+          f"({args.workers or 1} worker(s), "
+          f"{args.backend or 'serial'} backend)")
     print(f"coverage : dc {report.dc * 100:.1f}%  "
           f"scan {report.scan * 100:.1f}%  bist {report.bist * 100:.1f}%")
     snap = counters.snapshot()
@@ -240,6 +246,70 @@ def cmd_bench(args) -> int:
         with open(args.json, "w") as fh:
             json.dump(payload, fh, indent=2, sort_keys=True)
         print(f"wrote {args.json}")
+    return 0
+
+
+def _bench_artifacts(dirpath: str) -> List[str]:
+    """``BENCH_PR<N>.json`` files under *dirpath*, oldest PR first."""
+    import os
+    import re
+
+    found = []
+    for name in os.listdir(dirpath):
+        m = re.fullmatch(r"BENCH_PR(\d+)\.json", name)
+        if m:
+            found.append((int(m.group(1)), os.path.join(dirpath, name)))
+    return [path for _, path in sorted(found)]
+
+
+def _bench_compare(dirpath: str) -> int:
+    """Diff the two newest ``BENCH_PR*.json`` artifacts counter by counter.
+
+    Older artifacts may predate counters the current engine emits (and
+    vice versa); a key present on only one side prints as ``-`` instead
+    of failing, so the comparison works across any PR gap.
+    """
+    import json
+
+    paths = _bench_artifacts(dirpath)
+    if len(paths) < 2:
+        print(f"need two BENCH_PR*.json artifacts under {dirpath!r}, "
+              f"found {len(paths)}", file=sys.stderr)
+        return 1
+    old_path, new_path = paths[-2], paths[-1]
+    with open(old_path) as fh:
+        old = json.load(fh)
+    with open(new_path) as fh:
+        new = json.load(fh)
+    import os
+    print(f"comparing {os.path.basename(old_path)} -> "
+          f"{os.path.basename(new_path)}")
+
+    def total_wall(payload):
+        wall = payload.get("bench_wall_s", payload.get("wall_s"))
+        if isinstance(wall, dict):       # per-bench walls since PR 3
+            return sum(wall.values())
+        return wall
+
+    old_wall, new_wall = total_wall(old), total_wall(new)
+    if old_wall is not None and new_wall is not None:
+        ratio = old_wall / new_wall if new_wall else float("inf")
+        print(f"  {'total_wall_s':<24} {old_wall:>14.2f} "
+              f"{new_wall:>14.2f} {ratio:>8.2f}x")
+
+    old_c = old.get("counters") or {}
+    new_c = new.get("counters") or {}
+    keys = sorted(set(old_c) | set(new_c))
+    width = max((len(k) for k in keys), default=8)
+    for key in keys:
+        a, b = old_c.get(key), new_c.get(key)
+        sa = "-" if a is None else str(a)
+        sb = "-" if b is None else str(b)
+        if a and b is not None:
+            delta = f"{a / b:8.2f}x" if b else "     inf"
+        else:
+            delta = "        "
+        print(f"  {key:<{width}} {sa:>14} {sb:>14} {delta}")
     return 0
 
 
@@ -276,6 +346,15 @@ def _print_numerics() -> None:
     engaged = [f"{name} {count}" for name, count in rungs if count]
     if engaged:
         print(f"numerics rescues: {', '.join(engaged)}")
+
+
+def _add_backend(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--backend", default=None,
+                   choices=("serial", "batched"),
+                   help="linear-solve path: 'batched' stacks same-"
+                        "pattern systems into broadcast LAPACK calls "
+                        "(records stay byte-identical to serial; "
+                        "default: serial)")
 
 
 def _add_supervision(p: argparse.ArgumentParser, noun: str) -> None:
@@ -388,6 +467,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--progress", action="store_true")
     p.add_argument("--workers", type=int, default=None,
                    help="fault-simulation worker processes (default: serial)")
+    _add_backend(p)
     p.set_defaults(func=cmd_coverage)
 
     p = sub.add_parser("campaign",
@@ -407,6 +487,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="JSONL checkpoint to stream records into and "
                         "resume from")
     _add_supervision(p, "fault")
+    _add_backend(p)
     p.set_defaults(func=cmd_campaign)
 
     p = sub.add_parser("mc",
@@ -436,6 +517,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="JSONL checkpoint to stream die records into and "
                         "resume from")
     _add_supervision(p, "die")
+    _add_backend(p)
     p.set_defaults(func=cmd_mc)
 
     p = sub.add_parser("bench",
@@ -447,6 +529,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="fault-simulation worker processes (default: serial)")
     p.add_argument("--json", default=None, metavar="PATH",
                    help="also dump the timings/counters as JSON")
+    p.add_argument("--compare", nargs="?", const="benchmarks",
+                   default=None, metavar="DIR",
+                   help="instead of running: diff the two newest "
+                        "BENCH_PR*.json artifacts in DIR (default "
+                        "'benchmarks') counter by counter")
+    _add_backend(p)
     p.set_defaults(func=cmd_bench)
 
     p = sub.add_parser("overhead", help="DFT inventory (Table II)")

@@ -1,0 +1,191 @@
+"""Batched (multi-DUT) implementations of the tier test stages.
+
+Each helper takes a list of *prepared* DUTs — already faulted (or
+already realised under the right die context) — and runs one test stage
+across all of them through :func:`repro.analog.batch_dc_operating_points`
+/ :func:`repro.analog.batch_transients`, so the same-pattern MNA systems
+land in single broadcast LAPACK calls instead of one ``lu_factor`` per
+fault per Newton iteration.
+
+Semantics contract (DESIGN.md §13): every helper mirrors its serial
+stage loop observable-for-observable — same digitisation thresholds,
+same ``("no_convergence",)`` markers, same early exits.  An item whose
+solve raised is reported as the exception object itself in the result
+slot; callers must treat such items as *unresolved* and leave them to
+the serial detector (which reproduces the exact error record), so a
+batched campaign can only ever fall back, never diverge.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..analog import batch_dc_operating_points, batch_transients
+
+#: a per-item stage result: the stage observable, or the exception that
+#: made the item unresolvable in batch mode
+Unresolved = Exception
+
+
+def _digitize(op, nodes: Sequence[str], vdd: float = 1.2) -> Tuple:
+    """Same comparator digitisation as the serial scan tier."""
+    return tuple(1 if op.v(n) > vdd / 2 else 0 for n in nodes)
+
+
+# ----------------------------------------------------------------------
+# full-link stages
+# ----------------------------------------------------------------------
+def link_dc_signatures(duts, backend=None) -> List[Union[Dict, Exception]]:
+    """Batched :meth:`FullLinkPorts.run_dc_test` over *duts*.
+
+    Returns one two-pattern signature dict per DUT (or the exception
+    that broke the DUT's solve).
+    """
+    results: List[Union[Dict, Exception]] = [dict() for _ in duts]
+    for bit in (1, 0):
+        live = [j for j, r in enumerate(results)
+                if not isinstance(r, Exception)]
+        if not live:
+            break
+        for j in live:
+            duts[j].apply_data(bit)
+        ops = batch_dc_operating_points([duts[j].circuit for j in live],
+                                        backend=backend)
+        for j, op in zip(live, ops):
+            if isinstance(op, Exception):
+                results[j] = op
+                continue
+            obs = duts[j].observe(op) if op.converged else {}
+            obs["converged"] = op.converged
+            results[j][bit] = obs
+    return results
+
+
+def probe_captures(circuits, vdd: float, nodes: Sequence[str],
+                   backend=None) -> List[Union[Dict, Exception]]:
+    """Batched probe-FF capture (ScanTest._run_probe) over *circuits*."""
+    results: List[Union[Dict, Exception]] = [dict() for _ in circuits]
+    for bit in (1, 0):
+        live = [j for j, r in enumerate(results)
+                if not isinstance(r, Exception)]
+        if not live:
+            break
+        for j in live:
+            v = vdd if bit else 0.0
+            circuits[j]["VDATA"].voltage = v
+            circuits[j]["VDATAB"].voltage = vdd - v
+        ops = batch_dc_operating_points([circuits[j] for j in live],
+                                        backend=backend)
+        for j, op in zip(live, ops):
+            if isinstance(op, Exception):
+                results[j] = op
+            elif not op.converged:
+                results[j][bit] = ("no_convergence",)
+            else:
+                results[j][bit] = _digitize(op, nodes, vdd)
+    return results
+
+
+def toggle_excursions(duts, t_stop: float = 25e-9, dt: float = 0.1e-9,
+                      settle: float = 5e-9, backend=None
+                      ) -> List[Union[float, Exception]]:
+    """Batched toggle test (ScanTest._run_toggle) over ToggleDUTs.
+
+    DUTs are grouped by their (vcm, ref) probe pair so one
+    :func:`batch_transients` call serves each group.
+    """
+    results: List[Union[float, Exception]] = [None] * len(duts)
+    groups: Dict[Tuple[str, str], List[int]] = {}
+    for j, dut in enumerate(duts):
+        groups.setdefault((dut.vcm_node, dut.ref_node), []).append(j)
+    for (vcm, ref), idxs in groups.items():
+        trs = batch_transients([duts[j].circuit for j in idxs],
+                               t_stop, dt, probes=[vcm, ref],
+                               backend=backend)
+        for j, tr in zip(idxs, trs):
+            if isinstance(tr, Exception):
+                results[j] = tr
+                continue
+            mask = tr.time > settle
+            results[j] = float(np.abs(tr.vdiff(vcm, ref))[mask].max())
+    return results
+
+
+# ----------------------------------------------------------------------
+# receiver-bench stages
+# ----------------------------------------------------------------------
+def receiver_dc_observations(duts, backend=None
+                             ) -> List[Union[Dict, Exception]]:
+    """Batched quiescent receiver observation (the DC tier's stage)."""
+    for dut in duts:
+        dut.set_condition()
+    ops = batch_dc_operating_points([d.circuit for d in duts],
+                                    backend=backend)
+    out: List[Union[Dict, Exception]] = []
+    for dut, op in zip(duts, ops):
+        if isinstance(op, Exception):
+            out.append(op)
+        elif getattr(op, "lockstep_failed", False):
+            # the serial observation digitises the (different) x the
+            # serial cascade fails with — leave the item unresolved
+            out.append(RuntimeError("lockstep-failed op not observable"))
+        else:
+            out.append(dut.observe(op))
+    return out
+
+
+def receiver_scan_signatures(duts, conditions, nodes=("win_hi", "win_lo"),
+                             backend=None) -> List[Union[Dict, Exception]]:
+    """Batched scan-condition sweep (ScanTest._run_receiver)."""
+    results: List[Union[Dict, Exception]] = [dict() for _ in duts]
+    for label, kw in conditions:
+        live = [j for j, r in enumerate(results)
+                if not isinstance(r, Exception)]
+        if not live:
+            break
+        for j in live:
+            duts[j].set_condition(**kw)
+        ops = batch_dc_operating_points([duts[j].circuit for j in live],
+                                        backend=backend)
+        for j, op in zip(live, ops):
+            if isinstance(op, Exception):
+                results[j] = op
+            elif not op.converged:
+                results[j][label] = ("no_convergence",)
+            else:
+                results[j][label] = _digitize(op, nodes, duts[j].vdd)
+    return results
+
+
+# ----------------------------------------------------------------------
+# VCDL stages
+# ----------------------------------------------------------------------
+def vcdl_aliveness(duts, vdd: float = 1.2, backend=None
+                   ) -> List[Union[bool, Exception]]:
+    """Batched static aliveness check (BISTTest._vcdl_alive).
+
+    Mirrors :meth:`VCDLDUT.observe` digitisation for input levels 0 and
+    1; an item is alive when the output follows the input.
+    """
+    obs: List[Dict[int, Optional[int]]] = [dict() for _ in duts]
+    failed: List[Optional[Exception]] = [None] * len(duts)
+    for level in (0, 1):
+        live = [j for j in range(len(duts)) if failed[j] is None]
+        if not live:
+            break
+        for j in live:
+            duts[j].set_input(level)
+        ops = batch_dc_operating_points([duts[j].circuit for j in live],
+                                        backend=backend)
+        for j, op in zip(live, ops):
+            if isinstance(op, Exception):
+                failed[j] = op
+            elif not op.converged:
+                obs[j][level] = None
+            else:
+                obs[j][level] = 1 if op.v("clk_out") > vdd / 2 else 0
+    return [failed[j] if failed[j] is not None
+            else (obs[j][0] == 0 and obs[j][1] == 1)
+            for j in range(len(duts))]

@@ -105,6 +105,171 @@ class BISTTest:
         return self._lock_test(fault)
 
     # ------------------------------------------------------------------
+    def detect_batch(self, faults, backend=None) -> Dict:
+        """Batched :meth:`detect`; see DCTest.detect_batch for the
+        resolve/omit contract.
+
+        The netlist stages (receiver checks, VCDL aliveness, VCDL
+        characterisation transients) run batched; the behavioural lock
+        runs and the window-threshold bisection are deterministic pure-
+        Python / cache-accelerated serial code and execute unchanged.
+        """
+        from .batch_stages import vcdl_aliveness
+        from .duts import ReceiverDUT, VCDLDUT
+
+        out: Dict = {}
+        rx = [f for f in faults if f.block in ("window_comp", "cp")]
+        vc = [f for f in faults if f.block == "vcdl"]
+
+        if rx:
+            base = build_receiver_dut()
+            duts, keep = [], []
+            for f in rx:
+                try:
+                    faulted = inject_fault(
+                        base.circuit, f,
+                        retention=self.goldens.retention_receiver)
+                except Exception:
+                    continue
+                duts.append(ReceiverDUT(circuit=faulted, cp=base.cp,
+                                        vdd=base.vdd))
+                keep.append(f)
+            sigs = self._batched_receiver_checks(duts, backend=backend)
+            for f, sig in zip(keep, sigs):
+                if isinstance(sig, Exception):
+                    continue
+                if sig != self._golden:
+                    out[f.key()] = True
+                elif f.block == "window_comp":
+                    out[f.key()] = self._window_lock_test(f)
+                else:
+                    out[f.key()] = self._lock_test(f)
+
+        if vc:
+            base = build_vcdl_dut()
+            duts, keep = [], []
+            for f in vc:
+                try:
+                    faulted = inject_fault(
+                        base.circuit, f,
+                        retention=self.goldens.retention_vcdl)
+                except Exception:
+                    continue
+                duts.append(VCDLDUT(circuit=faulted, ports=base.ports))
+                keep.append(f)
+            alive = vcdl_aliveness(duts, backend=backend)
+            need_lock = []
+            for f, a in zip(keep, alive):
+                if isinstance(a, Exception):
+                    continue
+                if not a:
+                    out[f.key()] = True
+                else:
+                    need_lock.append(f)
+            delays = self._batched_vcdl_delays(need_lock, backend=backend)
+            for f in need_lock:
+                if f in delays:
+                    out[f.key()] = self._vcdl_lock_verdict(*delays[f])
+
+        return out
+
+    def _batched_receiver_checks(self, duts, backend=None):
+        """Batched :meth:`_run_receiver_checks` over prepared DUTs.
+
+        Stage-lockstep mirror of the serial method: the hold check runs
+        for every DUT, then each pump condition runs only for DUTs whose
+        every earlier stage converged (the serial early-return).  A
+        non-converged stage yields the serial ``{"converged": False}``
+        signature; an exception marks the item unresolved.
+        """
+        from ..analog import batch_dc_operating_points
+
+        n = len(duts)
+        sigs = [dict() for _ in range(n)]
+        resolved = [None] * n
+
+        for d in duts:
+            d.set_condition(hold=True)
+        ops = batch_dc_operating_points([d.circuit for d in duts],
+                                        backend=backend)
+        live = []
+        for j, op in enumerate(ops):
+            if isinstance(op, Exception):
+                resolved[j] = op
+            elif not op.converged:
+                resolved[j] = {"converged": False}
+            else:
+                obs = duts[j].observe(op)
+                sigs[j]["vp_flag"] = (obs["bist_hi"], obs["bist_lo"])
+                currents = self._ota_currents(duts[j], op)
+                for name in self.OTA_DEVICES:
+                    ref = self._healthy_ota_i.get(name, 0.0)
+                    sigs[j][f"slew_{name}_ok"] = bool(
+                        ref == 0.0
+                        or currents[name] >= self.SLEW_COLLAPSE * ref)
+                live.append(j)
+
+        nominal = {"up": 1.83e-6, "dn": 3.66e-6,
+                   "up_st": 14.6e-6, "dn_st": 29e-6}
+        for name, kw in (("up", dict(hold=True, up=1)),
+                         ("dn", dict(hold=True, dn=1)),
+                         ("up_st", dict(hold=True, up_st=1)),
+                         ("dn_st", dict(hold=True, dn_st=1))):
+            if not live:
+                break
+            for j in live:
+                duts[j].set_condition(**kw)
+            ops = batch_dc_operating_points(
+                [duts[j].circuit for j in live], backend=backend)
+            nxt = []
+            for j, op in zip(live, ops):
+                if isinstance(op, Exception):
+                    resolved[j] = op
+                elif not op.converged:
+                    resolved[j] = {"converged": False}
+                else:
+                    i = abs(duts[j].hold_current(op))
+                    ref = nominal[name]
+                    sigs[j][f"i_{name}_ok"] = bool(
+                        CURRENT_LO * ref <= i <= CURRENT_HI * ref)
+                    nxt.append(j)
+            live = nxt
+        for j in live:
+            sigs[j]["converged"] = True
+            resolved[j] = sigs[j]
+        return resolved
+
+    def _batched_vcdl_delays(self, faults, backend=None) -> Dict:
+        """Characterisation delays ``{fault: (d_lo, d_hi)}``, batched.
+
+        Both window-bound transients of every fault go through one
+        :func:`batch_transients` call; a fault whose either transient
+        raised is omitted (unresolved).
+        """
+        from ..analog import batch_transients
+
+        p0 = LinkParams()
+        circuits, keep = [], []
+        for f in faults:
+            try:
+                pair = (self._vcdl_char_circuit(f, p0.v_window_lo),
+                        self._vcdl_char_circuit(f, p0.v_window_hi))
+            except Exception:
+                continue
+            circuits.extend(pair)
+            keep.append(f)
+        trs = batch_transients(circuits, 1.6e-9, 2e-12,
+                               probes=["clk_out"], backend=backend)
+        out: Dict = {}
+        for i, f in enumerate(keep):
+            tr_lo, tr_hi = trs[2 * i], trs[2 * i + 1]
+            if isinstance(tr_lo, Exception) or isinstance(tr_hi, Exception):
+                continue
+            out[f] = (self._vcdl_delay_from(tr_lo),
+                      self._vcdl_delay_from(tr_hi))
+        return out
+
+    # ------------------------------------------------------------------
     def _run_receiver_checks(self, fault: Optional[StructuralFault],
                              calibrate: bool = False) -> Dict:
         """V_p tracking + pump-current windows on the receiver bench.
@@ -186,11 +351,13 @@ class BISTTest:
         hi = dut.observe()
         return lo == 0 and hi == 1
 
-    def _measure_faulted_vcdl(self, fault: StructuralFault,
-                              vctl: float) -> float:
-        """Propagation delay of the faulted VCDL at *vctl* (transient)."""
+    #: step instant of the VCDL characterisation stimulus [s]
+    VCDL_CHAR_T_STEP = 0.3e-9
 
-        from ..analog import step_waveform, transient
+    def _vcdl_char_circuit(self, fault: StructuralFault, vctl: float):
+        """Faulted ad-hoc characterisation netlist for one *vctl*."""
+
+        from ..analog import step_waveform
         from ..circuits.vcdl import build_vcdl
         from ..analog import Circuit
         from ..variation.context import tune_active
@@ -199,21 +366,33 @@ class BISTTest:
         c.add_vsource("vdd", "0", 1.2, name="VDD")
         c.add_vsource("vctl", "0", vctl, name="VCTL")
         vin = c.add_vsource("clk_in", "0", 0.0, name="VCLK")
-        t_step = 0.3e-9
-        vin.waveform = step_waveform(0.0, 1.2, t_step, t_rise=20e-12)
+        vin.waveform = step_waveform(0.0, 1.2, self.VCDL_CHAR_T_STEP,
+                                     t_rise=20e-12)
         build_vcdl(c, "vcdl", "clk_in", "clk_out", "vctl")
         # ad-hoc characterisation netlist: bypasses the wrapped
         # builders, so apply the active die's mismatch explicitly
         tune_active(c)
-        faulted = inject_fault(c, fault,
-                               retention=self.goldens.retention_vcdl)
-        tr = transient(faulted, 1.6e-9, 2e-12, probes=["clk_out"])
+        return inject_fault(c, fault,
+                            retention=self.goldens.retention_vcdl)
+
+    def _vcdl_delay_from(self, tr) -> float:
+        """Propagation delay from a characterisation transient."""
         v_out = tr.v("clk_out")
-        after = tr.time > t_step
+        after = tr.time > self.VCDL_CHAR_T_STEP
         crossed = (after & (v_out > 0.6)).nonzero()[0]
         if len(crossed) == 0:
             return float("nan")
-        return float(tr.time[crossed[0]] - t_step)
+        return float(tr.time[crossed[0]] - self.VCDL_CHAR_T_STEP)
+
+    def _measure_faulted_vcdl(self, fault: StructuralFault,
+                              vctl: float) -> float:
+        """Propagation delay of the faulted VCDL at *vctl* (transient)."""
+
+        from ..analog import transient
+
+        faulted = self._vcdl_char_circuit(fault, vctl)
+        tr = transient(faulted, 1.6e-9, 2e-12, probes=["clk_out"])
+        return self._vcdl_delay_from(tr)
 
     def _vcdl_lock_test(self, fault: StructuralFault) -> bool:
         """Lock test with the *measured* faulted VCDL tuning curve.
@@ -225,10 +404,14 @@ class BISTTest:
         detector overflow; a mild parametric shift locks fine and
         escapes (the Table I open-fault escapes).
         """
-        import math
-
         d_lo = self._measure_faulted_vcdl(fault, LinkParams().v_window_lo)
         d_hi = self._measure_faulted_vcdl(fault, LinkParams().v_window_hi)
+        return self._vcdl_lock_verdict(d_lo, d_hi)
+
+    def _vcdl_lock_verdict(self, d_lo: float, d_hi: float) -> bool:
+        """Behavioural lock run on a measured (d_lo, d_hi) delay pair."""
+        import math
+
         if math.isnan(d_lo) or math.isnan(d_hi):
             return True     # clock does not propagate at speed
         p0 = LinkParams()

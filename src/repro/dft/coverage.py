@@ -136,7 +136,8 @@ def run_paper_campaign(universe: Optional[List[StructuralFault]] = None,
                        checkpoint: Optional[str] = None,
                        timeout: Optional[float] = None,
                        max_retries: int = 1,
-                       trace: Optional[str] = None) -> CoverageReport:
+                       trace: Optional[str] = None,
+                       backend: Optional[object] = None) -> CoverageReport:
     """Run the complete three-tier campaign over the fault universe.
 
     ``workers`` > 1 fans the universe out over supervised forked worker
@@ -145,7 +146,9 @@ def run_paper_campaign(universe: Optional[List[StructuralFault]] = None,
     the fork, so every worker inherits them for free.  ``checkpoint``
     names a JSONL file to stream completed records into (and resume
     from); ``timeout``/``max_retries``/``trace`` configure the
-    supervision layer.
+    supervision layer.  ``backend`` selects the linear-solve path
+    (``"batched"`` stacks same-pattern faulted systems into broadcast
+    LAPACK calls via the pre-fork prepass; records stay byte-identical).
     """
     if universe is None:
         universe = build_fault_universe()
@@ -155,5 +158,6 @@ def run_paper_campaign(universe: Optional[List[StructuralFault]] = None,
         campaign.add_tier(tier)
     result = campaign.run(universe, progress=progress, workers=workers,
                           checkpoint=checkpoint, timeout=timeout,
-                          max_retries=max_retries, trace=trace)
+                          max_retries=max_retries, trace=trace,
+                          backend=backend)
     return CoverageReport(result=result)

@@ -18,13 +18,14 @@ on a tester it shows as an out-of-spec supply current).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import ClassVar, Dict
+from dataclasses import dataclass, field, replace as dc_replace
+from typing import ClassVar, Dict, Iterable, Tuple
 
 from ..circuits.full_link import FullLinkPorts, build_full_link
 from ..faults.inject import inject_fault
 from ..faults.model import StructuralFault
-from .duts import build_receiver_dut
+from .batch_stages import link_dc_signatures, receiver_dc_observations
+from .duts import ReceiverDUT, build_receiver_dut
 from .golden import GoldenSignatures
 from .registry import register_tier
 
@@ -107,3 +108,54 @@ class DCTest:
             return dut.observe(op) != self.goldens.dc_receiver
 
         return False
+
+    # ------------------------------------------------------------------
+    def detect_batch(self, faults: Iterable[StructuralFault],
+                     backend=None) -> Dict[Tuple, bool]:
+        """Batched :meth:`detect` over many faults at once.
+
+        Returns ``{fault.key(): detected}`` for every fault the batched
+        path fully resolved; faults whose injection or solve raised are
+        *omitted* so the serial detector reproduces the exact error
+        record (DESIGN.md §13 fallback contract).
+        """
+        out: Dict[Tuple, bool] = {}
+        link_faults = [f for f in faults if f.block in LINK_BLOCKS]
+        rx_faults = [f for f in faults if f.block in RECEIVER_BLOCKS]
+
+        if link_faults:
+            link = build_full_link()
+            duts, keep = [], []
+            for f in link_faults:
+                try:
+                    faulted = inject_fault(
+                        link.circuit, f,
+                        retention=self.goldens.retention_link)
+                except Exception:
+                    continue        # serial detect reproduces the error
+                duts.append(dc_replace(link, circuit=faulted))
+                keep.append(f)
+            sigs = link_dc_signatures(duts, backend=backend)
+            for f, sig in zip(keep, sigs):
+                if not isinstance(sig, Exception):
+                    out[f.key()] = sig != self.goldens.dc_link
+
+        if rx_faults:
+            base = build_receiver_dut()
+            duts, keep = [], []
+            for f in rx_faults:
+                try:
+                    faulted = inject_fault(
+                        base.circuit, f,
+                        retention=self.goldens.retention_receiver)
+                except Exception:
+                    continue
+                duts.append(ReceiverDUT(circuit=faulted, cp=base.cp,
+                                        vdd=base.vdd))
+                keep.append(f)
+            obs = receiver_dc_observations(duts, backend=backend)
+            for f, ob in zip(keep, obs):
+                if not isinstance(ob, Exception):
+                    out[f.key()] = ob != self.goldens.dc_receiver
+
+        return out

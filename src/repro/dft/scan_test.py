@@ -22,14 +22,20 @@ switch-matrix continuity) lives in :mod:`repro.dft.digital_scan`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import ClassVar, Dict, Optional, Tuple
+from typing import ClassVar, Dict, Iterable, Optional, Tuple
 
 import numpy as np
 
 from ..analog import dc_operating_point, transient
 from ..faults.inject import inject_fault
 from ..faults.model import StructuralFault
-from .duts import build_receiver_dut, build_toggle_dut
+from .batch_stages import (
+    probe_captures,
+    receiver_scan_signatures,
+    toggle_excursions,
+)
+from .duts import ReceiverDUT, ToggleDUT, build_receiver_dut, \
+    build_toggle_dut
 from .golden import GoldenSignatures
 from .registry import register_tier
 
@@ -121,6 +127,82 @@ class ScanTest:
         if fault.block in ("cp", "window_comp"):
             return self._run_receiver(fault) != self._golden_receiver
         return False
+
+    # ------------------------------------------------------------------
+    def detect_batch(self, faults: Iterable[StructuralFault],
+                     backend=None) -> Dict[Tuple, bool]:
+        """Batched :meth:`detect`; see DCTest.detect_batch for the
+        resolve/omit contract.  Stage order matches the serial detector:
+        probe short-circuits the toggle test for transmitter faults."""
+        out: Dict[Tuple, bool] = {}
+        tx = [f for f in faults if f.block == "tx"]
+        term = [f for f in faults if f.block == "termination"]
+        rx = [f for f in faults if f.block in ("cp", "window_comp")]
+
+        toggle_pending = []
+        if tx:
+            from ..circuits.full_link import build_full_link
+
+            link = build_full_link()
+            circuits, keep = [], []
+            for f in tx:
+                try:
+                    circuits.append(inject_fault(
+                        link.circuit, f,
+                        retention=self.goldens.retention_link))
+                except Exception:
+                    continue
+                keep.append(f)
+            caps = probe_captures(circuits, link.vdd, self.PROBE_NODES,
+                                  backend=backend)
+            for f, cap in zip(keep, caps):
+                if isinstance(cap, Exception):
+                    continue
+                if cap != self._golden_probe:
+                    out[f.key()] = True
+                else:
+                    toggle_pending.append(f)
+
+        tog = toggle_pending + term
+        if tog:
+            base = build_toggle_dut()
+            duts, keep = [], []
+            for f in tog:
+                try:
+                    faulted = inject_fault(
+                        base.circuit, f,
+                        retention=self.goldens.retention_link)
+                except Exception:
+                    continue
+                duts.append(ToggleDUT(circuit=faulted,
+                                      vcm_node=base.vcm_node,
+                                      ref_node=base.ref_node))
+                keep.append(f)
+            excs = toggle_excursions(duts, backend=backend)
+            for f, exc in zip(keep, excs):
+                if not isinstance(exc, Exception):
+                    out[f.key()] = exc > TOGGLE_THRESHOLD
+
+        if rx:
+            base = build_receiver_dut()
+            duts, keep = [], []
+            for f in rx:
+                try:
+                    faulted = inject_fault(
+                        base.circuit, f,
+                        retention=self.goldens.retention_receiver)
+                except Exception:
+                    continue
+                duts.append(ReceiverDUT(circuit=faulted, cp=base.cp,
+                                        vdd=base.vdd))
+                keep.append(f)
+            sigs = receiver_scan_signatures(duts, SCAN_CONDITIONS,
+                                            backend=backend)
+            for f, sig in zip(keep, sigs):
+                if not isinstance(sig, Exception):
+                    out[f.key()] = sig != self._golden_receiver
+
+        return out
 
     # ------------------------------------------------------------------
     def _run_probe(self, fault: Optional[StructuralFault]) -> Dict:

@@ -185,6 +185,12 @@ class FaultCampaign:
     def __init__(self, strict_numerics: bool = False):
         self._tiers: List[Tuple[str, DetectorFunc, AppliesFunc]] = []
         self.strict_numerics = strict_numerics
+        # tier objects (protocol form only) — the batched prepass needs
+        # the object to reach its detect_batch method
+        self._tier_objects: Dict[str, object] = {}
+        # (tier name, fault.key()) -> detected, filled by the batched
+        # prepass and consulted by evaluate() before running a detector
+        self._precomputed: Dict[Tuple[str, Tuple], bool] = {}
 
     @property
     def tier_names(self) -> Tuple[str, ...]:
@@ -213,6 +219,8 @@ class FaultCampaign:
             applies = applies if applies is not None else tier.applies_to
         if name in self.tier_names:
             raise ValueError(f"duplicate tier name {name!r}")
+        if not isinstance(tier, str):
+            self._tier_objects[name] = tier
         self._tiers.append((name, detector, applies or (lambda f: True)))
 
     def evaluate(self, fault: StructuralFault) -> DetectionRecord:
@@ -231,6 +239,11 @@ class FaultCampaign:
             for name, detector, applies in self._tiers:
                 if not applies(fault):
                     continue
+                pre = self._precomputed.get((name, fault.key()))
+                if pre is not None:
+                    if pre:
+                        rec.tiers[name] = True
+                    continue
                 try:
                     if detector(fault):
                         rec.tiers[name] = True
@@ -247,8 +260,22 @@ class FaultCampaign:
             checkpoint: Optional[str] = None,
             timeout: Optional[float] = None,
             max_retries: int = 1,
-            trace: Optional[Union[str, RunTrace]] = None) -> CampaignResult:
+            trace: Optional[Union[str, RunTrace]] = None,
+            backend: Optional[object] = None) -> CampaignResult:
         """Evaluate every fault against every applicable tier.
+
+        ``backend`` selects the linear-solve path (a
+        :class:`repro.analog.backend.LinearBackend`, a registry name, or
+        ``None`` for the historical serial path).  With the ``batched``
+        backend a *prepass* runs every tier's ``detect_batch`` over the
+        pending faults in the parent process — same-pattern faulted
+        systems stack into broadcast LAPACK solves — and the per-fault
+        evaluation then consults those precomputed verdicts.  Faults the
+        prepass could not fully resolve (any exception along their
+        batched path) are simply absent from the precomputed map and
+        evaluate serially, reproducing the exact serial record; records
+        are byte-identical between backends either way (the parity gate
+        in CI enforces it).
 
         Execution is handed to :func:`repro.core.supervisor.run_supervised`:
         with ``workers`` > 1 (or a ``timeout`` set) and fork available,
@@ -287,6 +314,7 @@ class FaultCampaign:
             pending = [f for f in universe if f.key() not in done]
             base = n - len(pending)
             COUNTERS.campaign_faults += len(pending)
+            self._precompute(pending, backend)
             completed = [base]
 
             def on_record(index: int, fault: StructuralFault,
@@ -311,6 +339,39 @@ class FaultCampaign:
                 trace=trace if isinstance(trace, RunTrace) else None)
         return CampaignResult(records=[done[f.key()] for f in universe],
                               tier_order=self.tier_names)
+
+    def _precompute(self, pending: Sequence[StructuralFault],
+                    backend: Optional[object]) -> None:
+        """Batched prepass: fill ``_precomputed`` from detect_batch.
+
+        Runs before workers fork, so the verdict map is inherited by
+        every worker.  A ``None`` or serial backend is a no-op (the
+        historical bit-exact path); a tier whose batch pass raises is
+        skipped wholesale — its faults all evaluate serially.
+        """
+        self._precomputed.clear()
+        if backend is None:
+            return
+        from ..analog.backend import resolve_backend
+
+        be = resolve_backend(backend)
+        if be.name == "serial":
+            return
+        with numerics_policy(strict=self.strict_numerics):
+            for name, _, applies in self._tiers:
+                batch = getattr(self._tier_objects.get(name),
+                                "detect_batch", None)
+                if batch is None:
+                    continue
+                faults = [f for f in pending if applies(f)]
+                if not faults:
+                    continue
+                try:
+                    resolved = batch(faults, backend=be)
+                except Exception:  # noqa: BLE001 - serial path covers it
+                    continue
+                for key, hit in resolved.items():
+                    self._precomputed[(name, key)] = bool(hit)
 
     def _fallback_record(self, fault: StructuralFault, outcome: str,
                          detail: str) -> DetectionRecord:

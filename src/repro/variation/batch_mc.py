@@ -1,0 +1,157 @@
+"""Batched Monte-Carlo prepass: die screens and detects in lockstep.
+
+A die sweep runs the same three screens on every sampled die — the
+identical stage schedule over circuits that differ only in device
+parameters, which is the ideal shape for the lockstep batched solver
+(:mod:`repro.analog.batch`).  This module realises one clone of each
+bench *per die* (tuned through the active :class:`DieContext`, so the
+clone carries exactly the mismatch the serial path would see) and runs
+each screen stage across the whole die population in single broadcast
+LAPACK calls.
+
+Detections go through the tiers' own ``detect_batch`` one die at a
+time under ``ctx.set_die`` — each die injects a different fault into a
+differently-tuned bench, so cross-die stacking does not apply, but the
+per-die batch still routes every Newton iteration through the broadcast
+solver instead of a scipy factorization per iteration.
+
+The resolve/omit contract is the fault campaign's (DESIGN.md §13):
+an entry is written only for a die whose batched stages all fully
+resolved; any exception (or a ``lockstep_failed`` operating point)
+leaves the die to the serial evaluator, which reproduces the exact
+serial record including its error/unsolvable accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace as dc_replace
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = ["precompute_die_maps"]
+
+
+def precompute_die_maps(ctx, tiers, dies: Sequence[int], faults: Dict,
+                        backend, screen_map: Dict[Tuple[str, int], bool],
+                        detect_map: Dict[Tuple[str, int], bool]) -> None:
+    """Fill ``screen_map[(tier, die)]`` / ``detect_map[(tier, die)]``.
+
+    Must run with *ctx* activated and the campaign's numerics policy
+    installed.  Partial failure is fine: every written entry is fully
+    resolved on its own, and unresolved (tier, die) pairs simply stay
+    absent.
+    """
+    for tier in tiers:
+        screener = _SCREENS.get(tier.name)
+        if screener is None:
+            continue
+        try:
+            screener(tier, ctx, dies, backend, screen_map)
+        except Exception:
+            continue        # serial screens reproduce the outcome
+
+    for die in dies:
+        fault = faults[die]
+        ctx.set_die(die)
+        for tier in tiers:
+            if not tier.applies_to(fault):
+                continue
+            batch = getattr(tier, "detect_batch", None)
+            if batch is None:
+                continue
+            try:
+                resolved = batch([fault], backend=backend)
+            except Exception:
+                continue
+            if fault.key() in resolved:
+                detect_map[(tier.name, die)] = bool(resolved[fault.key()])
+
+
+def _die_clones(ctx, dies: Sequence[int], builder) -> List[object]:
+    """One die-tuned clone of *builder*'s bench circuit per die."""
+    clones = []
+    for die in dies:
+        ctx.set_die(die)
+        ports = builder()
+        clones.append((ports, ports.circuit.clone()))
+    return clones
+
+
+def _dc_screens(tier, ctx, dies, backend, out) -> None:
+    from ..dft.batch_stages import (link_dc_signatures,
+                                    receiver_dc_observations)
+    from ..dft.duts import ReceiverDUT, build_receiver_dut
+    from ..circuits.full_link import build_full_link
+
+    links = [dc_replace(ports, circuit=c)
+             for ports, c in _die_clones(ctx, dies, build_full_link)]
+    rx = [ReceiverDUT(circuit=c, cp=ports.cp, vdd=ports.vdd)
+          for ports, c in _die_clones(ctx, dies, build_receiver_dut)]
+    sigs = link_dc_signatures(links, backend=backend)
+    obs = receiver_dc_observations(rx, backend=backend)
+    for die, sig, ob in zip(dies, sigs, obs):
+        if isinstance(sig, Exception):
+            continue
+        if sig != tier.goldens.dc_link:
+            out[("dc", die)] = False    # serial returns before receiver
+        elif not isinstance(ob, Exception):
+            out[("dc", die)] = ob == tier.goldens.dc_receiver
+
+
+def _scan_screens(tier, ctx, dies, backend, out) -> None:
+    from ..dft.batch_stages import (probe_captures,
+                                    receiver_scan_signatures,
+                                    toggle_excursions)
+    from ..dft.duts import (ReceiverDUT, ToggleDUT, build_receiver_dut,
+                            build_toggle_dut)
+    from ..dft.scan_test import SCAN_CONDITIONS, TOGGLE_THRESHOLD
+    from ..circuits.full_link import build_full_link
+
+    links = _die_clones(ctx, dies, build_full_link)
+    vdd = links[0][0].vdd if links else 1.2
+    caps = probe_captures([c for _, c in links], vdd, tier.PROBE_NODES,
+                          backend=backend)
+    rx = [ReceiverDUT(circuit=c, cp=ports.cp, vdd=ports.vdd)
+          for ports, c in _die_clones(ctx, dies, build_receiver_dut)]
+    sigs = receiver_scan_signatures(rx, SCAN_CONDITIONS, backend=backend)
+    togs = [ToggleDUT(circuit=c, vcm_node=dut.vcm_node,
+                      ref_node=dut.ref_node)
+            for dut, c in _die_clones(ctx, dies, build_toggle_dut)]
+    excs = toggle_excursions(togs, backend=backend)
+    for die, cap, sig, exc in zip(dies, caps, sigs, excs):
+        # stage-by-stage, mirroring the serial screen's early returns
+        if isinstance(cap, Exception):
+            continue
+        if cap != tier._golden_probe:
+            out[("scan", die)] = False
+            continue
+        if isinstance(sig, Exception):
+            continue
+        if sig != tier._golden_receiver:
+            out[("scan", die)] = False
+            continue
+        if not isinstance(exc, Exception):
+            out[("scan", die)] = exc <= TOGGLE_THRESHOLD
+
+
+def _bist_screens(tier, ctx, dies, backend, out) -> None:
+    from ..dft.batch_stages import vcdl_aliveness
+    from ..dft.duts import (ReceiverDUT, VCDLDUT, build_receiver_dut,
+                            build_vcdl_dut)
+
+    rx = [ReceiverDUT(circuit=c, cp=ports.cp, vdd=ports.vdd)
+          for ports, c in _die_clones(ctx, dies, build_receiver_dut)]
+    sigs = tier._batched_receiver_checks(rx, backend=backend)
+    vc = [VCDLDUT(circuit=c, ports=dut.ports)
+          for dut, c in _die_clones(ctx, dies, build_vcdl_dut)]
+    alive = vcdl_aliveness(vc, backend=backend)
+    for die, sig, al in zip(dies, sigs, alive):
+        if isinstance(sig, Exception):
+            continue
+        if sig != tier._golden:
+            out[("bist", die)] = False
+            continue
+        if not isinstance(al, Exception):
+            out[("bist", die)] = bool(al)
+
+
+_SCREENS = {"dc": _dc_screens, "scan": _scan_screens, "bist": _bist_screens}

@@ -331,6 +331,10 @@ class MonteCarloCampaign:
                              "fault universe")
         self._ctx = DieContext(seed=self.seed, model=self.model,
                                corner=self.corner)
+        # (tier name, die index) -> verdict, filled by the batched
+        # prepass and consulted by evaluate_die before running a stage
+        self._pre_screen: Dict[Tuple[str, int], bool] = {}
+        self._pre_detect: Dict[Tuple[str, int], bool] = {}
 
     # ------------------------------------------------------------------
     def evaluate_die(self, die_index: int) -> DieRecord:
@@ -359,6 +363,10 @@ class MonteCarloCampaign:
                 if screen is None:
                     healthy[tier.name] = True
                     continue
+                pre = self._pre_screen.get((tier.name, die_index))
+                if pre is not None:
+                    healthy[tier.name] = pre
+                    continue
                 try:
                     healthy[tier.name] = bool(screen())
                 except SolverError as exc:
@@ -371,13 +379,17 @@ class MonteCarloCampaign:
             for tier in self._tiers:
                 hit = False
                 if tier.applies_to(fault):
-                    try:
-                        hit = bool(tier.detect(fault))
-                    except SolverError as exc:
-                        errors.append((tier.name, repr(exc)))
-                        outcome = OUTCOME_UNSOLVABLE
-                    except Exception as exc:  # noqa: BLE001
-                        errors.append((tier.name, repr(exc)))
+                    pre = self._pre_detect.get((tier.name, die_index))
+                    if pre is not None:
+                        hit = pre
+                    else:
+                        try:
+                            hit = bool(tier.detect(fault))
+                        except SolverError as exc:
+                            errors.append((tier.name, repr(exc)))
+                            outcome = OUTCOME_UNSOLVABLE
+                        except Exception as exc:  # noqa: BLE001
+                            errors.append((tier.name, repr(exc)))
                 detected[tier.name] = hit
         return DieRecord(die=die_index, fault=fault, healthy=healthy,
                          detected=detected, errors=errors, outcome=outcome)
@@ -388,8 +400,22 @@ class MonteCarloCampaign:
             checkpoint: Optional[str] = None,
             timeout: Optional[float] = None,
             max_retries: int = 1,
-            trace: Optional[Union[str, RunTrace]] = None) -> MCResult:
+            trace: Optional[Union[str, RunTrace]] = None,
+            backend: Optional[object] = None) -> MCResult:
         """Evaluate dies ``0..dies-1`` and assemble the result.
+
+        ``backend`` selects the linear-solve path (a
+        :class:`repro.analog.backend.LinearBackend`, a registry name,
+        or ``None`` for the historical serial path).  With the
+        ``batched`` backend a *prepass* runs the healthy-die screens of
+        all pending dies in cross-die lockstep (every die solves the
+        same bench schedule, so the stacked systems share one pattern)
+        and each die's fault detection through the tiers'
+        ``detect_batch``; the per-die evaluation then consults those
+        precomputed verdicts.  Any (tier, die) stage the prepass could
+        not fully resolve is simply absent from the maps and evaluates
+        serially — records are byte-identical between backends either
+        way.
 
         Mirrors :meth:`repro.faults.campaign.FaultCampaign.run`:
         execution goes through the supervised runner
@@ -418,6 +444,7 @@ class MonteCarloCampaign:
                 writer = stack.enter_context(
                     _CheckpointWriter(checkpoint, config))
             pending = [i for i in indices if i not in done]
+            self._precompute(pending, backend)
             base = n - len(pending)
             completed = [base]
 
@@ -445,6 +472,34 @@ class MonteCarloCampaign:
                         tier_order=self.tier_names, seed=self.seed,
                         corner=self.corner.name, model=self.model,
                         strict_numerics=self.strict_numerics)
+
+    def _precompute(self, pending: Sequence[int],
+                    backend: Optional[object]) -> None:
+        """Batched prepass: fill the per-die screen/detect verdict maps.
+
+        Runs before workers fork, so the maps (plain picklable dicts)
+        are inherited by every worker.  A ``None`` or serial backend is
+        a no-op; a stage that raises resolves nothing — its dies all
+        evaluate serially, reproducing the exact serial records
+        including their error accounting.
+        """
+        self._pre_screen.clear()
+        self._pre_detect.clear()
+        if backend is None or not pending:
+            return
+        from ..analog.backend import resolve_backend
+
+        be = resolve_backend(backend)
+        if be.name == "serial":
+            return
+        from .batch_mc import precompute_die_maps
+
+        faults = {die: pick_die_fault(self.universe, self.seed, die)
+                  for die in pending}
+        with activated(self._ctx), \
+                numerics_policy(strict=self.strict_numerics):
+            precompute_die_maps(self._ctx, self._tiers, pending, faults,
+                                be, self._pre_screen, self._pre_detect)
 
     def _fallback_record(self, die: int, outcome: str,
                          detail: str) -> DieRecord:

@@ -1,0 +1,68 @@
+"""CLI tests for ``repro bench --compare`` and the ``--backend`` flag."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def _write_bench(path, counters, wall):
+    with open(path, "w") as fh:
+        json.dump({"counters": counters, "bench_wall_s": wall}, fh)
+
+
+class TestBenchCompare:
+    def test_diffs_newest_two_by_pr_number(self, tmp_path, capsys):
+        _write_bench(tmp_path / "BENCH_PR2.json",
+                     {"lu_factor": 1000}, {"a": 2.0})
+        _write_bench(tmp_path / "BENCH_PR4.json",
+                     {"lu_factor": 100}, {"a": 1.0})
+        _write_bench(tmp_path / "BENCH_PR10.json",
+                     {"lu_factor": 10}, {"a": 0.5})
+        assert main(["bench", "--compare", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        # PR4 -> PR10 (numeric ordering, not lexicographic)
+        assert "BENCH_PR4.json -> BENCH_PR10.json" in out
+        assert "10.00x" in out
+
+    def test_tolerates_missing_counter_keys(self, tmp_path, capsys):
+        """Older artifacts predate newer counters (and vice versa):
+        one-sided keys print as '-' instead of crashing or reading as
+        a zero-vs-N regression."""
+        _write_bench(tmp_path / "BENCH_PR1.json",
+                     {"lu_factor": 500}, {"a": 1.0})
+        _write_bench(tmp_path / "BENCH_PR2.json",
+                     {"lu_factor": 50, "batched_solves": 7}, {"a": 1.0})
+        assert main(["bench", "--compare", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "batched_solves" in out
+        line = next(l for l in out.splitlines() if "batched_solves" in l)
+        assert "-" in line and "7" in line
+
+    def test_needs_two_artifacts(self, tmp_path, capsys):
+        _write_bench(tmp_path / "BENCH_PR1.json", {}, {})
+        assert main(["bench", "--compare", str(tmp_path)]) == 1
+
+    def test_legacy_scalar_wall(self, tmp_path, capsys):
+        """`repro bench --json` artifacts carry a scalar wall_s."""
+        for n, wall in ((1, 4.0), (2, 2.0)):
+            with open(tmp_path / f"BENCH_PR{n}.json", "w") as fh:
+                json.dump({"wall_s": wall, "counters": {"x": 1}}, fh)
+        assert main(["bench", "--compare", str(tmp_path)]) == 0
+        assert "2.00x" in capsys.readouterr().out
+
+
+class TestBackendFlag:
+    @pytest.mark.parametrize("command", ["coverage", "campaign", "mc",
+                                         "bench"])
+    def test_accepted(self, command):
+        args = build_parser().parse_args([command, "--backend", "batched"])
+        assert args.backend == "batched"
+
+    def test_rejects_unknown(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["campaign", "--backend", "gpu"])
+
+    def test_default_is_none(self):
+        assert build_parser().parse_args(["campaign"]).backend is None

@@ -1,0 +1,70 @@
+"""Record-level parity between the serial and batched campaign paths.
+
+The batched backend's contract is absolute: every record a campaign
+emits — tier verdicts, error lists, outcomes, ordering — must be
+byte-identical to the serial run's, whatever mix of prepass verdicts
+and serial fallbacks produced it.  These tests enforce the contract on
+a stratified sample at both ends of the dispatch spectrum (in-process
+``workers=1`` and forked ``workers=4``, which inherit the prepass maps
+across the fork), and per tier at the ``detect_batch`` seam.
+"""
+
+import pytest
+
+from repro.dft.coverage import build_fault_universe
+from repro.dft.golden import GoldenSignatures
+from repro.dft.registry import create_tiers
+from repro.faults.campaign import FaultCampaign
+from repro.faults.sampling import stratified_sample
+
+
+@pytest.fixture(scope="module")
+def universe():
+    return stratified_sample(build_fault_universe(), 10, seed=5)
+
+
+def _run(universe, backend, workers=None):
+    campaign = FaultCampaign()
+    for tier in create_tiers(("dc", "scan", "bist"), GoldenSignatures()):
+        campaign.add_tier(tier)
+    return campaign.run(universe, workers=workers, backend=backend)
+
+
+class TestCampaignParity:
+    def test_byte_identical_serial_workers(self, universe):
+        serial = _run(universe, backend=None)
+        batched = _run(universe, backend="batched")
+        assert batched.to_json() == serial.to_json()
+
+    def test_byte_identical_forked_workers(self, universe):
+        serial = _run(universe, backend=None, workers=4)
+        batched = _run(universe, backend="batched", workers=4)
+        assert batched.to_json() == serial.to_json()
+
+    def test_explicit_serial_backend_is_noop(self, universe):
+        """--backend serial must take the historical path exactly."""
+        a = _run(universe, backend=None)
+        b = _run(universe, backend="serial")
+        assert a.to_json() == b.to_json()
+
+
+class TestTierDetectBatchParity:
+    """Each tier's batched detector agrees with its serial one on every
+    fault it chooses to resolve (unresolved faults are allowed — they
+    fall back — but a *wrong* resolved verdict never is)."""
+
+    @pytest.fixture(scope="class")
+    def tiers(self):
+        return create_tiers(("dc", "scan", "bist"), GoldenSignatures())
+
+    @pytest.mark.parametrize("tier_name", ["dc", "scan", "bist"])
+    def test_resolved_verdicts_match_serial(self, tiers, universe,
+                                            tier_name):
+        tier = next(t for t in tiers if t.name == tier_name)
+        faults = [f for f in universe if tier.applies_to(f)]
+        resolved = tier.detect_batch(faults, backend="batched")
+        assert resolved, f"{tier_name}: batched path resolved nothing"
+        for f in faults:
+            if f.key() in resolved:
+                assert resolved[f.key()] == tier.detect(f), \
+                    f"{tier_name} diverged on {f.key()}"

@@ -1,0 +1,49 @@
+"""Backend parity for the Monte-Carlo die sweep.
+
+The MC prepass batches the healthy-die screens cross-die (every die
+runs the same bench schedule over differently-tuned clones) and each
+die's detection through the tiers' ``detect_batch``.  The contract is
+the fault campaign's: whatever mix of prepass verdicts and serial
+fallbacks evaluates a die, the resulting :class:`MCResult` must be
+byte-identical to the serial run — screens, detections, errors,
+outcomes, and the artifact bytes.
+"""
+
+import pytest
+
+from repro.variation.campaign import MonteCarloCampaign
+
+DIES = 4
+
+
+@pytest.fixture(scope="module")
+def serial_result():
+    return MonteCarloCampaign(seed=2016).run(DIES)
+
+
+class TestMCBackendParity:
+    def test_byte_identical_in_process(self, serial_result):
+        batched = MonteCarloCampaign(seed=2016).run(DIES,
+                                                    backend="batched")
+        assert batched.to_json() == serial_result.to_json()
+
+    def test_byte_identical_forked_workers(self, serial_result):
+        """Prepass maps are plain dicts filled before the fork, so
+        supervised workers inherit and honour them."""
+        batched = MonteCarloCampaign(seed=2016).run(
+            DIES, workers=2, backend="batched")
+        assert batched.to_json() == serial_result.to_json()
+
+    def test_serial_backend_is_noop(self, serial_result):
+        explicit = MonteCarloCampaign(seed=2016).run(DIES,
+                                                     backend="serial")
+        assert explicit.to_json() == serial_result.to_json()
+
+    def test_prepass_fills_maps(self):
+        campaign = MonteCarloCampaign(seed=2016)
+        campaign._precompute(list(range(DIES)), "batched")
+        assert campaign._pre_screen, "no screens resolved by prepass"
+        assert campaign._pre_detect, "no detects resolved by prepass"
+        for verdict in list(campaign._pre_screen.values()) + \
+                list(campaign._pre_detect.values()):
+            assert isinstance(verdict, bool)
