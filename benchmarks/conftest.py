@@ -19,9 +19,12 @@ Environment knobs:
   BENCH artifact);
 * ``REPRO_BACKEND=serial|batched`` — linear-solve path for the campaign
   and Monte-Carlo benches (default ``batched``; records are
-  byte-identical either way, only the counters and walls move).
+  byte-identical either way, only the counters and walls move);
+* ``REPRO_COLLAPSE=off|on|audit`` — fault-universe compression for the
+  campaign bench (default ``on``: one simulated representative per
+  structural equivalence class; verdicts match the uncollapsed run).
 
-Every session writes ``BENCH_PR6.json`` next to this file: per-bench
+Every session writes ``BENCH_PR7.json`` next to this file: per-bench
 wall time, per-bench ``lu_factor`` deltas, and the engine's profiling
 counters (including the batched-solver counters — ``batched_solves``,
 ``batch_fill``, ``woodbury_hits``, ``batch_fallbacks``), so performance
@@ -44,7 +47,7 @@ import time
 import pytest
 
 _HERE = os.path.dirname(__file__)
-_OUTPUT_NAME = "BENCH_PR6.json"
+_OUTPUT_NAME = "BENCH_PR7.json"
 
 _campaign_cache = {}
 _mc_cache = {}
@@ -64,6 +67,12 @@ def _bench_backend():
     return os.environ.get("REPRO_BACKEND", "batched")
 
 
+def _bench_collapse():
+    """Collapse policy for the campaign bench (default on: the bench
+    measures the engine as shipped; parity with off is CI-guarded)."""
+    return os.environ.get("REPRO_COLLAPSE", "on")
+
+
 def get_campaign_report():
     """Run (or fetch) the full three-tier fault campaign."""
     if "report" not in _campaign_cache:
@@ -76,7 +85,8 @@ def get_campaign_report():
             universe = random.Random(2016).sample(universe, n)
         workers = int(os.environ.get("REPRO_CAMPAIGN_WORKERS", "0")) or None
         _campaign_cache["report"] = run_paper_campaign(
-            universe, workers=workers, backend=_bench_backend())
+            universe, workers=workers, backend=_bench_backend(),
+            collapse=_bench_collapse())
     return _campaign_cache["report"]
 
 
@@ -140,6 +150,8 @@ def pytest_sessionfinish(session, exitstatus):
         return
     from repro.core.profiling import COUNTERS
 
+    rep = COUNTERS.collapse_rep_evals
+    hits = COUNTERS.class_hits
     payload = {
         "baseline": _baseline_name(),
         "backend": _bench_backend(),
@@ -149,6 +161,15 @@ def pytest_sessionfinish(session, exitstatus):
         "bench_wall_s": _bench_times,
         "bench_lu_factor": _bench_lu,
         "backend_economics": _economics,
+        "collapse": {
+            "mode": _bench_collapse(),
+            "classes": COUNTERS.classes,
+            "rep_evals": rep,
+            "class_hits": hits,
+            # simulated-stages compression: verdicts delivered per
+            # representative evaluation actually run
+            "ratio": round((rep + hits) / rep, 4) if rep else None,
+        },
         "counters": COUNTERS.snapshot(),
     }
     path = os.path.join(_HERE, _OUTPUT_NAME)

@@ -10,11 +10,15 @@ models; see EXPERIMENTS.md):
 * every short class covers more than the hardest open class;
 * gate opens are the weakest class (the paper: 87.8%, the lowest row);
 * the short rows reach >= ~90%, capacitor shorts 100%;
-* total coverage lands in the high-80s-to-mid-90s band.
+* total coverage lands in the high-80s-to-mid-90s band;
+* on a full-universe run with collapsing on, the equivalence-class
+  compression delivers >= 1.5x as many stage verdicts as it simulates.
 """
 
+import os
 
 from benchmarks.conftest import get_campaign_report
+from repro.core.profiling import COUNTERS
 
 
 def test_bench_table1_coverage(benchmark):
@@ -42,6 +46,16 @@ def test_bench_table1_coverage(benchmark):
     assert by_label["Source open"][3] >= 0.8
     # total lands in the paper's band
     assert total_cov >= 0.8
+
+    # the compression claim only holds on the full universe (a sampled
+    # smoke run mostly draws singleton classes) with collapsing on
+    full_run = not os.environ.get("REPRO_CAMPAIGN_SAMPLE")
+    collapsing = os.environ.get("REPRO_COLLAPSE", "on") != "off"
+    if full_run and collapsing and COUNTERS.collapse_rep_evals:
+        delivered = COUNTERS.collapse_rep_evals + COUNTERS.class_hits
+        ratio = delivered / COUNTERS.collapse_rep_evals
+        assert ratio >= 1.5, (
+            f"fault-universe compression regressed: {ratio:.3f}x")
 
     print("\n[Table I] coverage by defect class")
     print(report.format_table1())

@@ -25,13 +25,21 @@ SRC_ROOT = Path(__file__).resolve().parent.parent / "src" / "repro"
 
 #: (path relative to src/repro, receiver name, attribute) triples that
 #: are deliberate: the analog assembly drives the compiled-circuit cache
-#: and companion-model history buffers it owns by design.
+#: and companion-model history buffers it owns by design; the batched
+#: solver reads the plan it compiled; the MC cross-die batcher shares
+#: the tiers' golden baselines and stage helpers by documented contract
+#: (DESIGN.md section 13).
 ALLOWLIST = {
     ("analog/assembly.py", "c", "_i_hist"),
     ("analog/assembly.py", "c", "_geq_used"),
     ("analog/assembly.py", "c", "_ieq_used"),
     ("analog/assembly.py", "circuit", "_compiled_cache"),
     ("analog/assembly.py", "circuit", "_param_revision"),
+    ("analog/batch.py", "plan", "_vsources"),
+    ("variation/batch_mc.py", "tier", "_golden"),
+    ("variation/batch_mc.py", "tier", "_golden_probe"),
+    ("variation/batch_mc.py", "tier", "_golden_receiver"),
+    ("variation/batch_mc.py", "tier", "_batched_receiver_checks"),
 }
 
 #: receivers that denote "my own state", never a reach-in

@@ -65,6 +65,14 @@ _FIELDS = (
     "woodbury_hits",         # solves served by low-rank golden-LU updates
     "batch_fallbacks",       # stacked items peeled back to the serial
                              # resilience ladder / serial analyses
+    # fault-universe compression (repro.faults.collapse)
+    "classes",               # structural equivalence classes in a campaign
+    "class_hits",            # member stage runs served by a class
+                             # representative's memoized result
+    "collapse_rep_evals",    # representative stage runs actually executed
+    "delta_reassemblies",    # Woodbury difference scans narrowed by a
+                             # recorded PlanDelta rows hint
+    "audit_checks",          # equivalence-audit member re-simulations
 )
 
 

@@ -33,6 +33,7 @@ from .corners import (
     sweep_corners,
 )
 from .dc import OperatingPoint, dc_operating_point, dc_sweep
+from .incremental import PlanDelta, delta_for_circuit, rows_hint
 from .measure import (
     EdgeSummary,
     MeasureError,
@@ -108,6 +109,7 @@ __all__ = [
     "SpiceFormatError", "load_spice", "read_spice", "save_spice",
     "write_spice",
     "OperatingPoint", "dc_operating_point", "dc_sweep",
+    "PlanDelta", "delta_for_circuit", "rows_hint",
     "Capacitor", "CurrentSource", "Diode", "Element", "Resistor",
     "StampContext", "Switch", "VoltageControlledVoltageSource",
     "VoltageSource",

@@ -52,6 +52,7 @@ from .dc import (GMIN_STEPS, MAX_NEWTON_ITER, MAX_STEP, PTC_ALPHAS,
                  OperatingPoint, _restore_sources, _scale_sources,
                  dc_operating_point)
 from .devices import Capacitor
+from .incremental import delta_for_circuit, rows_hint
 from .netlist import is_ground
 from .resilience import SolveDiagnostics, get_policy
 from .solver import DEFAULT_GMIN, SolverError, build_index, node_voltages
@@ -118,7 +119,9 @@ def _stack_residuals(As: np.ndarray, Bs: np.ndarray,
 
 
 def _woodbury_solve(gold_lu, A_gold: np.ndarray, A: np.ndarray,
-                    b: np.ndarray) -> Tuple[Optional[np.ndarray], int]:
+                    b: np.ndarray,
+                    rows_hint: Optional[np.ndarray] = None
+                    ) -> Tuple[Optional[np.ndarray], int]:
     """Solve ``A @ x = b`` through the golden factorization of *A_gold*.
 
     Returns ``(x, rows_changed)``; ``x`` is ``None`` when the update is
@@ -126,16 +129,31 @@ def _woodbury_solve(gold_lu, A_gold: np.ndarray, A: np.ndarray,
     matrix).  ``rows_changed == 0`` means the matrices are bitwise equal
     and the factorization was replayed directly.  The caller must still
     verify the true residual before accepting ``x``.
+
+    ``rows_hint`` (from :func:`repro.analog.incremental.rows_hint`)
+    bounds the changed-row detection to the rows the fault stamps could
+    have touched — ``O(r·n)`` instead of the ``O(n²)`` full-matrix
+    scan.  The hint is advisory: a hint that misses a changed row
+    yields a solution the caller's true-residual gate rejects, never a
+    wrong accepted solve.
     """
-    dA = A - A_gold
-    rows = np.flatnonzero(np.any(dA != 0.0, axis=1))
+    if rows_hint is not None:
+        COUNTERS.delta_reassemblies += 1
+        if rows_hint.size:
+            changed = np.any(A[rows_hint, :] != A_gold[rows_hint, :],
+                             axis=1)
+            rows = rows_hint[changed]
+        else:
+            rows = rows_hint
+    else:
+        rows = np.flatnonzero(np.any(A != A_gold, axis=1))
     r = int(rows.size)
     if r == 0:
         return lu_solve(gold_lu, b, check_finite=False), 0
     if r > WOODBURY_MAX_ROWS:
         return None, r
     n = A.shape[0]
-    Vt = dA[rows, :]                       # (r, n)
+    Vt = A[rows, :] - A_gold[rows, :]      # (r, n)
     U = np.zeros((n, r))
     U[rows, np.arange(r)] = 1.0
     Z = lu_solve(gold_lu, U, check_finite=False)      # A_gold^-1 U
@@ -248,9 +266,13 @@ def _lockstep_dc_group(circuits, plans, indices, members, n_total, gmin,
                     worst_res[g] = max(worst_res[g], res_g)
                 else:
                     to_stack.append(g)
+                gold_delta = delta_for_circuit(circuits[members[g]])
                 for pos in active[1:]:
+                    hint = rows_hint(
+                        delta_for_circuit(circuits[members[pos]]),
+                        gold_delta, indices[members[pos]])
                     x_w, rows = _woodbury_solve(gold_lu, A_gold, As[pos],
-                                                Bs[pos])
+                                                Bs[pos], rows_hint=hint)
                     if x_w is not None and np.isfinite(x_w).all():
                         res_w = _stack_residuals(
                             As[pos:pos + 1], Bs[pos:pos + 1],

@@ -1,0 +1,82 @@
+"""Incremental re-assembly: plan deltas between faulted and golden MNA.
+
+Fault injection (:func:`repro.faults.inject.inject_fault`) knows exactly
+which nodes its stamps touch — a bridge adds one resistor between two
+existing nodes, an open lifts a terminal onto a fresh node, a gate open
+additionally appends a retention source.  This module turns that
+knowledge into a :class:`PlanDelta` that downstream solvers consume
+instead of re-deriving the difference by scanning whole matrices:
+
+* the Woodbury path of :mod:`repro.analog.batch` restricts its
+  changed-row detection to the delta's touched rows (an ``O(r·n)``
+  check instead of the ``O(n²)`` full-matrix scan), counted as
+  ``delta_reassemblies``;
+* a delta that reports ``topology_changed`` (new nodes or aux rows)
+  never yields a row hint — the faulted system has a different shape or
+  layout and only the general path applies.
+
+A hint is *advisory*: every Woodbury solution is still verified against
+the item's own system by the true-residual gate, so a stale or
+incomplete delta can cost a rejected update but never a wrong record.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["PlanDelta", "delta_for_circuit", "rows_hint"]
+
+
+@dataclass(frozen=True)
+class PlanDelta:
+    """How a faulted circuit's compiled plan differs from its base.
+
+    ``touched_nodes`` are the circuit nodes the fault's stamps write
+    (ground included when a stamp lands there — consumers drop nodes
+    absent from their index).  ``aux_names`` are appended auxiliary
+    (voltage-source) rows, and ``topology_changed`` is True when the
+    fault added nodes or aux rows, i.e. the matrix shape or layout
+    differs from the unfaulted plan's.
+    """
+
+    touched_nodes: Tuple[str, ...]
+    aux_names: Tuple[str, ...] = ()
+    topology_changed: bool = False
+
+
+def delta_for_circuit(circuit) -> Optional[PlanDelta]:
+    """The :class:`PlanDelta` recorded on *circuit* by fault injection,
+    or ``None`` for circuits without one (healthy benches, hand-built
+    netlists)."""
+    edits: Optional[Mapping] = getattr(circuit, "fault_edits", None)
+    if edits is None:
+        return None
+    return PlanDelta(touched_nodes=tuple(edits.get("nodes", ())),
+                     aux_names=tuple(edits.get("aux", ())),
+                     topology_changed=bool(edits.get("topology_changed",
+                                                     False)))
+
+
+def rows_hint(delta_item: Optional[PlanDelta],
+              delta_golden: Optional[PlanDelta],
+              node_index: Dict[str, int]) -> Optional[np.ndarray]:
+    """Matrix rows where an item may differ from its group's golden.
+
+    Both systems are faulted clones of the same base, so their matrices
+    can differ exactly where either fault stamped: the union of both
+    deltas' touched nodes, mapped through the item's *node_index*
+    (nodes outside the index — ground aliases — stamp no matrix row).
+    Returns ``None`` when either delta is unknown or reports a topology
+    change; the caller then falls back to the full-matrix scan.
+    """
+    if delta_item is None or delta_golden is None:
+        return None
+    if delta_item.topology_changed or delta_golden.topology_changed:
+        return None
+    rows = {node_index[n]
+            for n in delta_item.touched_nodes + delta_golden.touched_nodes
+            if n in node_index}
+    return np.fromiter(sorted(rows), dtype=np.intp, count=len(rows))

@@ -6,6 +6,7 @@ Commands
 ``lock``       run the synchronizer from a startup phase (Fig 2 data)
 ``dc``         the two-pattern DC test on the transistor-level link
 ``bist``       the at-speed BIST verdict
+``faults``     the structural fault universe (counts, equivalence classes)
 ``coverage``   the fault campaign (full or sampled) -> Table I
 ``campaign``   a tier-configurable campaign with export/resume artifacts
 ``mc``         Monte-Carlo mismatch campaign -> statistical Table I
@@ -97,6 +98,27 @@ def cmd_bist(args) -> int:
     return 0 if res.passed else 1
 
 
+def cmd_faults(args) -> int:
+    from .dft.coverage import build_fault_universe
+    from .faults.enumerate import universe_summary
+
+    universe = build_fault_universe()
+    summary = universe_summary(universe)
+    print(f"fault universe: {summary['total']} structural faults")
+    print("by block:")
+    for block, n in sorted(summary["by_block"].items()):
+        print(f"  {block:<14} {n}")
+    print("by kind:")
+    for kind, n in sorted(summary["by_kind"].items()):
+        print(f"  {kind:<20} {n}")
+    if args.classes:
+        from .faults.collapse import universe_report
+
+        print()
+        print(universe_report(universe).format())
+    return 0
+
+
 def cmd_coverage(args) -> int:
     from .dft.coverage import build_fault_universe, run_paper_campaign
     from .faults.sampling import stratified_sample
@@ -113,10 +135,12 @@ def cmd_coverage(args) -> int:
     report = run_paper_campaign(universe,
                                 progress=progress if args.progress else None,
                                 workers=args.workers,
-                                backend=args.backend)
+                                backend=args.backend,
+                                collapse=args.collapse)
     print(report.format_headline())
     print()
     print(report.format_table1())
+    _print_collapse(args.collapse)
     return 0
 
 
@@ -142,7 +166,8 @@ def cmd_campaign(args) -> int:
         if i % 25 == 0 or i == n:
             print(f"  {i}/{n} faults simulated", file=sys.stderr)
 
-    campaign = FaultCampaign(strict_numerics=args.strict_numerics)
+    campaign = FaultCampaign(strict_numerics=args.strict_numerics,
+                             collapse=args.collapse)
     for tier in create_tiers(tier_names, GoldenSignatures()):
         campaign.add_tier(tier)
     result = campaign.run(universe,
@@ -166,6 +191,7 @@ def cmd_campaign(args) -> int:
           f"({n_detected}/{result.total})")
     _print_outcomes(result.outcome_counts())
     _print_numerics()
+    _print_collapse(args.collapse)
 
     if args.export:
         with open(args.export, "w") as fh:
@@ -194,7 +220,8 @@ def cmd_mc(args) -> int:
     campaign = MonteCarloCampaign(tiers=tier_names,
                                   corner=get_corner(args.corner),
                                   model=model, seed=args.seed,
-                                  strict_numerics=args.strict_numerics)
+                                  strict_numerics=args.strict_numerics,
+                                  collapse=args.collapse)
     result = campaign.run(args.dies,
                           progress=progress if args.progress else None,
                           workers=args.workers, checkpoint=args.resume,
@@ -203,6 +230,7 @@ def cmd_mc(args) -> int:
 
     print(format_mc_report(result))
     _print_numerics()
+    _print_collapse(args.collapse)
     if args.export:
         with open(args.export, "w") as fh:
             fh.write(result.to_json(indent=2))
@@ -254,6 +282,8 @@ def _bench_artifacts(dirpath: str) -> List[str]:
     import os
     import re
 
+    if not os.path.isdir(dirpath):
+        return []
     found = []
     for name in os.listdir(dirpath):
         m = re.fullmatch(r"BENCH_PR(\d+)\.json", name)
@@ -348,6 +378,28 @@ def _print_numerics() -> None:
         print(f"numerics rescues: {', '.join(engaged)}")
 
 
+def _print_collapse(collapse: str) -> None:
+    """One line of fault-collapse counters when collapsing is on.
+
+    Like :func:`_print_numerics`, counters are process-local; a
+    ``--workers N`` run collapses in the pre-fork prepass, so these
+    remain accurate there too.
+    """
+    from .core.profiling import COUNTERS
+
+    if collapse == "off":
+        return
+    rep = COUNTERS.collapse_rep_evals
+    hits = COUNTERS.class_hits
+    line = (f"collapse: {COUNTERS.classes} classes, "
+            f"{rep} representative eval(s), {hits} class hit(s)")
+    if rep:
+        line += f" ({(rep + hits) / rep:.2f}x fewer simulations)"
+    if COUNTERS.audit_checks:
+        line += f", {COUNTERS.audit_checks} audited"
+    print(line)
+
+
 def _add_backend(p: argparse.ArgumentParser) -> None:
     p.add_argument("--backend", default=None,
                    choices=("serial", "batched"),
@@ -355,6 +407,18 @@ def _add_backend(p: argparse.ArgumentParser) -> None:
                         "pattern systems into broadcast LAPACK calls "
                         "(records stay byte-identical to serial; "
                         "default: serial)")
+
+
+def _add_collapse(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--collapse", default="off",
+                   choices=("off", "on", "audit"),
+                   help="fault-universe compression: 'on' simulates one "
+                        "representative per structural equivalence "
+                        "class and copies its verdict to the members "
+                        "(provenance recorded per fault); 'audit' "
+                        "additionally re-simulates a seeded member "
+                        "sample serially and fails loudly on any "
+                        "verdict mismatch (default: off)")
 
 
 def _add_supervision(p: argparse.ArgumentParser, noun: str) -> None:
@@ -460,6 +524,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--phase", type=int, default=5)
     p.set_defaults(func=cmd_bist)
 
+    p = sub.add_parser("faults",
+                       help="structural fault universe summary")
+    p.add_argument("--classes", action="store_true",
+                   help="also collapse the universe into structural "
+                        "equivalence classes and print the per-class "
+                        "counts (builds the reference circuits; slower)")
+    p.set_defaults(func=cmd_faults)
+
     p = sub.add_parser("coverage", help="fault campaign (Table I)")
     p.add_argument("--sample", type=int, default=None,
                    help="stratified sample size (default: full universe)")
@@ -468,6 +540,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=int, default=None,
                    help="fault-simulation worker processes (default: serial)")
     _add_backend(p)
+    _add_collapse(p)
     p.set_defaults(func=cmd_coverage)
 
     p = sub.add_parser("campaign",
@@ -488,6 +561,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "resume from")
     _add_supervision(p, "fault")
     _add_backend(p)
+    _add_collapse(p)
     p.set_defaults(func=cmd_campaign)
 
     p = sub.add_parser("mc",
@@ -518,6 +592,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "resume from")
     _add_supervision(p, "die")
     _add_backend(p)
+    _add_collapse(p)
     p.set_defaults(func=cmd_mc)
 
     p = sub.add_parser("bench",

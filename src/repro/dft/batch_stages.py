@@ -63,6 +63,45 @@ def link_dc_signatures(duts, backend=None) -> List[Union[Dict, Exception]]:
     return results
 
 
+def link_static_signatures(duts, probe_nodes: Sequence[str], backend=None
+                           ) -> List[Union[Tuple[Dict, Dict], Exception]]:
+    """Combined DC-test + probe-FF capture from the same static solves.
+
+    The DC tier's two-pattern link observation and the scan tier's
+    probe capture drive *identical* source values on the same faulted
+    netlist, so one batched solve pair serves both tiers (the collapse
+    pipeline's shared ``link_static`` stage).  Each item yields
+    ``(dc_signature, probe_capture)``, where the first element matches
+    :func:`link_dc_signatures` and the second :func:`probe_captures`
+    observable-for-observable.
+    """
+    dc_sigs: List[Dict] = [dict() for _ in duts]
+    probes: List[Dict] = [dict() for _ in duts]
+    failed: List[Optional[Exception]] = [None] * len(duts)
+    for bit in (1, 0):
+        live = [j for j in range(len(duts)) if failed[j] is None]
+        if not live:
+            break
+        for j in live:
+            duts[j].apply_data(bit)
+        ops = batch_dc_operating_points([duts[j].circuit for j in live],
+                                        backend=backend)
+        for j, op in zip(live, ops):
+            if isinstance(op, Exception):
+                failed[j] = op
+                continue
+            obs = duts[j].observe(op) if op.converged else {}
+            obs["converged"] = op.converged
+            dc_sigs[j][bit] = obs
+            if not op.converged:
+                probes[j][bit] = ("no_convergence",)
+            else:
+                probes[j][bit] = _digitize(op, probe_nodes, duts[j].vdd)
+    return [failed[j] if failed[j] is not None
+            else (dc_sigs[j], probes[j])
+            for j in range(len(duts))]
+
+
 def probe_captures(circuits, vdd: float, nodes: Sequence[str],
                    backend=None) -> List[Union[Dict, Exception]]:
     """Batched probe-FF capture (ScanTest._run_probe) over *circuits*."""

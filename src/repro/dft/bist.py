@@ -173,6 +173,127 @@ class BISTTest:
 
         return out
 
+    # ------------------------------------------------------------------
+    def detect_collapsed(self, faults, collapser, backend=None,
+                         memo=None):
+        """One-representative-per-class :meth:`detect`; see
+        DCTest.detect_collapsed for the memo/provenance contract.
+
+        Receiver checks key on the perturbation digest alone (shared by
+        cp and window-comparator classes); the follow-on lock run keys
+        on the behavioural knob set for cp faults (the only input
+        :meth:`_lock_test` consumes) and on the digest for the
+        window-threshold bisection.
+        """
+        from .collapsed import (consume, expand, group_by_signature,
+                                stage_exec)
+
+        memo = {} if memo is None else memo
+        resolved: Dict = {}
+        provenance: Dict = {}
+        groups = group_by_signature(faults, collapser, self.name)
+        rx_groups = {s: m for s, m in groups.items() if s[0] == "R"}
+        vc_groups = {s: m for s, m in groups.items() if s[0] == "V"}
+
+        fresh = stage_exec(
+            memo,
+            {("bist_checks", s[1]): m[0] for s, m in rx_groups.items()},
+            lambda reps: self._run_checks_stage(reps, backend))
+        lock_need, lock_groups = {}, []
+        for sig, members in rx_groups.items():
+            key = ("bist_checks", sig[1])
+            entry = memo[key]
+            if isinstance(entry, Exception):
+                continue
+            consume(fresh, key, len(members))
+            if entry != self._golden:
+                expand(resolved, provenance, members, True)
+                continue
+            if members[0].block == "cp":
+                lkey = ("cp_lock", sig[2])
+            else:
+                lkey = ("win_lock", sig[1])
+            lock_need.setdefault(lkey, members[0])
+            lock_groups.append((lkey, members))
+
+        fresh = stage_exec(memo, lock_need,
+                           lambda reps: self._run_lock_stage(reps))
+        for lkey, members in lock_groups:
+            entry = memo[lkey]
+            if isinstance(entry, Exception):
+                continue
+            consume(fresh, lkey, len(members))
+            expand(resolved, provenance, members, entry)
+
+        from .collapsed import run_vcdl_alive
+
+        fresh = stage_exec(
+            memo,
+            {("vcdl_alive", s[1]): m[0] for s, m in vc_groups.items()},
+            lambda reps: run_vcdl_alive(self.goldens, reps, backend))
+        char_need, char_groups = {}, []
+        for sig, members in vc_groups.items():
+            key = ("vcdl_alive", sig[1])
+            entry = memo[key]
+            if isinstance(entry, Exception):
+                continue
+            consume(fresh, key, len(members))
+            if not entry:
+                expand(resolved, provenance, members, True)
+            else:
+                ckey = ("vcdl_char", sig[3])
+                char_need.setdefault(ckey, members[0])
+                char_groups.append((ckey, members))
+
+        fresh = stage_exec(memo, char_need,
+                           lambda reps: self._run_char_stage(reps, backend))
+        for ckey, members in char_groups:
+            entry = memo[ckey]
+            if isinstance(entry, Exception):
+                continue
+            consume(fresh, ckey, len(members))
+            expand(resolved, provenance, members,
+                   self._vcdl_lock_verdict(*entry))
+
+        return resolved, provenance
+
+    def _run_checks_stage(self, reps, backend):
+        """Receiver-checks stage over class representatives."""
+        from .collapsed import _injected
+
+        base = build_receiver_dut()
+        from .duts import ReceiverDUT
+
+        results, duts, idx = _injected(
+            reps, lambda inj: ReceiverDUT(circuit=inj(base.circuit),
+                                          cp=base.cp, vdd=base.vdd),
+            self.goldens.retention_receiver)
+        sigs = self._batched_receiver_checks(duts, backend=backend)
+        for i, sig in zip(idx, sigs):
+            results[i] = sig
+        return results
+
+    def _run_lock_stage(self, reps):
+        """Behavioural lock / window-threshold runs per representative."""
+        out = []
+        for f in reps:
+            try:
+                if f.block == "window_comp":
+                    out.append(self._window_lock_test(f))
+                else:
+                    out.append(self._lock_test(f))
+            except Exception as exc:
+                out.append(exc)
+        return out
+
+    def _run_char_stage(self, reps, backend):
+        """VCDL characterisation delays per representative."""
+        reps = list(reps)
+        delays = self._batched_vcdl_delays(reps, backend=backend)
+        return [delays[f] if f in delays
+                else RuntimeError("vcdl characterisation unresolved")
+                for f in reps]
+
     def _batched_receiver_checks(self, duts, backend=None):
         """Batched :meth:`_run_receiver_checks` over prepared DUTs.
 

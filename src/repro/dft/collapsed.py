@@ -1,0 +1,181 @@
+"""Shared plumbing for collapsed (one-representative-per-class) tiers.
+
+A tier's ``detect_collapsed`` groups its faults by the structural
+signatures of :class:`repro.faults.collapse.FaultCollapser`, executes
+each test *stage* once per distinct sub-stage digest, and expands the
+verdict to every group member.  Stage results live in a memo dictionary
+shared across tiers of one campaign, keyed by ``(stage name, digest)``
+— which is how the DC tier's link observation and the scan tier's probe
+capture end up paying for the same two solves only once (the combined
+``link_static`` stage).
+
+Accounting convention (the BENCH ratio depends on it):
+
+* ``collapse_rep_evals`` ticks when a group's sub-stage result was
+  freshly executed for this group's representative;
+* ``class_hits`` ticks for every member run the memo absorbed — the
+  whole group when the result was already memoized, the non-
+  representatives otherwise;
+* groups whose stage raised tick nothing: they stay unresolved, and the
+  serial detector reproduces each member's exact error record.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence, Set, Tuple
+
+from .._profiling import COUNTERS
+from ..faults.model import StructuralFault
+
+
+def group_by_signature(faults, collapser, tier: str
+                       ) -> Dict[Tuple, List[StructuralFault]]:
+    """Signature -> members (in order); unsignable faults are left out
+    (they take the uncollapsed batched / serial path unchanged)."""
+    groups: Dict[Tuple, List[StructuralFault]] = {}
+    for f in faults:
+        sig = collapser.tier_signature(f, tier)
+        if sig is not None:
+            groups.setdefault(sig, []).append(f)
+    return groups
+
+
+def stage_exec(memo: Dict, need: Dict[Tuple, StructuralFault],
+               runner: Callable[[List[StructuralFault]], list]) -> Set:
+    """Execute a stage for every representative whose key is not yet
+    memoized.  *runner* returns one result-or-Exception per rep, in
+    order; results land in *memo*.  Returns the freshly executed keys
+    (consumed by :func:`consume` for rep-eval accounting)."""
+    todo = [(key, rep) for key, rep in need.items() if key not in memo]
+    if not todo:
+        return set()
+    results = runner([rep for _, rep in todo])
+    fresh: Set = set()
+    for (key, _), res in zip(todo, results):
+        memo[key] = res
+        fresh.add(key)
+    return fresh
+
+
+def consume(fresh: Set, key: Tuple, n_members: int) -> None:
+    """Account one group's use of a memoized sub-stage result."""
+    if key in fresh:
+        fresh.discard(key)
+        COUNTERS.collapse_rep_evals += 1
+        COUNTERS.class_hits += n_members - 1
+    else:
+        COUNTERS.class_hits += n_members
+
+
+def expand(resolved: Dict, provenance: Dict,
+           members: Sequence[StructuralFault], verdict: bool) -> None:
+    """Record *verdict* for every member, crediting the representative."""
+    rep_key = members[0].key()
+    resolved[rep_key] = bool(verdict)
+    for f in members[1:]:
+        resolved[f.key()] = bool(verdict)
+        provenance[f.key()] = rep_key
+
+
+# ----------------------------------------------------------------------
+# stage runners shared between tiers (inject the representative, run the
+# batched stage helper, return aligned result-or-Exception slots)
+# ----------------------------------------------------------------------
+def _injected(reps, build_dut, retention):
+    """Inject each rep; returns (results, duts, positions)."""
+    from ..faults.inject import inject_fault
+
+    results: list = [None] * len(reps)
+    duts, idx = [], []
+    for i, f in enumerate(reps):
+        try:
+            dut = build_dut(lambda circ: inject_fault(
+                circ, f, retention=retention))
+        except Exception as exc:
+            results[i] = exc
+            continue
+        duts.append(dut)
+        idx.append(i)
+    return results, duts, idx
+
+
+def run_link_static(goldens, reps, backend) -> list:
+    """The combined DC-signature + probe-capture stage on the full link."""
+    from dataclasses import replace as dc_replace
+
+    from ..circuits.full_link import build_full_link
+    from .batch_stages import link_static_signatures
+    from .scan_test import ScanTest
+
+    link = build_full_link()
+    results, duts, idx = _injected(
+        reps, lambda inj: dc_replace(link, circuit=inj(link.circuit)),
+        goldens.retention_link)
+    outs = link_static_signatures(duts, ScanTest.PROBE_NODES,
+                                  backend=backend)
+    for i, out in zip(idx, outs):
+        results[i] = out
+    return results
+
+
+def run_receiver_dc(goldens, reps, backend) -> list:
+    """Quiescent receiver observation stage (the DC tier's rx stage)."""
+    from .batch_stages import receiver_dc_observations
+    from .duts import ReceiverDUT, build_receiver_dut
+
+    base = build_receiver_dut()
+    results, duts, idx = _injected(
+        reps, lambda inj: ReceiverDUT(circuit=inj(base.circuit),
+                                      cp=base.cp, vdd=base.vdd),
+        goldens.retention_receiver)
+    for i, ob in zip(idx, receiver_dc_observations(duts, backend=backend)):
+        results[i] = ob
+    return results
+
+
+def run_toggle(goldens, reps, backend) -> list:
+    """Toggle-test excursion stage on the clocked full link."""
+    from .batch_stages import toggle_excursions
+    from .duts import ToggleDUT, build_toggle_dut
+
+    base = build_toggle_dut()
+    results, duts, idx = _injected(
+        reps, lambda inj: ToggleDUT(circuit=inj(base.circuit),
+                                    vcm_node=base.vcm_node,
+                                    ref_node=base.ref_node),
+        goldens.retention_link)
+    for i, exc in zip(idx, toggle_excursions(duts, backend=backend)):
+        results[i] = exc
+    return results
+
+
+def run_receiver_scan(goldens, reps, backend) -> list:
+    """Receiver scan-condition sweep stage."""
+    from .batch_stages import receiver_scan_signatures
+    from .duts import ReceiverDUT, build_receiver_dut
+    from .scan_test import SCAN_CONDITIONS
+
+    base = build_receiver_dut()
+    results, duts, idx = _injected(
+        reps, lambda inj: ReceiverDUT(circuit=inj(base.circuit),
+                                      cp=base.cp, vdd=base.vdd),
+        goldens.retention_receiver)
+    sigs = receiver_scan_signatures(duts, SCAN_CONDITIONS, backend=backend)
+    for i, sig in zip(idx, sigs):
+        results[i] = sig
+    return results
+
+
+def run_vcdl_alive(goldens, reps, backend) -> list:
+    """Static VCDL aliveness stage."""
+    from .batch_stages import vcdl_aliveness
+    from .duts import VCDLDUT, build_vcdl_dut
+
+    base = build_vcdl_dut()
+    results, duts, idx = _injected(
+        reps, lambda inj: VCDLDUT(circuit=inj(base.circuit),
+                                  ports=base.ports),
+        goldens.retention_vcdl)
+    for i, a in zip(idx, vcdl_aliveness(duts, backend=backend)):
+        results[i] = a
+    return results

@@ -137,7 +137,8 @@ def run_paper_campaign(universe: Optional[List[StructuralFault]] = None,
                        timeout: Optional[float] = None,
                        max_retries: int = 1,
                        trace: Optional[str] = None,
-                       backend: Optional[object] = None) -> CoverageReport:
+                       backend: Optional[object] = None,
+                       collapse: str = "off") -> CoverageReport:
     """Run the complete three-tier campaign over the fault universe.
 
     ``workers`` > 1 fans the universe out over supervised forked worker
@@ -149,11 +150,14 @@ def run_paper_campaign(universe: Optional[List[StructuralFault]] = None,
     supervision layer.  ``backend`` selects the linear-solve path
     (``"batched"`` stacks same-pattern faulted systems into broadcast
     LAPACK calls via the pre-fork prepass; records stay byte-identical).
+    ``collapse`` enables fault-universe compression (one simulated
+    representative per structural equivalence class, DESIGN.md §14);
+    ``"audit"`` additionally re-checks a seeded member sample serially.
     """
     if universe is None:
         universe = build_fault_universe()
 
-    campaign = FaultCampaign()
+    campaign = FaultCampaign(collapse=collapse)
     for tier in create_tiers(("dc", "scan", "bist"), GoldenSignatures()):
         campaign.add_tier(tier)
     result = campaign.run(universe, progress=progress, workers=workers,

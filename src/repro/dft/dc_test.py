@@ -159,3 +159,57 @@ class DCTest:
                     out[f.key()] = ob != self.goldens.dc_receiver
 
         return out
+
+    # ------------------------------------------------------------------
+    def detect_collapsed(self, faults: Iterable[StructuralFault],
+                         collapser, backend=None, memo=None
+                         ) -> Tuple[Dict[Tuple, bool], Dict[Tuple, Tuple]]:
+        """One-representative-per-class :meth:`detect` (DESIGN.md §14).
+
+        Groups *faults* by structural DC-tier signature, executes each
+        sub-stage once per distinct digest (results land in the shared
+        cross-tier *memo* — the link stage also carries the scan tier's
+        probe capture), and expands the verdict to every member.
+        Returns ``(resolved, provenance)``; provenance maps a member's
+        key to its representative's.  Groups whose stage raised stay
+        unresolved, so the serial detector reproduces exact error
+        records per member.
+        """
+        from .collapsed import (consume, expand, group_by_signature,
+                                run_link_static, run_receiver_dc,
+                                stage_exec)
+
+        memo = {} if memo is None else memo
+        resolved: Dict[Tuple, bool] = {}
+        provenance: Dict[Tuple, Tuple] = {}
+        groups = group_by_signature(faults, collapser, self.name)
+        link_groups = {s: m for s, m in groups.items() if s[0] == "L"}
+        rx_groups = {s: m for s, m in groups.items() if s[0] == "R"}
+
+        fresh = stage_exec(
+            memo,
+            {("link_static", s[1]): m[0] for s, m in link_groups.items()},
+            lambda reps: run_link_static(self.goldens, reps, backend))
+        for sig, members in link_groups.items():
+            key = ("link_static", sig[1])
+            entry = memo[key]
+            if isinstance(entry, Exception):
+                continue
+            consume(fresh, key, len(members))
+            dc_sig, _probe = entry
+            expand(resolved, provenance, members,
+                   dc_sig != self.goldens.dc_link)
+
+        fresh = stage_exec(
+            memo, {("rx_dc", s[1]): m[0] for s, m in rx_groups.items()},
+            lambda reps: run_receiver_dc(self.goldens, reps, backend))
+        for sig, members in rx_groups.items():
+            key = ("rx_dc", sig[1])
+            entry = memo[key]
+            if isinstance(entry, Exception):
+                continue
+            consume(fresh, key, len(members))
+            expand(resolved, provenance, members,
+                   entry != self.goldens.dc_receiver)
+
+        return resolved, provenance

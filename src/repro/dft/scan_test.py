@@ -205,6 +205,79 @@ class ScanTest:
         return out
 
     # ------------------------------------------------------------------
+    def detect_collapsed(self, faults: Iterable[StructuralFault],
+                         collapser, backend=None, memo=None
+                         ) -> Tuple[Dict[Tuple, bool], Dict[Tuple, Tuple]]:
+        """One-representative-per-class :meth:`detect`; see
+        DCTest.detect_collapsed for the memo/provenance contract.
+
+        The probe stage consumes the same ``link_static`` memo entries
+        the DC tier fills — one solve pair serves both tiers — and the
+        toggle stage runs only for classes whose probe capture matched
+        golden, mirroring the serial short-circuit.
+        """
+        from .collapsed import (consume, expand, group_by_signature,
+                                run_link_static, run_receiver_scan,
+                                run_toggle, stage_exec)
+
+        memo = {} if memo is None else memo
+        resolved: Dict[Tuple, bool] = {}
+        provenance: Dict[Tuple, Tuple] = {}
+        groups = group_by_signature(faults, collapser, self.name)
+        tx_groups = {s: m for s, m in groups.items() if s[0] == "L"}
+        term_groups = {s: m for s, m in groups.items() if s[0] == "T"}
+        rx_groups = {s: m for s, m in groups.items() if s[0] == "R"}
+
+        fresh = stage_exec(
+            memo,
+            {("link_static", s[1]): m[0] for s, m in tx_groups.items()},
+            lambda reps: run_link_static(self.goldens, reps, backend))
+        toggle_need: Dict[Tuple, StructuralFault] = {}
+        toggle_groups = []
+        for sig, members in tx_groups.items():
+            key = ("link_static", sig[1])
+            entry = memo[key]
+            if isinstance(entry, Exception):
+                continue
+            consume(fresh, key, len(members))
+            _dc_sig, probe = entry
+            if probe != self._golden_probe:
+                expand(resolved, provenance, members, True)
+            else:
+                tkey = ("toggle", sig[3])
+                toggle_need.setdefault(tkey, members[0])
+                toggle_groups.append((tkey, members))
+        for sig, members in term_groups.items():
+            tkey = ("toggle", sig[1])
+            toggle_need.setdefault(tkey, members[0])
+            toggle_groups.append((tkey, members))
+
+        fresh = stage_exec(
+            memo, toggle_need,
+            lambda reps: run_toggle(self.goldens, reps, backend))
+        for tkey, members in toggle_groups:
+            entry = memo[tkey]
+            if isinstance(entry, Exception):
+                continue
+            consume(fresh, tkey, len(members))
+            expand(resolved, provenance, members,
+                   entry > TOGGLE_THRESHOLD)
+
+        fresh = stage_exec(
+            memo, {("rx_scan", s[1]): m[0] for s, m in rx_groups.items()},
+            lambda reps: run_receiver_scan(self.goldens, reps, backend))
+        for sig, members in rx_groups.items():
+            key = ("rx_scan", sig[1])
+            entry = memo[key]
+            if isinstance(entry, Exception):
+                continue
+            consume(fresh, key, len(members))
+            expand(resolved, provenance, members,
+                   entry != self._golden_receiver)
+
+        return resolved, provenance
+
+    # ------------------------------------------------------------------
     def _run_probe(self, fault: Optional[StructuralFault]) -> Dict:
         """Probe-FF capture of the driver nodes for both data values."""
         from ..circuits.full_link import build_full_link

@@ -6,6 +6,13 @@ from .campaign import (
     FaultCampaign,
     TIER_ORDER,
 )
+from .collapse import (
+    COLLAPSE_MODES,
+    CollapseAuditError,
+    CollapseReport,
+    FaultCollapser,
+    universe_report,
+)
 from .enumerate import (
     faults_for_caps,
     faults_for_devices,
@@ -32,6 +39,8 @@ from .sampling import (
 __all__ = [
     "map_fault_to_knobs",
     "CampaignResult", "FaultCampaign", "TIER_ORDER",
+    "COLLAPSE_MODES", "CollapseAuditError", "CollapseReport",
+    "FaultCollapser", "universe_report",
     "faults_for_caps", "faults_for_devices", "universe_summary",
     "InjectionError", "inject_fault", "make_injector",
     "DetectionRecord", "FaultKind", "MOSFET_FAULT_KINDS",

@@ -180,17 +180,37 @@ class FaultCampaign:
     the resilience ladder but not verified good) to ``unsolvable``
     outcomes — the ``--strict-numerics`` CLI semantics.  It is applied
     inside :meth:`evaluate`, so forked campaign workers inherit it.
+
+    ``collapse`` selects fault-universe compression (DESIGN.md §14):
+    ``"off"`` (default) evaluates every fault; ``"on"`` runs each tier's
+    ``detect_collapsed`` prepass, simulating one representative per
+    structural equivalence class and expanding the verdict to the class
+    members (records carry ``collapsed_from`` provenance); ``"audit"``
+    additionally re-runs a seeded sample of non-representatives through
+    the serial detectors and raises
+    :class:`~repro.faults.collapse.CollapseAuditError` on any verdict
+    mismatch.
     """
 
-    def __init__(self, strict_numerics: bool = False):
+    def __init__(self, strict_numerics: bool = False,
+                 collapse: str = "off"):
+        from .collapse import COLLAPSE_MODES
+
+        if collapse not in COLLAPSE_MODES:
+            raise ValueError(f"collapse must be one of {COLLAPSE_MODES}, "
+                             f"got {collapse!r}")
         self._tiers: List[Tuple[str, DetectorFunc, AppliesFunc]] = []
         self.strict_numerics = strict_numerics
+        self.collapse = collapse
         # tier objects (protocol form only) — the batched prepass needs
         # the object to reach its detect_batch method
         self._tier_objects: Dict[str, object] = {}
         # (tier name, fault.key()) -> detected, filled by the batched
         # prepass and consulted by evaluate() before running a detector
         self._precomputed: Dict[Tuple[str, Tuple], bool] = {}
+        # (tier name, fault.key()) -> representative fault.key(), filled
+        # by the collapse prepass for non-representative members
+        self._collapsed_from: Dict[Tuple[str, Tuple], Tuple] = {}
 
     @property
     def tier_names(self) -> Tuple[str, ...]:
@@ -243,6 +263,9 @@ class FaultCampaign:
                 if pre is not None:
                     if pre:
                         rec.tiers[name] = True
+                    prov = self._collapsed_from.get((name, fault.key()))
+                    if prov is not None:
+                        rec.collapsed_from[name] = prov
                     continue
                 try:
                     if detector(fault):
@@ -308,9 +331,11 @@ class FaultCampaign:
                 trace = stack.enter_context(RunTrace(trace))
             writer: Optional[_CheckpointWriter] = None
             if checkpoint is not None:
-                done = _load_checkpoint(checkpoint, self.tier_names)
+                done = _load_checkpoint(checkpoint, self.tier_names,
+                                        self.collapse)
                 writer = stack.enter_context(
-                    _CheckpointWriter(checkpoint, self.tier_names))
+                    _CheckpointWriter(checkpoint, self.tier_names,
+                                      self.collapse))
             pending = [f for f in universe if f.key() not in done]
             base = n - len(pending)
             COUNTERS.campaign_faults += len(pending)
@@ -342,14 +367,21 @@ class FaultCampaign:
 
     def _precompute(self, pending: Sequence[StructuralFault],
                     backend: Optional[object]) -> None:
-        """Batched prepass: fill ``_precomputed`` from detect_batch.
+        """Prepasses: fill ``_precomputed`` before workers fork.
 
-        Runs before workers fork, so the verdict map is inherited by
-        every worker.  A ``None`` or serial backend is a no-op (the
-        historical bit-exact path); a tier whose batch pass raises is
-        skipped wholesale — its faults all evaluate serially.
+        The collapse prepass (when enabled) runs first and resolves
+        whole equivalence classes from one representative each; the
+        batched detect_batch prepass then covers only the still-
+        unresolved faults.  Runs before workers fork, so the verdict
+        map is inherited by every worker.  A ``None`` or serial backend
+        skips the batched prepass (the historical bit-exact path); a
+        tier whose prepass raises is skipped wholesale — its faults all
+        evaluate serially.
         """
         self._precomputed.clear()
+        self._collapsed_from.clear()
+        if self.collapse != "off":
+            self._precompute_collapsed(pending, backend)
         if backend is None:
             return
         from ..analog.backend import resolve_backend
@@ -363,7 +395,8 @@ class FaultCampaign:
                                 "detect_batch", None)
                 if batch is None:
                     continue
-                faults = [f for f in pending if applies(f)]
+                faults = [f for f in pending if applies(f)
+                          and (name, f.key()) not in self._precomputed]
                 if not faults:
                     continue
                 try:
@@ -372,6 +405,87 @@ class FaultCampaign:
                     continue
                 for key, hit in resolved.items():
                     self._precomputed[(name, key)] = bool(hit)
+
+    def _precompute_collapsed(self, pending: Sequence[StructuralFault],
+                              backend: Optional[object]) -> None:
+        """Collapse prepass: one representative simulation per class.
+
+        Only runs when at least one tier object implements
+        ``detect_collapsed`` (so stub-tier campaigns never pay for the
+        collapser's reference circuits).  The sub-stage memo is shared
+        across tiers — the DC and scan tiers split the cost of the
+        combined ``link_static`` stage.  A tier whose collapsed pass
+        raises is skipped wholesale, exactly like the batched prepass.
+        """
+        tiers_with = [(name, self._tier_objects.get(name), applies)
+                      for name, _, applies in self._tiers
+                      if hasattr(self._tier_objects.get(name),
+                                 "detect_collapsed")]
+        if not tiers_with:
+            return
+        from .collapse import FaultCollapser
+
+        goldens = next((obj.goldens for _, obj, _ in tiers_with
+                        if hasattr(obj, "goldens")), None)
+        collapser = FaultCollapser(goldens=goldens)
+        COUNTERS.classes += len(collapser.classes(pending))
+        memo: Dict[Tuple, object] = {}
+        with numerics_policy(strict=self.strict_numerics):
+            for name, obj, applies in tiers_with:
+                faults = [f for f in pending if applies(f)]
+                if not faults:
+                    continue
+                try:
+                    resolved, provenance = obj.detect_collapsed(
+                        faults, collapser, backend=backend, memo=memo)
+                except Exception:  # noqa: BLE001 - serial path covers it
+                    continue
+                for key, hit in resolved.items():
+                    self._precomputed[(name, key)] = bool(hit)
+                for key, rep in provenance.items():
+                    self._collapsed_from[(name, key)] = tuple(rep)
+        if self.collapse == "audit":
+            self._audit(pending)
+
+    def _audit(self, pending: Sequence[StructuralFault]) -> None:
+        """Equivalence audit: serially re-detect a seeded sample of the
+        non-representative members and fail loudly on any divergence
+        from the class verdict (DESIGN.md §14)."""
+        import random
+
+        from .collapse import (AUDIT_FRACTION, AUDIT_SEED,
+                               CollapseAuditError)
+
+        pairs = sorted(self._collapsed_from)
+        if not pairs:
+            return
+        by_key = {f.key(): f for f in pending}
+        rng = random.Random(AUDIT_SEED)
+        n = max(1, int(len(pairs) * AUDIT_FRACTION))
+        sample = rng.sample(pairs, min(n, len(pairs)))
+        with numerics_policy(strict=self.strict_numerics):
+            for name, key in sample:
+                fault = by_key.get(key)
+                tier = self._tier_objects.get(name)
+                if fault is None or tier is None:
+                    continue
+                COUNTERS.audit_checks += 1
+                collapsed = self._precomputed[(name, key)]
+                try:
+                    serial = bool(tier.detect(fault))
+                except Exception as exc:  # noqa: BLE001 - audit is strict
+                    raise CollapseAuditError(
+                        f"collapse audit: tier {name!r} raised {exc!r} "
+                        f"for member {fault} whose class verdict is "
+                        f"{collapsed} (representative "
+                        f"{self._collapsed_from[(name, key)]})") from exc
+                if serial != collapsed:
+                    raise CollapseAuditError(
+                        f"collapse audit mismatch: tier {name!r}, fault "
+                        f"{fault}: serial detect says {serial}, class "
+                        f"verdict (via representative "
+                        f"{self._collapsed_from[(name, key)]}) says "
+                        f"{collapsed}")
 
     def _fallback_record(self, fault: StructuralFault, outcome: str,
                          detail: str) -> DetectionRecord:
@@ -385,18 +499,31 @@ class FaultCampaign:
 # ----------------------------------------------------------------------
 # checkpoint file helpers (JSONL: one header line, then one record/line)
 # ----------------------------------------------------------------------
-def _checkpoint_header(tier_names: Sequence[str]) -> Dict[str, object]:
-    return {"format": _CHECKPOINT_FORMAT, "version": ARTIFACT_VERSION,
-            "tier_order": list(tier_names)}
+def _checkpoint_header(tier_names: Sequence[str],
+                       collapse: str = "off") -> Dict[str, object]:
+    header = {"format": _CHECKPOINT_FORMAT, "version": ARTIFACT_VERSION,
+              "tier_order": list(tier_names)}
+    # emitted only when collapsing, so uncollapsed checkpoints stay
+    # byte-identical to pre-collapse ones ("audit" records as "on": the
+    # audit is a verification layer, the records are the same)
+    if collapse != "off":
+        header["collapse"] = "on"
+    return header
 
 
-def _load_checkpoint(path: str, tier_names: Sequence[str]
+def _load_checkpoint(path: str, tier_names: Sequence[str],
+                     collapse: str = "off"
                      ) -> Dict[Tuple[str, str, str, str], DetectionRecord]:
     """Records already evaluated by a previous run against *path*.
 
     An empty/missing file yields an empty map.  A header whose tier
     pipeline differs from the current campaign is an error — mixing
     records from different pipelines would corrupt the accounting.
+    Likewise a checkpoint written under a different collapse policy:
+    resuming a ``--collapse on`` checkpoint with ``--collapse off``
+    (or vice versa) would mix per-fault and per-class verdict
+    provenance in one artifact, so it refuses (mirroring the
+    ``--strict-numerics`` resume guard).
 
     Only the *final* line may be malformed (a write torn by an
     interrupted run); it is discarded **and physically truncated from
@@ -424,6 +551,14 @@ def _load_checkpoint(path: str, tier_names: Sequence[str]
                 f"{path}: checkpoint was written by tier pipeline "
                 f"{header.get('tier_order')!r}, campaign runs "
                 f"{list(tier_names)!r}")
+        wrote = str(header.get("collapse", "off"))
+        runs = "off" if collapse == "off" else "on"
+        if wrote != runs:
+            raise ValueError(
+                f"{path}: checkpoint was written with collapse={wrote!r}"
+                f", campaign runs collapse={runs!r}; refusing to mix "
+                f"per-fault and per-class records (delete the file or "
+                f"rerun with the matching --collapse policy)")
         while True:
             offset = fh.tell()
             line = fh.readline()
@@ -457,11 +592,13 @@ class _CheckpointWriter:
     record beyond the last flushed line.
     """
 
-    def __init__(self, path: str, tier_names: Sequence[str]):
+    def __init__(self, path: str, tier_names: Sequence[str],
+                 collapse: str = "off"):
         fresh = not os.path.exists(path) or os.path.getsize(path) == 0
         self._fh: Optional[IO[str]] = open(path, "a")
         if fresh:
-            self._fh.write(json.dumps(_checkpoint_header(tier_names)) + "\n")
+            self._fh.write(
+                json.dumps(_checkpoint_header(tier_names, collapse)) + "\n")
             self._fh.flush()
 
     def write(self, record: DetectionRecord) -> None:

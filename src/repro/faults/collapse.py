@@ -1,0 +1,445 @@
+"""Structural fault-universe compression: equivalence classes over
+canonical netlist perturbations.
+
+Many structural faults are electrically indistinguishable at the nodes
+any test tier observes: the drain open and the source open of a series
+device cut the same private chain, several bridge faults short the same
+node pair, and a capacitor short across an already-connected pair is a
+no-op.  This module maps each
+:class:`~repro.faults.model.StructuralFault` to the *canonical
+perturbation* its injection applies to the relevant golden circuit — a
+node-renaming-invariant digest of the added / rewired stamps restricted
+to the observation cone — and groups faults whose perturbations are
+identical per test tier.  Campaigns then simulate one representative
+per group and expand its verdict to the members
+(``FaultCampaign(collapse="on")``), with a seeded audit mode that fully
+re-simulates sampled members and fails loudly on any mismatch.
+
+The digests are structural, not stimulus-specific: two faults with the
+same digest in a context produce identical netlists up to the renaming
+of private internal nodes, so *every* analysis of that circuit agrees
+on them, whatever the test drives.  The observation cone only enters
+through chain privacy — a node a tier observes can never be absorbed
+into a cut chain's interior.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import (Any, Dict, Iterable, List, Mapping, Optional, Sequence,
+                    Tuple)
+
+from ..analog.devices import Resistor, Switch, is_ground
+from ..analog.mosfet import MOSFET
+from .behavior_map import map_fault_to_knobs
+from .inject import GATE_LEAK_DRIFT
+from .model import FaultKind, R_SHORT, StructuralFault
+
+#: recognised ``--collapse`` modes
+COLLAPSE_MODES = ("off", "on", "audit")
+
+#: seed + fraction for the equivalence audit's member sample
+AUDIT_SEED = 2016
+AUDIT_FRACTION = 0.1
+
+#: test tiers that consume structural signatures, in evaluation order
+SIGNATURE_TIERS = ("dc", "scan", "bist")
+
+#: context tags each block's faults digest under (see the report)
+BLOCK_TAGS = {
+    "tx": ("L", "T"),
+    "termination": ("L", "T"),
+    "cp": ("R",),
+    "window_comp": ("R",),
+    "vcdl": ("V", "C"),
+}
+
+
+class CollapseAuditError(AssertionError):
+    """A collapsed verdict disagreed with a full member re-simulation."""
+
+
+def canon_value(v: Any) -> Any:
+    """Hashable stand-in for a knob value (callables by qualified name)."""
+    if callable(v):
+        mod = getattr(v, "__module__", "?")
+        qual = getattr(v, "__qualname__", repr(v))
+        return f"fn:{mod}.{qual}"
+    return v
+
+
+def canon_knobs(knobs: Optional[Mapping[str, Any]]):
+    """Order-free hashable form of a behavioural knob mapping."""
+    if knobs is None:
+        return None
+    return tuple(sorted((k, canon_value(v)) for k, v in knobs.items()))
+
+
+#: element classes with a series "channel" and its two terminals —
+#: the path a drain/source open physically interrupts
+CHANNEL_TERMS = {MOSFET: ("d", "s"), Resistor: ("p", "n"),
+                 Switch: ("p", "n")}
+
+
+def channel_terms(elem) -> Optional[Tuple[str, str]]:
+    for cls, terms in CHANNEL_TERMS.items():
+        if isinstance(elem, cls):
+            return terms
+    return None
+
+
+def build_incidence(circuit) -> Dict[str, List[Tuple[Any, str]]]:
+    """node name -> list of (element, terminal role) touching it."""
+    inc: Dict[str, List[Tuple[Any, str]]] = defaultdict(list)
+    for e in circuit:
+        for role, node in e.terminals.items():
+            inc[node].append((e, role))
+    return inc
+
+
+def _node_id(node: str) -> str:
+    """Ground aliases collapse to the canonical ground name."""
+    return "0" if is_ground(node) else node
+
+
+def chain_for(circuit, inc, observed, dev_name):
+    """Maximal private series chain containing *dev_name*'s channel.
+
+    A node is *private* when it is neither ground nor observed and
+    carries exactly two channel-terminal incidences: cutting any device
+    of such a chain severs the same branch, so every open along it is
+    one equivalence class.  Returns the direction-normalized member
+    names and the (lo, hi) endpoint nodes.
+    """
+    elem = circuit[dev_name]
+    terms = channel_terms(elem)
+    chain = [elem.name]
+    seen = {elem.name}
+
+    def is_private(node):
+        if is_ground(node) or node in observed:
+            return False
+        ent = inc.get(node, ())
+        if len(ent) != 2:
+            return False
+        for e, role in ent:
+            ct = channel_terms(e)
+            if ct is None or role not in ct:
+                return False
+        return True
+
+    def extend(node, append):
+        while is_private(node):
+            (e1, r1), (e2, r2) = inc[node]
+            e, role = (e2, r2) if e1.name in seen else (e1, r1)
+            if e.name in seen:
+                break
+            seen.add(e.name)
+            if append:
+                chain.append(e.name)
+            else:
+                chain.insert(0, e.name)
+            ct = channel_terms(e)
+            other = ct[0] if role == ct[1] else ct[1]
+            node = e.terminals[other]
+        return node
+
+    lo = extend(elem.terminals[terms[0]], append=False)
+    hi = extend(elem.terminals[terms[1]], append=True)
+    names = tuple(chain)
+    rev = tuple(reversed(names))
+    if rev < names:
+        names, lo, hi = rev, hi, lo
+    return names, (_node_id(lo), _node_id(hi))
+
+
+def retention_v_keep(circuit, retention, fault) -> float:
+    """The voltage a gate-open retention source pins, replicating
+    :func:`repro.faults.inject.inject_fault`'s polarity-leak rule."""
+    elem = circuit[fault.device]
+    v_keep = 0.6
+    if retention:
+        vd = retention.get(elem.terminals["d"])
+        vs = retention.get(elem.terminals["s"])
+        if vd is not None and vs is not None:
+            v_keep = 0.5 * (vd + vs)
+        elif vd is not None:
+            v_keep = vd
+        elif vs is not None:
+            v_keep = vs
+    leak = -GATE_LEAK_DRIFT if elem.params.polarity == "n" else GATE_LEAK_DRIFT
+    return min(max(v_keep + leak, 0.0), 1.2)
+
+
+def canon_perturbation(circuit, inc, observed, retention, fault):
+    """Canonical digest of the netlist change *fault* injects.
+
+    * shorts become ``("bridge", sorted node pair, R_SHORT)`` — or
+      ``("null",)`` when both ends are already the same net (a
+      perturbation that stamps nothing);
+    * drain/source opens become ``("cut", chain names, endpoints)`` of
+      the maximal private series chain they sever;
+    * gate opens pin a retention voltage whose value is the whole
+      observable effect, ``("gate_open", device, round(v_keep, 12))``;
+    * anything unrecognised stays a singleton.
+    """
+    elem = circuit[fault.device]
+    k = fault.kind
+    if k == FaultKind.CAP_SHORT:
+        a, b = elem.terminals["p"], elem.terminals["n"]
+        if a == b or (is_ground(a) and is_ground(b)):
+            return ("null",)
+        return ("bridge", tuple(sorted((_node_id(a), _node_id(b)))), R_SHORT)
+    if k in (FaultKind.GATE_DRAIN_SHORT, FaultKind.GATE_SOURCE_SHORT,
+             FaultKind.DRAIN_SOURCE_SHORT):
+        pair = {FaultKind.GATE_DRAIN_SHORT: ("g", "d"),
+                FaultKind.GATE_SOURCE_SHORT: ("g", "s"),
+                FaultKind.DRAIN_SOURCE_SHORT: ("d", "s")}[k]
+        a, b = elem.terminals[pair[0]], elem.terminals[pair[1]]
+        if a == b or (is_ground(a) and is_ground(b)):
+            return ("null",)
+        return ("bridge", tuple(sorted((_node_id(a), _node_id(b)))), R_SHORT)
+    if k in (FaultKind.DRAIN_OPEN, FaultKind.SOURCE_OPEN):
+        names, ends = chain_for(circuit, inc, observed, fault.device)
+        return ("cut", names, ends)
+    if k == FaultKind.GATE_OPEN:
+        return ("gate_open", fault.device,
+                round(retention_v_keep(circuit, retention, fault), 12))
+    return ("unknown", fault.device, k.value)
+
+
+class FaultCollapser:
+    """Digest faults against the golden DUT circuits and group them.
+
+    Contexts are built lazily from the cached benches (the same ones
+    the tiers use); a shared :class:`~repro.dft.golden.GoldenSignatures`
+    may be passed so retention profiles are not re-solved.
+    """
+
+    def __init__(self, goldens=None):
+        self._goldens = goldens
+        self._contexts = None
+        self._digests: Dict[Tuple, Tuple] = {}
+
+    def _build_contexts(self) -> None:
+        from ..analog import Circuit, step_waveform
+        from ..circuits.full_link import build_full_link
+        from ..circuits.vcdl import build_vcdl
+        from ..dft.duts import (build_receiver_dut, build_toggle_dut,
+                                build_vcdl_dut)
+        from ..dft.golden import GoldenSignatures
+        from ..dft.scan_test import ScanTest
+        from ..link.params import LinkParams
+        from ..variation.context import tune_active
+
+        goldens = self._goldens
+        if goldens is None:
+            goldens = self._goldens = GoldenSignatures()
+        link = build_full_link()
+        toggle = build_toggle_dut()
+        receiver = build_receiver_dut()
+        vcdl = build_vcdl_dut()
+
+        # golden VCDL characterisation circuit (mirrors the BIST tier's
+        # _vcdl_char_circuit topology; only source values differ between
+        # the lo/hi control points, which a structural digest ignores)
+        char = Circuit("vcdl_char")
+        char.add_vsource("vdd", "0", 1.2, name="VDD")
+        char.add_vsource("vctl", "0", LinkParams().v_window_lo, name="VCTL")
+        vin = char.add_vsource("clk_in", "0", 0.0, name="VCLK")
+        vin.waveform = step_waveform(0.0, 1.2, 0.3e-9, t_rise=20e-12)
+        build_vcdl(char, "vcdl", "clk_in", "clk_out", "vctl")
+        tune_active(char)
+
+        link_obs = set(ScanTest.PROBE_NODES) | {
+            link.term.cmp_pos_out, link.term.cmp_neg_out,
+            link.term.win_hi, link.term.win_lo}
+        contexts = {
+            "L": (link.circuit, link_obs, goldens.retention_link),
+            "T": (toggle.circuit, {toggle.vcm_node, toggle.ref_node},
+                  goldens.retention_link),
+            "R": (receiver.circuit,
+                  {"win_hi", "win_lo", "bist_hi", "bist_lo"},
+                  goldens.retention_receiver),
+            "V": (vcdl.circuit, {"clk_out"}, goldens.retention_vcdl),
+            "C": (char, {"clk_out"}, goldens.retention_vcdl),
+        }
+        self._contexts = {
+            tag: (circ, obs, ret, build_incidence(circ))
+            for tag, (circ, obs, ret) in contexts.items()}
+
+    def digest(self, fault: StructuralFault, tag: str):
+        """Canonical perturbation of *fault* in context *tag* (memoized).
+
+        A digest failure (unknown device in that context, etc.) yields a
+        per-device ``("error", ...)`` digest: the fault stays a
+        singleton and its stage execution reproduces the exact error.
+        """
+        key = (fault.key(), tag)
+        got = self._digests.get(key)
+        if got is None:
+            if self._contexts is None:
+                self._build_contexts()
+            circuit, obs, ret, inc = self._contexts[tag]
+            try:
+                got = canon_perturbation(circuit, inc, obs, ret, fault)
+            except Exception as exc:
+                got = ("error", fault.device, repr(exc))
+            self._digests[key] = got
+        return got
+
+    def tier_signature(self, fault: StructuralFault, tier: str):
+        """Equivalence signature of *fault* for *tier*, or ``None`` when
+        the pair is outside the collapser's knowledge (never collapsed).
+        """
+        b = fault.block
+        if tier == "dc":
+            if b in ("tx", "termination"):
+                return ("L", self.digest(fault, "L"))
+            if b in ("cp", "window_comp"):
+                return ("R", self.digest(fault, "R"))
+        elif tier == "scan":
+            if b == "tx":
+                return ("L", self.digest(fault, "L"),
+                        "T", self.digest(fault, "T"))
+            if b == "termination":
+                return ("T", self.digest(fault, "T"))
+            if b in ("cp", "window_comp"):
+                return ("R", self.digest(fault, "R"))
+        elif tier == "bist":
+            if b == "cp":
+                return ("R", self.digest(fault, "R"),
+                        canon_knobs(map_fault_to_knobs(fault)))
+            if b == "window_comp":
+                return ("R", self.digest(fault, "R"))
+            if b == "vcdl":
+                return ("V", self.digest(fault, "V"),
+                        "C", self.digest(fault, "C"))
+        return None
+
+    def class_key(self, fault: StructuralFault):
+        """Fault-level equivalence class: block + every tier signature.
+
+        Faults no tier can sign stay singletons (keyed by identity)
+        rather than pooling into one catch-all class.
+        """
+        sigs = tuple((tier, sig) for tier in SIGNATURE_TIERS
+                     for sig in (self.tier_signature(fault, tier),)
+                     if sig is not None)
+        if not sigs:
+            return (fault.block, ("singleton", fault.key()))
+        return (fault.block, sigs)
+
+    def classes(self, universe: Iterable[StructuralFault]):
+        """class key -> members, in universe order."""
+        grouped: Dict[Tuple, List[StructuralFault]] = {}
+        for f in universe:
+            grouped.setdefault(self.class_key(f), []).append(f)
+        return grouped
+
+    def representative_map(self, universe: Sequence[StructuralFault]):
+        """fault key -> class representative (its first member)."""
+        reps: Dict[Tuple, StructuralFault] = {}
+        out: Dict[Tuple, StructuralFault] = {}
+        for f in universe:
+            rep = reps.setdefault(self.class_key(f), f)
+            out[f.key()] = rep
+        return out
+
+    def report(self, universe: Sequence[StructuralFault]):
+        """Structural analysis of *universe*: classes, dominance,
+        golden-equivalent faults (report only — no verdicts move)."""
+        universe = list(universe)
+        grouped = self.classes(universe)
+        null_faults = []
+        digests: Dict[Tuple, Dict[str, Tuple]] = {}
+        for f in universe:
+            tags = BLOCK_TAGS.get(f.block, ())
+            d = {tag: self.digest(f, tag) for tag in tags}
+            digests[f.key()] = d
+            if d and all(v == ("null",) for v in d.values()):
+                null_faults.append(f)
+        # dominance (proper structural subset): A is dominated by B
+        # when A's perturbation vanishes in some contexts and matches
+        # B's in every other — any test that catches A catches B
+        dominated: List[Tuple[Tuple, Tuple]] = []
+        by_block: Dict[str, List[StructuralFault]] = defaultdict(list)
+        for f in universe:
+            by_block[f.block].append(f)
+        for block, members in by_block.items():
+            tags = BLOCK_TAGS.get(block, ())
+            if not tags:
+                continue
+            for a in members:
+                da = digests[a.key()]
+                nulls = [t for t in tags if da[t] == ("null",)]
+                if not nulls or len(nulls) == len(tags):
+                    continue
+                for b in members:
+                    if b is a:
+                        continue
+                    db = digests[b.key()]
+                    if all(da[t] == db[t]
+                           for t in tags if t not in nulls):
+                        dominated.append((a.key(), b.key()))
+        return CollapseReport(
+            n_faults=len(universe),
+            classes=grouped,
+            null_faults=[f.key() for f in null_faults],
+            dominance_pairs=dominated,
+        )
+
+
+@dataclass
+class CollapseReport:
+    """Outcome of a structural collapse analysis (reporting only)."""
+
+    n_faults: int
+    classes: Dict[Tuple, List[StructuralFault]]
+    null_faults: List[Tuple] = field(default_factory=list)
+    dominance_pairs: List[Tuple[Tuple, Tuple]] = field(default_factory=list)
+
+    @property
+    def n_classes(self) -> int:
+        return len(self.classes)
+
+    @property
+    def ratio(self) -> float:
+        return self.n_faults / self.n_classes if self.classes else 1.0
+
+    def histogram(self) -> Dict[int, int]:
+        """class size -> number of classes of that size."""
+        return dict(sorted(Counter(
+            len(m) for m in self.classes.values()).items()))
+
+    def classes_by_block(self) -> Dict[str, int]:
+        by_block: Counter = Counter()
+        for members in self.classes.values():
+            by_block[members[0].block] += 1
+        return dict(by_block)
+
+    def format(self) -> str:
+        lines = [
+            f"classes: {self.n_classes} over {self.n_faults} faults "
+            f"({self.ratio:.2f}x)",
+            "by block:",
+        ]
+        for block, n in sorted(self.classes_by_block().items()):
+            lines.append(f"  {block:<14} {n}")
+        hist = ", ".join(f"{size}:{count}"
+                         for size, count in self.histogram().items())
+        lines.append(f"class sizes (size:count): {hist}")
+        if self.null_faults:
+            lines.append(f"golden-equivalent faults: {len(self.null_faults)} "
+                         "(perturbation stamps nothing observable)")
+        if self.dominance_pairs:
+            lines.append(f"dominance pairs: {len(self.dominance_pairs)} "
+                         "(reported only; verdicts never move)")
+        return "\n".join(lines)
+
+
+def universe_report(universe: Sequence[StructuralFault],
+                    goldens=None) -> CollapseReport:
+    """One-call structural analysis used by ``repro faults``."""
+    return FaultCollapser(goldens=goldens).report(universe)

@@ -10,6 +10,7 @@ the grey DFT circuits themselves (comparators added for test).
 
 from __future__ import annotations
 
+from collections import Counter
 from typing import Iterable, List, Sequence
 
 from ..analog import Capacitor
@@ -41,11 +42,10 @@ def faults_for_caps(caps: Sequence[Capacitor], block: str) -> List[StructuralFau
 
 def universe_summary(faults: Iterable[StructuralFault]) -> dict:
     """Counts per block and per fault kind (for reports and tests)."""
-    by_block: dict = {}
-    by_kind: dict = {}
-    total = 0
+    by_block: Counter = Counter()
+    by_kind: Counter = Counter()
     for f in faults:
-        by_block[f.block] = by_block.get(f.block, 0) + 1
-        by_kind[f.kind.table_label] = by_kind.get(f.kind.table_label, 0) + 1
-        total += 1
-    return {"total": total, "by_block": by_block, "by_kind": by_kind}
+        by_block[f.block] += 1
+        by_kind[f.kind.table_label] += 1
+    return {"total": sum(by_block.values()),
+            "by_block": dict(by_block), "by_kind": dict(by_kind)}

@@ -115,14 +115,22 @@ class DetectionRecord:
     worker as ``"quarantined"``.  Non-ok records carry no tier hits —
     an unevaluated fault must never inflate coverage — and they stay
     visible in the accounting instead of being silently dropped.
+
+    ``collapsed_from`` is the equivalence-class provenance of a
+    collapsed campaign (DESIGN.md §14): tier name -> the ``key()`` of
+    the representative fault whose simulation produced this record's
+    verdict for that tier.  Empty for representatives and for
+    uncollapsed runs, and serialized only when non-empty, so
+    ``--collapse off`` artifacts stay byte-identical to earlier PRs.
     """
 
-    __slots__ = ("fault", "tiers", "errors", "outcome")
+    __slots__ = ("fault", "tiers", "errors", "outcome", "collapsed_from")
 
     def __init__(self, fault: StructuralFault,
                  tiers: Optional[Mapping[str, bool]] = None,
                  errors: Optional[Iterable[Sequence[str]]] = None,
                  outcome: str = "ok",
+                 collapsed_from: Optional[Mapping[str, Sequence[str]]] = None,
                  **tier_flags: bool):
         self.fault = fault
         self.tiers: Dict[str, bool] = {name: True for name, hit
@@ -133,6 +141,9 @@ class DetectionRecord:
         self.errors: List[Tuple[str, str]] = \
             [tuple(e) for e in (errors or [])]
         self.outcome = outcome
+        self.collapsed_from: Dict[str, Tuple[str, str, str, str]] = \
+            {name: tuple(key) for name, key
+             in (collapsed_from or {}).items()}
 
     # -- paper-tier attribute compatibility ----------------------------
     @property
@@ -171,7 +182,8 @@ class DetectionRecord:
             return NotImplemented
         return (self.fault == other.fault and self.tiers == other.tiers
                 and self.errors == other.errors
-                and self.outcome == other.outcome)
+                and self.outcome == other.outcome
+                and self.collapsed_from == other.collapsed_from)
 
     __hash__ = None  # mutable
 
@@ -191,6 +203,11 @@ class DetectionRecord:
             "errors": [list(e) for e in self.errors]}
         if self.outcome != "ok":
             data["outcome"] = self.outcome
+        # provenance only when non-trivial: uncollapsed artifacts stay
+        # byte-identical to pre-collapse ones
+        if self.collapsed_from:
+            data["collapsed_from"] = {name: list(key) for name, key
+                                      in self.collapsed_from.items()}
         return data
 
     @classmethod
@@ -198,4 +215,5 @@ class DetectionRecord:
         return cls(fault=StructuralFault.from_dict(data["fault"]),
                    tiers=data.get("tiers") or {},
                    errors=data.get("errors") or [],
-                   outcome=str(data.get("outcome", "ok")))
+                   outcome=str(data.get("outcome", "ok")),
+                   collapsed_from=data.get("collapsed_from") or {})

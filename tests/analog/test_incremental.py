@@ -1,0 +1,152 @@
+"""Tests for the incremental re-assembly layer.
+
+:mod:`repro.analog.incremental` turns a fault injection's declared
+edits (``Circuit.fault_edits``) into a changed-row hint for the batched
+solver's Woodbury path.  The hint is advisory by contract: a wrong or
+missing hint may cost the fast path, never correctness — the caller's
+true-residual gate decides.  These tests pin the hint algebra, the
+injection-side bookkeeping, and the gate.
+"""
+
+import numpy as np
+import pytest
+from scipy.linalg import lu_factor
+
+from repro.analog.batch import WOODBURY_RESIDUAL, _woodbury_solve
+from repro.analog.incremental import (PlanDelta, delta_for_circuit,
+                                      rows_hint)
+from repro.circuits.full_link import build_full_link
+from repro.faults.inject import inject_fault
+from repro.faults.model import FaultKind, StructuralFault
+
+
+class TestPlanDelta:
+    def test_rows_hint_requires_both_deltas(self):
+        d = PlanDelta(touched_nodes=("a",))
+        assert rows_hint(None, d, {"a": 0}) is None
+        assert rows_hint(d, None, {"a": 0}) is None
+
+    def test_topology_change_disables_the_hint(self):
+        grown = PlanDelta(touched_nodes=("a",), topology_changed=True)
+        flat = PlanDelta(touched_nodes=("b",))
+        assert rows_hint(grown, flat, {"a": 0, "b": 1}) is None
+        assert rows_hint(flat, grown, {"a": 0, "b": 1}) is None
+
+    def test_hint_is_the_union_of_touched_rows(self):
+        a = PlanDelta(touched_nodes=("n1", "n3"))
+        b = PlanDelta(touched_nodes=("n2",))
+        index = {"n1": 4, "n2": 1, "n3": 2}
+        hint = rows_hint(a, b, index)
+        assert hint.dtype == np.intp
+        assert hint.tolist() == [1, 2, 4]
+
+    def test_unindexed_nodes_are_skipped(self):
+        """Ground and eliminated nodes carry no matrix row."""
+        a = PlanDelta(touched_nodes=("0", "n1"))
+        hint = rows_hint(a, PlanDelta(touched_nodes=()), {"n1": 0})
+        assert hint.tolist() == [0]
+
+    def test_delta_for_circuit_reads_fault_edits(self):
+        link = build_full_link()
+        plain = delta_for_circuit(link.circuit)
+        assert plain is None
+
+
+def _link_fault(kind):
+    link = build_full_link()
+    dev = link.tx.mission_devices[0]
+    fault = StructuralFault(dev.name, kind, "tx",
+                            getattr(dev, "role", ""))
+    return link.circuit, inject_fault(link.circuit, fault)
+
+
+class TestInjectedEdits:
+    def test_bridge_declares_its_node_pair(self):
+        circuit, faulty = _link_fault(FaultKind.DRAIN_SOURCE_SHORT)
+        delta = delta_for_circuit(faulty)
+        assert delta is not None
+        assert not delta.topology_changed
+        assert len(delta.touched_nodes) == 2
+
+    def test_open_declares_a_topology_change(self):
+        circuit, faulty = _link_fault(FaultKind.DRAIN_OPEN)
+        delta = delta_for_circuit(faulty)
+        assert delta is not None
+        assert delta.topology_changed
+
+    def test_gate_open_declares_its_retention_aux(self):
+        circuit, faulty = _link_fault(FaultKind.GATE_OPEN)
+        delta = delta_for_circuit(faulty)
+        assert delta is not None
+        assert delta.topology_changed
+        assert any(name.startswith("FLT_") for name in delta.aux_names)
+
+    def test_edits_do_not_leak_onto_the_golden(self):
+        circuit, faulty = _link_fault(FaultKind.DRAIN_SOURCE_SHORT)
+        assert delta_for_circuit(circuit) is None
+        # deep-copying a faulted circuit copies the same fault, so the
+        # declared edits ride along with it
+        assert delta_for_circuit(faulty.clone()) == \
+            delta_for_circuit(faulty)
+
+
+def _system(n=8, seed=3):
+    rng = np.random.default_rng(seed)
+    A = rng.normal(size=(n, n)) + n * np.eye(n)
+    b = rng.normal(size=n)
+    return A, b
+
+
+class TestWoodburyHint:
+    def test_correct_hint_matches_the_direct_solve(self):
+        A_gold, b = _system()
+        A = A_gold.copy()
+        A[2, :] += 0.5
+        x, rows = _woodbury_solve(lu_factor(A_gold), A_gold, A, b,
+                                  rows_hint=np.array([2], dtype=np.intp))
+        assert rows == 1
+        direct = np.linalg.solve(A, b)
+        np.testing.assert_allclose(x, direct, rtol=1e-9)
+
+    def test_loose_hint_narrows_to_the_changed_rows(self):
+        """A hint may cover rows that did not actually change — the
+        per-row scan drops them before the low-rank update."""
+        A_gold, b = _system()
+        A = A_gold.copy()
+        A[5, :] -= 0.25
+        hint = np.array([1, 4, 5], dtype=np.intp)
+        x, rows = _woodbury_solve(lu_factor(A_gold), A_gold, A, b,
+                                  rows_hint=hint)
+        assert rows == 1
+        np.testing.assert_allclose(x, np.linalg.solve(A, b), rtol=1e-9)
+
+    def test_wrong_hint_is_caught_by_the_residual_gate(self):
+        """A hint that misses a changed row produces a wrong candidate;
+        the caller's true-residual check must reject it."""
+        A_gold, b = _system()
+        A = A_gold.copy()
+        A[2, :] += 0.5
+        A[6, :] += 0.5
+        x, rows = _woodbury_solve(lu_factor(A_gold), A_gold, A, b,
+                                  rows_hint=np.array([2], dtype=np.intp))
+        assert rows == 1          # the scan only saw the hinted row
+        residual = np.abs(A @ x - b).max() / np.abs(b).max()
+        assert residual > WOODBURY_RESIDUAL
+
+    def test_unchanged_system_replays_the_factorization(self):
+        A_gold, b = _system()
+        x, rows = _woodbury_solve(lu_factor(A_gold), A_gold,
+                                  A_gold.copy(), b,
+                                  rows_hint=np.array([], dtype=np.intp))
+        assert rows == 0
+        np.testing.assert_allclose(x, np.linalg.solve(A_gold, b),
+                                   rtol=1e-9)
+
+    def test_no_hint_scans_every_row(self):
+        A_gold, b = _system()
+        A = A_gold.copy()
+        A[0, :] += 0.1
+        A[7, :] += 0.1
+        x, rows = _woodbury_solve(lu_factor(A_gold), A_gold, A, b)
+        assert rows == 2
+        np.testing.assert_allclose(x, np.linalg.solve(A, b), rtol=1e-9)

@@ -44,6 +44,15 @@ class TestBenchCompare:
         _write_bench(tmp_path / "BENCH_PR1.json", {}, {})
         assert main(["bench", "--compare", str(tmp_path)]) == 1
 
+    def test_missing_directory_is_a_clean_failure(self, tmp_path,
+                                                  capsys):
+        """A repo without a benchmarks dir (or a typoed path) must get
+        the found-0 message, not a FileNotFoundError traceback."""
+        missing = str(tmp_path / "no_such_dir")
+        assert main(["bench", "--compare", missing]) == 1
+        err = capsys.readouterr().err
+        assert "found 0" in err
+
     def test_legacy_scalar_wall(self, tmp_path, capsys):
         """`repro bench --json` artifacts carry a scalar wall_s."""
         for n, wall in ((1, 4.0), (2, 2.0)):
@@ -66,3 +75,32 @@ class TestBackendFlag:
 
     def test_default_is_none(self):
         assert build_parser().parse_args(["campaign"]).backend is None
+
+
+class TestCollapseFlag:
+    @pytest.mark.parametrize("command", ["coverage", "campaign", "mc"])
+    @pytest.mark.parametrize("mode", ["off", "on", "audit"])
+    def test_accepted(self, command, mode):
+        args = build_parser().parse_args([command, "--collapse", mode])
+        assert args.collapse == mode
+
+    def test_rejects_unknown(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["campaign", "--collapse", "maybe"])
+
+    @pytest.mark.parametrize("command", ["coverage", "campaign", "mc"])
+    def test_default_is_off(self, command):
+        assert build_parser().parse_args([command]).collapse == "off"
+
+
+class TestFaultsCommand:
+    def test_prints_the_universe_summary(self, capsys):
+        assert main(["faults"]) == 0
+        out = capsys.readouterr().out
+        assert "structural faults" in out
+        assert "by block:" in out
+        assert "by kind:" in out
+
+    def test_classes_flag_parses(self):
+        args = build_parser().parse_args(["faults", "--classes"])
+        assert args.classes

@@ -1,0 +1,135 @@
+"""Unit tests for the structural fault-universe compression layer.
+
+The collapser's promises are structural, not statistical: digests are
+deterministic across instances, class keys never mix blocks, every
+fault gets a representative (representatives map to themselves), and
+the report's accounting adds up.  Verdict-level correctness is covered
+by the campaign-integration tests; these pin the algebra.
+"""
+
+import pytest
+
+from repro.dft.coverage import build_fault_universe
+from repro.faults.collapse import (
+    COLLAPSE_MODES,
+    CollapseAuditError,
+    FaultCollapser,
+    universe_report,
+)
+from repro.faults.enumerate import universe_summary
+from repro.faults.model import FaultKind, StructuralFault
+
+
+@pytest.fixture(scope="module")
+def universe():
+    return build_fault_universe()
+
+
+@pytest.fixture(scope="module")
+def collapser():
+    return FaultCollapser()
+
+
+class TestFaultRoundTrip:
+    """StructuralFault serialization and key stability — the collapse
+    maps and checkpoint provenance are keyed on these."""
+
+    def test_to_dict_from_dict_round_trip(self, universe):
+        for f in universe:
+            back = StructuralFault.from_dict(f.to_dict())
+            assert back == f
+            assert back.key() == f.key()
+
+    def test_key_is_hashable_and_stable(self, universe):
+        keys = {f.key() for f in universe}
+        assert len(keys) == len(universe)
+        for f in universe:
+            assert f.key() == StructuralFault(f.device, f.kind,
+                                              f.block, f.role).key()
+
+
+class TestUniverseSummary:
+    def test_counts_add_up(self, universe):
+        summary = universe_summary(universe)
+        assert summary["total"] == len(universe)
+        assert sum(summary["by_block"].values()) == len(universe)
+        assert sum(summary["by_kind"].values()) == len(universe)
+
+    def test_known_labels(self, universe):
+        summary = universe_summary(universe)
+        assert "tx" in summary["by_block"]
+        assert "Gate open" in summary["by_kind"]
+
+
+class TestClassAlgebra:
+    def test_modes_tuple(self):
+        assert COLLAPSE_MODES == ("off", "on", "audit")
+        assert issubclass(CollapseAuditError, AssertionError)
+
+    def test_digests_deterministic_across_instances(self, universe,
+                                                    collapser):
+        fresh = FaultCollapser()
+        for f in universe:
+            assert fresh.class_key(f) == collapser.class_key(f)
+
+    def test_classes_partition_the_universe(self, universe, collapser):
+        grouped = collapser.classes(universe)
+        members = [f for ms in grouped.values() for f in ms]
+        assert sorted(f.key() for f in members) == \
+            sorted(f.key() for f in universe)
+
+    def test_classes_never_mix_blocks(self, universe, collapser):
+        for members in collapser.classes(universe).values():
+            assert len({f.block for f in members}) == 1
+
+    def test_compression_is_real(self, universe, collapser):
+        """The universe must actually collapse — series-chain opens and
+        duplicate bridges exist by construction."""
+        grouped = collapser.classes(universe)
+        assert len(grouped) < len(universe)
+        assert any(len(ms) > 1 for ms in grouped.values())
+
+    def test_representative_map_total_and_idempotent(self, universe,
+                                                     collapser):
+        reps = collapser.representative_map(universe)
+        assert set(reps) == {f.key() for f in universe}
+        for rep in reps.values():
+            # a representative is its own representative
+            assert reps[rep.key()].key() == rep.key()
+
+    def test_members_share_their_reps_class(self, universe, collapser):
+        reps = collapser.representative_map(universe)
+        for f in universe:
+            assert collapser.class_key(f) == \
+                collapser.class_key(reps[f.key()])
+
+    def test_unknown_tier_signature_is_none(self, collapser):
+        foreign = StructuralFault("dev_x", FaultKind.DRAIN_OPEN,
+                                  "not_a_block", "")
+        for tier in ("dc", "scan", "bist"):
+            assert collapser.tier_signature(foreign, tier) is None
+        block, tag = collapser.class_key(foreign)
+        assert block == "not_a_block"
+        assert tag[0] == "singleton"
+
+
+class TestReport:
+    @pytest.fixture(scope="class")
+    def report(self, universe):
+        return universe_report(universe)
+
+    def test_accounting(self, report, universe):
+        assert report.n_faults == len(universe)
+        assert report.n_classes == len(report.classes)
+        assert sum(size * count
+                   for size, count in report.histogram().items()) == \
+            report.n_faults
+        assert sum(report.classes_by_block().values()) == report.n_classes
+
+    def test_format_mentions_the_ratio(self, report):
+        text = report.format()
+        assert "classes:" in text
+        assert f"{report.ratio:.2f}x" in text
+
+    def test_ratio_exceeds_one(self, report):
+        assert report.ratio > 1.0
