@@ -24,7 +24,7 @@ Environment knobs:
   campaign bench (default ``on``: one simulated representative per
   structural equivalence class; verdicts match the uncollapsed run).
 
-Every session writes ``BENCH_PR7.json`` next to this file: per-bench
+Every session writes ``BENCH_PR8.json`` next to this file: per-bench
 wall time, per-bench ``lu_factor`` deltas, and the engine's profiling
 counters (including the batched-solver counters — ``batched_solves``,
 ``batch_fill``, ``woodbury_hits``, ``batch_fallbacks``), so performance
@@ -47,19 +47,26 @@ import time
 import pytest
 
 _HERE = os.path.dirname(__file__)
-_OUTPUT_NAME = "BENCH_PR7.json"
+_OUTPUT_NAME = "BENCH_PR8.json"
 
 _campaign_cache = {}
 _mc_cache = {}
 _bench_times = {}
 _bench_lu = {}
 _economics = {}
+_patterns = {}
 
 
 def record_economics(name, data):
     """Store a serial-vs-batched comparison for the BENCH artifact
     (see ``test_bench_backend_economics``)."""
     _economics[name] = data
+
+
+def record_patterns(name, data):
+    """Store a per-pattern coverage/BER/lock-time block for the BENCH
+    artifact (see ``test_bench_patterns``)."""
+    _patterns[name] = data
 
 
 def _bench_backend():
@@ -161,6 +168,7 @@ def pytest_sessionfinish(session, exitstatus):
         "bench_wall_s": _bench_times,
         "bench_lu_factor": _bench_lu,
         "backend_economics": _economics,
+        "patterns": _patterns,
         "collapse": {
             "mode": _bench_collapse(),
             "classes": COUNTERS.classes,

@@ -1,0 +1,238 @@
+#!/usr/bin/env python
+"""Consolidated CI guard harness: every repo invariant smoke in one run.
+
+Replaces the guard job's inline step-per-smoke shell with a single
+entry point that runs each check, keeps going on failure, and prints a
+summary table (CI fails on any non-OK row).  Checks:
+
+1. private-access  — no cross-object ``obj._attr`` reach-ins in src/
+2. campaign-resume — export+resume parity of the fault campaign
+3. supervision     — hang/worker-kill isolation (supervision_smoke)
+4. numerics        — singular-circuit isolation ladder (numerics_smoke)
+5. mc-parity       — Monte-Carlo export invariant across worker counts
+6. backend-parity  — batched backend byte-identical to serial
+7. collapse-parity — collapsed verdicts match per-fault verdicts
+8. pattern-parity  — coverage-vs-pattern JSON identical for
+                     ``--workers 1`` and ``--workers 4``
+
+Run locally: ``python scripts/guard_suite.py`` (from the repo root).
+Select a subset: ``python scripts/guard_suite.py mc-parity pattern-parity``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import Callable, List, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+ENV = {**os.environ, "PYTHONPATH": str(REPO_ROOT / "src")}
+
+
+def _run(argv: List[str], cwd: str) -> None:
+    """Run a child process; raise with its output on failure."""
+    proc = subprocess.run(
+        argv,
+        cwd=cwd,
+        env=ENV,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    if proc.returncode != 0:
+        cmd = " ".join(argv)
+        raise RuntimeError(f"{cmd} exited {proc.returncode}\n{proc.stdout}")
+
+
+def _repro(args: str, cwd: str) -> None:
+    """Run ``python -m repro`` with the space-separated *args*."""
+    _run([sys.executable, "-m", "repro", *args.split()], cwd=cwd)
+
+
+def _script(name: str, cwd: str) -> None:
+    _run([sys.executable, str(REPO_ROOT / "scripts" / name)], cwd=cwd)
+
+
+def _read(tmp: str, name: str) -> bytes:
+    return (Path(tmp) / name).read_bytes()
+
+
+def _load(tmp: str, name: str) -> dict:
+    with open(Path(tmp) / name) as fh:
+        return json.load(fh)
+
+
+def check_private_access(tmp: str) -> str:
+    _script("check_private_access.py", tmp)
+    return "clean"
+
+
+def check_campaign_resume(tmp: str) -> str:
+    _repro(
+        "campaign --sample 24 --workers 2"
+        " --export campaign-a.json --resume campaign.ckpt",
+        cwd=tmp,
+    )
+    _repro(
+        "campaign --sample 24 --workers 2"
+        " --export campaign-b.json --resume campaign.ckpt",
+        cwd=tmp,
+    )
+    a = _load(tmp, "campaign-a.json")
+    b = _load(tmp, "campaign-b.json")
+    if a != b:
+        raise RuntimeError("resumed campaign diverged from the original")
+    return f"{len(a['records'])} records stable across resume"
+
+
+def check_supervision(tmp: str) -> str:
+    _script("supervision_smoke.py", tmp)
+    return "hang + worker-kill isolated"
+
+
+def check_numerics(tmp: str) -> str:
+    _script("numerics_smoke.py", tmp)
+    return "singular circuits isolated"
+
+
+def check_mc_parity(tmp: str) -> str:
+    _repro("mc --dies 8 --seed 2016 --workers 1 --export mc-w1.json", tmp)
+    _repro("mc --dies 8 --seed 2016 --workers 2 --export mc-w2.json", tmp)
+    if _read(tmp, "mc-w1.json") != _read(tmp, "mc-w2.json"):
+        raise RuntimeError("mc export differs between worker counts")
+    return "byte-identical for --workers 1/2"
+
+
+def check_backend_parity(tmp: str) -> str:
+    _repro(
+        "campaign --sample 24 --seed 2016 --export campaign-serial.json",
+        cwd=tmp,
+    )
+    _repro(
+        "campaign --sample 24 --seed 2016 --backend batched"
+        " --export campaign-batched.json",
+        cwd=tmp,
+    )
+    if _read(tmp, "campaign-serial.json") != _read(
+        tmp, "campaign-batched.json"
+    ):
+        raise RuntimeError("campaign artifact differs across backends")
+    _repro("mc --dies 8 --seed 2016 --export mc-serial.json", cwd=tmp)
+    _repro(
+        "mc --dies 8 --seed 2016 --backend batched --export mc-batched.json",
+        cwd=tmp,
+    )
+    if _read(tmp, "mc-serial.json") != _read(tmp, "mc-batched.json"):
+        raise RuntimeError("mc artifact differs across backends")
+    return "campaign + mc identical across backends"
+
+
+def check_collapse_parity(tmp: str) -> str:
+    _repro(
+        "campaign --sample 48 --seed 2016 --export collapse-off.json",
+        cwd=tmp,
+    )
+    _repro(
+        "campaign --sample 48 --seed 2016 --collapse audit"
+        " --export collapse-on.json",
+        cwd=tmp,
+    )
+    off = _load(tmp, "collapse-off.json")
+    on = _load(tmp, "collapse-on.json")
+    # provenance is the one permitted difference: every other field of
+    # every record must match the uncollapsed run
+    stripped = []
+    for rec in on["records"]:
+        rec = dict(rec)
+        rec.pop("collapsed_from", None)
+        stripped.append(rec)
+    if stripped != off["records"]:
+        raise RuntimeError("collapse moved a verdict")
+    if "collapsed_from" in json.dumps(off):
+        raise RuntimeError("uncollapsed artifact grew a provenance key")
+    return f"verdicts match over {len(stripped)} records"
+
+
+def check_pattern_parity(tmp: str) -> str:
+    for n in ("1", "4"):
+        _repro(
+            f"patterns --sample 12 --workers {n} --no-ber-sweep"
+            f" --patterns prbs7,isi,aggressor --export patterns-w{n}.json",
+            cwd=tmp,
+        )
+    if _read(tmp, "patterns-w1.json") != _read(tmp, "patterns-w4.json"):
+        raise RuntimeError(
+            "pattern campaign differs between --workers 1 and --workers 4"
+        )
+    cov = _load(tmp, "patterns-w1.json")
+    return (
+        f"byte-identical for --workers 1/4 "
+        f"({cov['total_faults']} faults x {len(cov['patterns'])} patterns)"
+    )
+
+
+CHECKS: List[Tuple[str, Callable[[str], str]]] = [
+    ("private-access", check_private_access),
+    ("campaign-resume", check_campaign_resume),
+    ("supervision", check_supervision),
+    ("numerics", check_numerics),
+    ("mc-parity", check_mc_parity),
+    ("backend-parity", check_backend_parity),
+    ("collapse-parity", check_collapse_parity),
+    ("pattern-parity", check_pattern_parity),
+]
+
+
+def main(argv: List[str]) -> int:
+    known = [name for name, _ in CHECKS]
+    wanted = set(argv) or set(known)
+    unknown = wanted - set(known)
+    if unknown:
+        print(
+            f"unknown checks: {', '.join(sorted(unknown))}",
+            file=sys.stderr,
+        )
+        print(f"available: {', '.join(known)}", file=sys.stderr)
+        return 2
+
+    rows: List[Tuple[str, bool, float, str]] = []
+    for name, check in CHECKS:
+        if name not in wanted:
+            continue
+        t0 = time.monotonic()
+        with tempfile.TemporaryDirectory(prefix=f"guard-{name}-") as tmp:
+            try:
+                detail = check(tmp)
+                ok = True
+            except Exception as exc:  # keep going; summarise at the end
+                detail = str(exc)
+                ok = False
+        dt = time.monotonic() - t0
+        rows.append((name, ok, dt, detail))
+        status = "ok" if ok else "FAIL"
+        print(f"[{status:>4}] {name} ({dt:.1f}s)")
+        if not ok:
+            print(f"       {detail}")
+
+    width = max(len(name) for name, _, _, _ in rows)
+    print("\nguard suite summary")
+    print(f"  {'check':<{width}}  {'status':<6} {'time':>7}  detail")
+    for name, ok, dt, detail in rows:
+        first = detail.splitlines()[0]
+        status = "ok" if ok else "FAIL"
+        print(f"  {name:<{width}}  {status:<6} {dt:>6.1f}s  {first}")
+    failed = [name for name, ok, _, _ in rows if not ok]
+    if failed:
+        print(f"\n{len(failed)} check(s) failed: {', '.join(failed)}")
+        return 1
+    print(f"\nall {len(rows)} checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -301,6 +301,17 @@ class CompiledAssembly:
         self._compile_caps(caps if self.mode == "tran" else [])
         self.is_linear = not (mosfets or switches or fallback)
 
+    @property
+    def source_aux_rows(self) -> Tuple[int, ...]:
+        """Aux-row index of every voltage source, in stamp order.
+
+        Part of the plan's *shape*: the batched lockstep solver groups
+        plans whose right-hand-side scatter is identical, and the
+        source rows are the only RHS structure not captured by the
+        dimensions alone.
+        """
+        return tuple(k for _, k in self._vsources)
+
     def _compile_mosfets(self, mosfets: List[MOSFET]) -> None:
         self._mosfets = mosfets
         m = len(mosfets)
@@ -433,11 +444,10 @@ class CompiledAssembly:
             ieq = self._cap_geq * v_prev
             if self.method == "trap":
                 caps = self._caps
-                ieq = ieq + np.fromiter((c._i_hist for c in caps), float,
-                                        len(caps))
+                ieq = ieq + np.fromiter(
+                    (c.history_current for c in caps), float, len(caps))
                 for c, g_used, i_used in zip(caps, self._cap_geq, ieq):
-                    c._geq_used = g_used
-                    c._ieq_used = i_used
+                    c.record_companion(g_used, i_used)
             np.add.at(b, self._cap_brow, self._cap_bsign * ieq[self._cap_bsrc])
 
         for elem, k in self._vsources:
@@ -562,14 +572,16 @@ def get_compiled(circuit, mode: str, *, node_index: Dict[str, int],
     plus the circuit's structural revision, so ``add``/``remove`` (and
     ``Circuit.touch()``) naturally invalidate them.
     """
-    cache = getattr(circuit, "_compiled_cache", None)
+    cache = getattr(circuit, "plan_cache", None)
     if cache is None:
-        cache = circuit._compiled_cache = {}
-    key = (mode, dt, method, gmin, getattr(circuit, "_revision", 0))
+        # duck-typed stand-ins without the cache: plans are rebuilt
+        # per call (real Circuits always own a plan_cache)
+        cache = {}
+    key = (mode, dt, method, gmin, getattr(circuit, "revision", 0))
     hit = cache.get(key)
     if hit is not None and hit.n_total == n_total:
         COUNTERS.compiled_cache_hits += 1
-        rev = getattr(circuit, "_param_revision", 0)
+        rev = getattr(circuit, "param_revision", 0)
         if hit.param_revision != rev:
             hit.refresh_parameters()
             hit.param_revision = rev

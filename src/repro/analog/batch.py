@@ -95,8 +95,7 @@ def pattern_key(plan: CompiledAssembly) -> int:
     retention source's aux row) land in their own same-shape groups.
     """
     parts: List[object] = [plan.n_total, plan.n_nodes, plan.mode,
-                           plan.dt, plan.method,
-                           tuple(k for _, k in plan._vsources)]
+                           plan.dt, plan.method, plan.source_aux_rows]
     return hash(tuple(parts))
 
 

@@ -201,6 +201,22 @@ class Capacitor(Element):
         self._geq_used = 0.0
         self._ieq_used = 0.0
 
+    @property
+    def history_current(self) -> float:
+        """Branch current of the last accepted step (trap history)."""
+        return self._i_hist
+
+    def record_companion(self, geq: float, ieq: float) -> None:
+        """Adopt externally stamped companion values.
+
+        The compiled fast path stamps every capacitor's companion in
+        one vectorised pass; it hands the values back here so the
+        element's :meth:`accept_step` bookkeeping (and any later
+        fallback stamp) sees exactly what was stamped.
+        """
+        self._geq_used = geq
+        self._ieq_used = ieq
+
     def accept_step(self, v_new: float) -> None:
         """Record the branch current of the accepted step (trap history).
 

@@ -51,6 +51,29 @@ class Circuit:
         self._compiled_cache: Dict = {}
 
     # ------------------------------------------------------------------
+    # revision tracking (read by the compiled-assembly plan cache)
+    # ------------------------------------------------------------------
+    @property
+    def revision(self) -> int:
+        """Structural revision; bumped by :meth:`touch`."""
+        return self._revision
+
+    @property
+    def param_revision(self) -> int:
+        """Parameter revision; bumped by :meth:`retune`."""
+        return self._param_revision
+
+    @property
+    def plan_cache(self) -> Dict:
+        """The compiled-assembly plan cache keyed by compile knobs.
+
+        Owned by the circuit so structural edits (:meth:`touch`) can
+        drop every plan; :func:`repro.analog.assembly.get_compiled` is
+        the only writer.
+        """
+        return self._compiled_cache
+
+    # ------------------------------------------------------------------
     # element management
     # ------------------------------------------------------------------
     def _unique_name(self, prefix: str) -> str:

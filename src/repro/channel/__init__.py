@@ -32,11 +32,13 @@ from .eye import (
     eye_of_channel,
 )
 from .rc_line import (
+    CoupledRCLines,
     RCLine,
     abcd_chain,
     abcd_series,
     abcd_shunt,
     abcd_to_transfer,
+    default_coupled_lines,
 )
 from .sparams import (
     ChannelConfig,
@@ -61,7 +63,8 @@ __all__ = [
     "DifferentialChannel", "DifferentialLevels", "degrade_arm",
     "EyeResult", "equalization_gain", "eye_center", "eye_from_pulse",
     "eye_of_channel",
-    "RCLine", "abcd_chain", "abcd_series", "abcd_shunt", "abcd_to_transfer",
+    "CoupledRCLines", "RCLine", "abcd_chain", "abcd_series", "abcd_shunt",
+    "abcd_to_transfer", "default_coupled_lines",
     "ChannelConfig", "ChannelResponse", "channel_transfer", "dominant_pole",
     "pulse_response",
     "GLOBAL_MIN", "GLOBAL_WIDE", "INTERMEDIATE", "PRESETS", "WireModel",

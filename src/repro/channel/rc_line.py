@@ -98,6 +98,118 @@ class RCLine:
         return out
 
 
+@dataclass(frozen=True)
+class CoupledRCLines:
+    """A victim lane plus a parallel aggressor lane with mutual C.
+
+    Models the adjacent-track situation the paper's single-lane channel
+    cannot ask about: a second repeaterless low-swing wire running the
+    same span, coupled to the victim through the sidewall capacitance
+    ``coupling_c_per_m``.  Two complementary views again:
+
+    * :meth:`build_ladder` emits both RC ladders into one circuit with a
+      coupling capacitor tying every pair of interior nodes — for MNA
+      co-simulation of a toggling aggressor;
+    * :meth:`far_end_xtalk` / :meth:`victim_timing_shift` are the
+      closed-form charge-sharing estimates the behavioural loop's
+      crosstalk aggressor consumes (:mod:`repro.patterns.sources`).
+    """
+
+    victim: RCLine
+    aggressor: RCLine
+    #: mutual (sidewall) capacitance between the lanes [F/m]
+    coupling_c_per_m: float
+
+    def __post_init__(self):
+        if self.coupling_c_per_m < 0:
+            raise ValueError("coupling capacitance must be >= 0")
+        if self.victim.length_m != self.aggressor.length_m:
+            raise ValueError("coupled lanes must share one length")
+
+    @property
+    def length_m(self) -> float:
+        return self.victim.length_m
+
+    @property
+    def total_coupling_c(self) -> float:
+        """Total lane-to-lane capacitance [F]."""
+        return self.coupling_c_per_m * self.length_m
+
+    @property
+    def coupling_ratio(self) -> float:
+        """Charge-sharing ratio Cc / (Cc + Cg) seen by the victim.
+
+        The fraction of an aggressor swing that lands on a floating
+        victim — the standard far-end crosstalk bound for RC-dominant
+        on-chip wires (the driver fights it back, so it is a worst
+        case, which is exactly what a screening stimulus wants).
+        """
+        cc = self.total_coupling_c
+        return cc / (cc + self.victim.total_c)
+
+    def far_end_xtalk(self, aggressor_swing: float) -> float:
+        """Worst-case far-end victim glitch for one aggressor edge [V]."""
+        return self.coupling_ratio * aggressor_swing
+
+    def victim_timing_shift(self, aggressor_swing: float,
+                            eye_amplitude: float,
+                            eye_half_width: float) -> float:
+        """Sampling-margin loss per aggressor transition [s].
+
+        A crosstalk glitch of ``far_end_xtalk`` volts riding on a
+        received eye of ``eye_amplitude`` volts moves the zero crossing
+        — to first order the edge shifts by the glitch-to-amplitude
+        ratio times the eye half-width.  Clamped to the half-width: the
+        eye cannot lose more than all of its margin.
+        """
+        if eye_amplitude <= 0:
+            return eye_half_width
+        shift = (self.far_end_xtalk(aggressor_swing) / eye_amplitude
+                 * eye_half_width)
+        return min(shift, eye_half_width)
+
+    def build_ladder(self, circuit: Circuit, victim_in: str,
+                     victim_out: str, aggressor_in: str,
+                     aggressor_out: str, sections: int = 10,
+                     prefix: str = "pair") -> None:
+        """Emit both lanes plus the section-by-section coupling caps."""
+        if sections < 1:
+            raise ValueError("sections must be >= 1")
+        self.victim.build_ladder(circuit, victim_in, victim_out,
+                                 sections=sections, prefix=f"{prefix}_v")
+        self.aggressor.build_ladder(circuit, aggressor_in, aggressor_out,
+                                    sections=sections,
+                                    prefix=f"{prefix}_a")
+        cc_sec = self.total_coupling_c / sections
+        if cc_sec <= 0:
+            return
+        for i in range(sections):
+            v_node = (victim_out if i == sections - 1
+                      else f"{prefix}_v_n{i + 1}")
+            a_node = (aggressor_out if i == sections - 1
+                      else f"{prefix}_a_n{i + 1}")
+            circuit.add_capacitor(v_node, a_node, cc_sec,
+                                  name=f"{prefix}_Cc{i + 1}")
+
+
+def default_coupled_lines(length_m: float = 10e-3,
+                          coupling_fraction: float = 0.08
+                          ) -> CoupledRCLines:
+    """The paper's 10 mm global-wire lane with a like-for-like neighbour.
+
+    ``coupling_fraction`` scales the mutual capacitance as a fraction of
+    the lane's own ground capacitance; 8% is a conservative
+    wide-spacing figure for shielded low-swing routing (the DFT intent:
+    a stimulus that stresses, not a pathological worst case).
+    """
+    from .wire_models import GLOBAL_MIN
+
+    lane = RCLine(wire=GLOBAL_MIN, length_m=length_m)
+    return CoupledRCLines(
+        victim=lane, aggressor=lane,
+        coupling_c_per_m=coupling_fraction * GLOBAL_MIN.c_per_m)
+
+
 # ----------------------------------------------------------------------
 # generic ABCD building blocks for channel chains
 # ----------------------------------------------------------------------

@@ -10,6 +10,7 @@ Commands
 ``coverage``   the fault campaign (full or sampled) -> Table I
 ``campaign``   a tier-configurable campaign with export/resume artifacts
 ``mc``         Monte-Carlo mismatch campaign -> statistical Table I
+``patterns``   coverage-vs-pattern campaign + BER-vs-length sweep
 ``bench``      time a sampled campaign and print the engine counters
 ``overhead``   the DFT inventory -> Table II
 ``netlist``    export one of the paper's circuits as a SPICE deck
@@ -236,6 +237,69 @@ def cmd_mc(args) -> int:
             fh.write(result.to_json(indent=2))
         print(f"wrote {args.export}")
     return 0
+
+
+def cmd_patterns(args) -> int:
+    import json
+
+    from .patterns.campaign import (DEFAULT_CAMPAIGN_PATTERNS,
+                                    PatternCampaign, ber_vs_length_sweep)
+
+    names = (tuple(t.strip() for t in args.patterns.split(",") if t.strip())
+             if args.patterns else DEFAULT_CAMPAIGN_PATTERNS)
+
+    def progress(i, n):
+        if i % 10 == 0 or i == n:
+            print(f"  {i}/{n} faults simulated", file=sys.stderr)
+
+    campaign = PatternCampaign(patterns=names)
+    result = campaign.run(sample=args.sample, workers=args.workers,
+                          progress=progress if args.progress else None)
+
+    print(f"coverage vs pattern ({result.total} faults, "
+          f"static stage detects {len(result.static_detected())})")
+    print(f"  {'pattern':<12} {'coverage':>8} {'at-speed':>8}  "
+          f"unique classes / beyond prbs7")
+    unique = result.unique_at_speed_classes()
+    for p in names:
+        extras = unique[p] or result.classes_beyond_prbs7(p)
+        print(f"  {p:<12} {result.coverage(p):>8.3f} "
+              f"{len(result.at_speed_detected(p)):>8}  "
+              f"{', '.join(extras) if extras else '-'}")
+
+    healthy_ok = True
+    print("\nhealthy lock vs stimulus (budget = 2 us x stimulus scale)")
+    for p in names:
+        lock = result.lock_summary[p]
+        worst = max((ph["lock_time_s"] or float("inf"))
+                    for ph in lock["phases"].values())
+        ok = all(ph["within_budget"] for ph in lock["phases"].values())
+        healthy_ok = healthy_ok and ok
+        print(f"  {p:<12} worst lock "
+              f"{worst * 1e9 if worst != float('inf') else float('nan'):8.0f} ns"
+              f"  budget {lock['budget_s'] * 1e9:8.0f} ns  "
+              f"{'PASS' if ok else 'FAIL'}")
+
+    sweep = ber_vs_length_sweep() if args.ber_sweep else []
+    if sweep:
+        print("\nBER vs pattern length (healthy loop, checker attached)")
+        print(f"  {'pattern':<12} {'length':>10} {'bits':>7} {'errors':>7} "
+              f"{'BER':>8} {'lock[ns]':>9} budget")
+        for pt in sweep:
+            lt = (f"{pt.lock_time_s * 1e9:.0f}"
+                  if pt.lock_time_s is not None else "-")
+            print(f"  {pt.pattern:<12} {pt.length_bits:>10} {pt.bits:>7} "
+                  f"{pt.errors:>7} {pt.ber:>8.4f} {lt:>9} "
+                  f"{'PASS' if pt.within_budget else 'FAIL'}")
+
+    if args.export:
+        payload = json.loads(result.to_json())
+        payload["ber_sweep"] = [pt.to_dict() for pt in sweep]
+        with open(args.export, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"\nwrote {args.export}")
+    return 0 if healthy_ok else 1
 
 
 def cmd_bench(args) -> int:
@@ -594,6 +658,24 @@ def build_parser() -> argparse.ArgumentParser:
     _add_backend(p)
     _add_collapse(p)
     p.set_defaults(func=cmd_mc)
+
+    p = sub.add_parser("patterns",
+                       help="coverage-vs-pattern campaign + BER sweep")
+    p.add_argument("--patterns", default=None,
+                   help="comma-separated stimulus names (default: "
+                        "prbs7,prbs15,scrambler,isi,aggressor)")
+    p.add_argument("--sample", type=int, default=None,
+                   help="deterministic fault-universe subsample size")
+    p.add_argument("--workers", type=int, default=None,
+                   help="parallel campaign workers (records identical "
+                        "to a serial run)")
+    p.add_argument("--no-ber-sweep", dest="ber_sweep",
+                   action="store_false",
+                   help="skip the BER-vs-pattern-length sweep")
+    p.add_argument("--export", metavar="PATH",
+                   help="write the combined JSON artifact")
+    p.add_argument("--progress", action="store_true")
+    p.set_defaults(func=cmd_patterns)
 
     p = sub.add_parser("bench",
                        help="time a sampled campaign + engine counters")

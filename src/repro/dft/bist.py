@@ -15,12 +15,20 @@ Four at-speed observations, all available without external test access:
 * **Lock test** — the behavioural loop runs at speed on PRBS data from
   the worst-case startup phase; the lock detector must report lock
   within 2 us with no more than n_phases/2 coarse corrections.
+
+The at-speed stimulus is a sweepable axis (DESIGN.md §15): the tier
+registers parameterised variants ``bist@<pattern>`` over the
+:mod:`repro.patterns` sources.  The default ``bist`` tier is the
+legacy PRBS7 run, bit-identical to every pre-pattern-engine campaign;
+non-default patterns additionally run past lock and apply the strict
+data-integrity verdict (zero post-lock sampling errors) under a
+stimulus-specific lock-budget stretch.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import ClassVar, Dict, Optional
+from typing import Dict, Optional
 
 from ..faults.behavior_map import map_fault_to_knobs
 from ..faults.inject import inject_fault
@@ -38,19 +46,29 @@ CURRENT_HI = 3.0
 LOCK_TEST_PHASE = 5
 #: cycles simulated by the lock test (> the 5000-cycle budget)
 LOCK_TEST_CYCLES = 7000
+#: the paper's lock-time budget [s]
+LOCK_BUDGET = 2e-6
 
 
 @register_tier("bist")
 @dataclass
 class BISTTest:
-    """BIST tier detector with cached golden signatures."""
+    """BIST tier detector with cached golden signatures.
+
+    *pattern* selects the at-speed stimulus (any
+    :data:`repro.patterns.sources.PATTERN_NAMES` entry); the registry
+    builds parameterised instances via ``create_tier("bist@isi")``.
+    *measure_cache* memoizes the expensive pattern-independent netlist
+    characterisations (window thresholds, VCDL delay pairs) — pass one
+    shared dict when sweeping many patterns over the same fault list.
+    """
 
     goldens: GoldenSignatures = field(default_factory=GoldenSignatures)
+    pattern: str = "prbs7"
+    measure_cache: Dict = field(default_factory=dict, repr=False)
     _golden: Dict = field(default_factory=dict, repr=False)
     _healthy_ota_i: Dict[str, float] = field(default_factory=dict,
                                              repr=False)
-
-    name: ClassVar[str] = "bist"
 
     #: OTA devices screened for bias collapse (block speed screen)
     OTA_DEVICES = ("win_hi_MT", "win_hi_MLO", "win_lo_MT", "win_lo_MLO",
@@ -60,6 +78,16 @@ class BISTTest:
     SLEW_COLLAPSE = 0.1
 
     def __post_init__(self):
+        from ..patterns.sources import PATTERN_NAMES
+
+        if self.pattern not in PATTERN_NAMES:
+            raise KeyError(f"unknown pattern {self.pattern!r}; choices: "
+                           f"{', '.join(PATTERN_NAMES)}")
+        # the default tier keeps its historical name so records stay
+        # byte-identical; parameterised instances carry the registry's
+        # "bist@<pattern>" spelling
+        self.name = ("bist" if self.pattern == "prbs7"
+                     else f"bist@{self.pattern}")
         # shared retention references (receiver quiescent point, VCDL
         # with the clock low) are built through the cache — pre-fork,
         # and reused by every tier of the campaign
@@ -72,6 +100,12 @@ class BISTTest:
         """Healthy signatures: V_p tracking flags, OTA speed screens,
         and the pump-current windows."""
         return {"receiver_checks": self._golden}
+
+    @property
+    def golden_checks(self) -> Dict:
+        """The healthy receiver-checks signature (the reference the
+        batched MC screens compare against)."""
+        return self._golden
 
     # ------------------------------------------------------------------
     def applies_to(self, fault: StructuralFault) -> bool:
@@ -90,17 +124,25 @@ class BISTTest:
         return self._vcdl_alive(None)
 
     def detect(self, fault: StructuralFault) -> bool:
-        if fault.block == "window_comp":
-            if self._run_receiver_checks(fault) != self._golden:
-                return True
-            return self._window_lock_test(fault)
-        if fault.block == "cp":
-            if self._run_receiver_checks(fault) != self._golden:
-                return True
-            return self._lock_test(fault)
+        if self.static_detect(fault):
+            return True
+        return self.at_speed_detect(fault)
+
+    def static_detect(self, fault: StructuralFault) -> bool:
+        """The tier's pattern-independent stages only (receiver checks,
+        VCDL aliveness).  The pattern campaign runs these once and
+        sweeps :meth:`at_speed_detect` per stimulus."""
+        if fault.block in ("window_comp", "cp"):
+            return self._run_receiver_checks(fault) != self._golden
         if fault.block == "vcdl":
-            if not self._vcdl_alive(fault):
-                return True
+            return not self._vcdl_alive(fault)
+        return False
+
+    def at_speed_detect(self, fault: StructuralFault) -> bool:
+        """The stimulus-dependent at-speed stages only."""
+        if fault.block == "window_comp":
+            return self._window_lock_test(fault)
+        if fault.block == "vcdl":
             return self._vcdl_lock_test(fault)
         return self._lock_test(fault)
 
@@ -134,7 +176,7 @@ class BISTTest:
                 duts.append(ReceiverDUT(circuit=faulted, cp=base.cp,
                                         vdd=base.vdd))
                 keep.append(f)
-            sigs = self._batched_receiver_checks(duts, backend=backend)
+            sigs = self.batched_receiver_checks(duts, backend=backend)
             for f, sig in zip(keep, sigs):
                 if isinstance(sig, Exception):
                     continue
@@ -180,9 +222,10 @@ class BISTTest:
         DCTest.detect_collapsed for the memo/provenance contract.
 
         Receiver checks key on the perturbation digest alone (shared by
-        cp and window-comparator classes); the follow-on lock run keys
-        on the behavioural knob set for cp faults (the only input
-        :meth:`_lock_test` consumes) and on the digest for the
+        cp and window-comparator classes, and across stimulus patterns);
+        the follow-on lock run keys on the stimulus pattern plus the
+        behavioural knob set for cp faults (the only inputs
+        :meth:`_lock_test` consumes) or the digest for the
         window-threshold bisection.
         """
         from .collapsed import (consume, expand, group_by_signature,
@@ -191,7 +234,9 @@ class BISTTest:
         memo = {} if memo is None else memo
         resolved: Dict = {}
         provenance: Dict = {}
-        groups = group_by_signature(faults, collapser, self.name)
+        # the collapser's equivalence knowledge is per base tier; the
+        # pattern only enters the lock-stage memo keys below
+        groups = group_by_signature(faults, collapser, "bist")
         rx_groups = {s: m for s, m in groups.items() if s[0] == "R"}
         vc_groups = {s: m for s, m in groups.items() if s[0] == "V"}
 
@@ -210,9 +255,9 @@ class BISTTest:
                 expand(resolved, provenance, members, True)
                 continue
             if members[0].block == "cp":
-                lkey = ("cp_lock", sig[2])
+                lkey = ("cp_lock", self.pattern, sig[2])
             else:
-                lkey = ("win_lock", sig[1])
+                lkey = ("win_lock", self.pattern, sig[1])
             lock_need.setdefault(lkey, members[0])
             lock_groups.append((lkey, members))
 
@@ -268,7 +313,7 @@ class BISTTest:
             reps, lambda inj: ReceiverDUT(circuit=inj(base.circuit),
                                           cp=base.cp, vdd=base.vdd),
             self.goldens.retention_receiver)
-        sigs = self._batched_receiver_checks(duts, backend=backend)
+        sigs = self.batched_receiver_checks(duts, backend=backend)
         for i, sig in zip(idx, sigs):
             results[i] = sig
         return results
@@ -294,7 +339,7 @@ class BISTTest:
                 else RuntimeError("vcdl characterisation unresolved")
                 for f in reps]
 
-    def _batched_receiver_checks(self, duts, backend=None):
+    def batched_receiver_checks(self, duts, backend=None):
         """Batched :meth:`_run_receiver_checks` over prepared DUTs.
 
         Stage-lockstep mirror of the serial method: the hold check runs
@@ -525,9 +570,13 @@ class BISTTest:
         detector overflow; a mild parametric shift locks fine and
         escapes (the Table I open-fault escapes).
         """
-        d_lo = self._measure_faulted_vcdl(fault, LinkParams().v_window_lo)
-        d_hi = self._measure_faulted_vcdl(fault, LinkParams().v_window_hi)
-        return self._vcdl_lock_verdict(d_lo, d_hi)
+        ckey = ("vcdl_delays", fault.key())
+        if ckey not in self.measure_cache:
+            p0 = LinkParams()
+            self.measure_cache[ckey] = (
+                self._measure_faulted_vcdl(fault, p0.v_window_lo),
+                self._measure_faulted_vcdl(fault, p0.v_window_hi))
+        return self._vcdl_lock_verdict(*self.measure_cache[ckey])
 
     def _vcdl_lock_verdict(self, d_lo: float, d_hi: float) -> bool:
         """Behavioural lock run on a measured (d_lo, d_hi) delay pair."""
@@ -548,9 +597,55 @@ class BISTTest:
 
         params = LinkParams(initial_phase_index=LOCK_TEST_PHASE,
                             vcdl_delay=faulted_curve)
-        loop = SynchronizerLoop(params=params)
-        result = loop.run(max_cycles=LOCK_TEST_CYCLES, stop_on_lock=True)
-        return not result.bist_pass
+        return not self._loop_passes(params)
+
+    def _build_loop(self, params: LinkParams):
+        """A loop wired for this tier's stimulus, plus its budget scale.
+
+        The default PRBS7 pattern keeps the legacy construction (no
+        source argument at all), so the default tier's runs stay
+        bit-identical to every pre-pattern-engine campaign record.
+        """
+        if self.pattern == "prbs7":
+            return SynchronizerLoop(params=params), 1.0
+        from ..patterns.sources import build_stimulus
+
+        source, aggressor = build_stimulus(self.pattern)
+        scale = float(getattr(source, "lock_budget_scale", 1.0))
+        return SynchronizerLoop(params=params, source=source,
+                                aggressor=aggressor), scale
+
+    def _pattern_verdict(self, result, params: LinkParams,
+                         scale: float) -> bool:
+        """Strict at-speed pass for a non-default stimulus.
+
+        The legacy ``bist_pass`` criteria (lock inside the — here
+        stretched — budget, corrections within the lock-detector
+        bound), plus zero post-lock sampling errors: a stimulus whose
+        whole point is stressing the sampled data (crosstalk aggressor,
+        ISI lone bits) detects through the data path, not just the
+        lock path.
+        """
+        return (result.locked
+                and result.lock_time is not None
+                and result.lock_time <= LOCK_BUDGET * scale
+                and result.coarse_corrections <= params.n_phases // 2
+                and result.errors_after_lock == 0)
+
+    def _loop_passes(self, params: LinkParams) -> bool:
+        """One at-speed run under this tier's stimulus."""
+        loop, scale = self._build_loop(params)
+        if self.pattern == "prbs7":
+            result = loop.run(max_cycles=LOCK_TEST_CYCLES,
+                              stop_on_lock=True)
+            return result.bist_pass
+        # non-default stimuli run past lock so post-lock errors can
+        # accumulate (stop_on_lock exits the very cycle lock is
+        # declared), with the cycle count stretched alongside the
+        # budget for transition-starved patterns
+        result = loop.run(max_cycles=int(LOCK_TEST_CYCLES * scale),
+                          stop_on_lock=False)
+        return self._pattern_verdict(result, params, scale)
 
     def _run_loop(self, params: LinkParams) -> bool:
         """True when the loop passes the BIST verdict from both walk
@@ -561,10 +656,7 @@ class BISTTest:
 
         for phase in (LOCK_TEST_PHASE, LOCK_TEST_PHASE + 1):
             p = replace(params, initial_phase_index=phase)
-            loop = SynchronizerLoop(params=p)
-            result = loop.run(max_cycles=LOCK_TEST_CYCLES,
-                              stop_on_lock=True)
-            if not result.bist_pass:
+            if not self._loop_passes(p):
                 return False
         return True
 
@@ -642,7 +734,11 @@ class BISTTest:
         then fails to fire (or fires constantly), which the lock
         detector observes.
         """
-        th = self._measure_window_thresholds(fault)
+        ckey = ("win_thresholds", fault.key())
+        if ckey not in self.measure_cache:
+            self.measure_cache[ckey] = \
+                self._measure_window_thresholds(fault)
+        th = self.measure_cache[ckey]
         if th == "nonconv" or "nonconv" in th:
             return True
         th_lo, th_hi = th

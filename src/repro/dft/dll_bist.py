@@ -141,9 +141,24 @@ class DLLBistTier:
     BIST's pass/fail verdict scores the fault.
     """
 
-    name = "dll_bist"
+    def __init__(self, goldens: Optional[GoldenSignatures] = None,
+                 pattern: str = "prbs7"):
+        """*pattern* is accepted for registry uniformity
+        (``create_tier("dll_bist@isi")``) but cannot change the
+        verdict: the vernier measures tap spacing against a reference
+        clock — no data traverses the link, so the stimulus class is
+        irrelevant by construction.  The parameterised spelling is
+        still reflected in :attr:`name` so campaign records stay
+        self-describing.
+        """
+        from ..patterns.sources import PATTERN_NAMES
 
-    def __init__(self, goldens: Optional[GoldenSignatures] = None):
+        if pattern not in PATTERN_NAMES:
+            raise KeyError(f"unknown pattern {pattern!r}; choices: "
+                           f"{', '.join(PATTERN_NAMES)}")
+        self.pattern = pattern
+        self.name = ("dll_bist" if pattern == "prbs7"
+                     else f"dll_bist@{pattern}")
         goldens = goldens if goldens is not None else GoldenSignatures()
         self._golden_counts = goldens.get(
             "dll_bist_counts",

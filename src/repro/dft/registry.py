@@ -115,15 +115,28 @@ def registered_tiers() -> Tuple[str, ...]:
 
 def create_tier(name: str,
                 goldens: Optional[GoldenSignatures] = None) -> TestTier:
-    """Build the named tier, sharing *goldens* when given."""
-    if name not in _FACTORIES and name in _BUILTIN_MODULES:
-        importlib.import_module(_BUILTIN_MODULES[name])
+    """Build the named tier, sharing *goldens* when given.
+
+    A ``base@param`` name parameterises the base factory: the part
+    after ``@`` is passed as ``factory(goldens, pattern=param)`` and
+    the built tier must report the full spelling as its name —
+    ``create_tier("bist@isi")`` is the BIST tier driven by the ISI
+    stimulus.  Plain names keep the historical ``factory(goldens)``
+    call exactly.
+    """
+    base, _, param = name.partition("@")
+    if base not in _FACTORIES and base in _BUILTIN_MODULES:
+        importlib.import_module(_BUILTIN_MODULES[base])
     try:
-        factory = _FACTORIES[name]
+        factory = _FACTORIES[base]
     except KeyError:
         raise KeyError(f"unknown tier {name!r}; registered tiers: "
                        f"{', '.join(registered_tiers())}") from None
-    tier = factory(goldens if goldens is not None else GoldenSignatures())
+    goldens = goldens if goldens is not None else GoldenSignatures()
+    if param:
+        tier = factory(goldens, pattern=param)
+    else:
+        tier = factory(goldens)
     _validate_tier(tier, name)
     return tier
 

@@ -94,6 +94,17 @@ class ScanTest:
                 "receiver": self._golden_receiver,
                 "toggle": self._golden_toggle}
 
+    @property
+    def golden_probe(self) -> Dict:
+        """The healthy probe-FF capture signature (batched MC screens
+        compare per-die captures against this)."""
+        return self._golden_probe
+
+    @property
+    def golden_receiver(self) -> Dict:
+        """The healthy receiver scan-condition signature."""
+        return self._golden_receiver
+
     # ------------------------------------------------------------------
     def applies_to(self, fault: StructuralFault) -> bool:
         return fault.block in ("tx", "termination", "cp", "window_comp")

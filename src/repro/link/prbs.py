@@ -1,8 +1,22 @@
 """PRBS generators used for the at-speed BIST stimulus.
 
-Standard Fibonacci LFSRs: PRBS7 (x^7 + x^6 + 1) and PRBS15
-(x^15 + x^14 + 1).  The BIST runs the link "with random data at speed"
-(Section III); PRBS7 is the default stimulus.
+Standard Fibonacci LFSRs: PRBS7 (x^7 + x^6 + 1), PRBS15
+(x^15 + x^14 + 1), PRBS23 (x^23 + x^18 + 1) and PRBS31
+(x^31 + x^28 + 1) — all primitive trinomials, so every generator walks
+the full 2^order - 1 state cycle.  The BIST runs the link "with random
+data at speed" (Section III); PRBS7 is the default stimulus, and the
+longer orders feed the BER-vs-pattern-length sweeps of
+:mod:`repro.patterns`.
+
+Seed contract: the seed must already lie inside the register
+(``0 <= seed <= 2^order - 1``).  An out-of-range seed is rejected
+rather than silently reduced — ``PRBS(7, seed=0x85)`` and
+``PRBS(15, seed=0x85)`` would otherwise start from *different* points
+of their cycles than the equal-modulo-mask ``seed=0x05`` suggests,
+which made cross-order sweeps quietly incomparable.  The single
+in-range coercion kept (and documented) is ``seed == 0 -> 1``: the
+all-zero word is the LFSR's fixed point and can never be a state on
+the maximal cycle.
 """
 
 from __future__ import annotations
@@ -22,7 +36,11 @@ class PRBS:
                              f"choices {sorted(self.TAPS)}")
         self.order = order
         mask = (1 << order) - 1
-        seed &= mask
+        if not 0 <= seed <= mask:
+            raise ValueError(
+                f"PRBS{order} seed 0x{seed:X} outside 0..0x{mask:X}; "
+                f"seeds are not reduced modulo the register mask (equal "
+                f"residues would silently alias across orders)")
         if seed == 0:
             seed = 1  # all-zero state is the LFSR's only fixed point
         self.state = seed

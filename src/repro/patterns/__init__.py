@@ -1,0 +1,51 @@
+"""At-speed BIST pattern engine: stimulus sources, checker, campaigns.
+
+The paper's BIST runs "random data at speed"; this package makes the
+stimulus a first-class, sweepable axis.  Sources (PRBS orders, a
+LiteSATA-style scrambler, worst-case ISI templates, a coupled-lane
+crosstalk aggressor) share the :class:`PatternSource` protocol; the
+checker FSM tallies per-sector error counters; the campaign layer
+sweeps coverage-vs-pattern and BER-vs-pattern-length.
+"""
+
+from .sources import (
+    AGGRESSOR_SWING,
+    AggressorSource,
+    BurstErrorSource,
+    ClockSource,
+    CrosstalkAggressor,
+    ISISource,
+    ISI_RUN_LENGTH,
+    JITTER_CREST,
+    LOOP_SEED,
+    PATTERN_NAMES,
+    PRBSSource,
+    PatternSource,
+    ScramblerSource,
+    build_stimulus,
+    create_source,
+)
+from .checker import (
+    SECTOR_BITS,
+    CheckerReport,
+    PatternChecker,
+    run_checker,
+)
+from .campaign import (
+    LOCK_BUDGET,
+    BERSweepPoint,
+    PatternCampaign,
+    PatternCampaignResult,
+    ber_vs_length_sweep,
+)
+
+__all__ = [
+    "AGGRESSOR_SWING", "AggressorSource", "BurstErrorSource",
+    "ClockSource", "CrosstalkAggressor", "ISISource", "ISI_RUN_LENGTH",
+    "JITTER_CREST", "LOOP_SEED", "PATTERN_NAMES", "PRBSSource",
+    "PatternSource", "ScramblerSource", "build_stimulus",
+    "create_source",
+    "SECTOR_BITS", "CheckerReport", "PatternChecker", "run_checker",
+    "LOCK_BUDGET", "BERSweepPoint", "PatternCampaign",
+    "PatternCampaignResult", "ber_vs_length_sweep",
+]

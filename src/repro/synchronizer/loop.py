@@ -89,7 +89,16 @@ class SynchronizerLoop:
     """The dual-loop synchronizer as a runnable simulation."""
 
     def __init__(self, params: Optional[LinkParams] = None,
-                 prbs_order: int = 7, seed: int = 7):
+                 prbs_order: int = 7, seed: int = 7,
+                 source=None, aggressor=None, checker=None):
+        """*source* swaps the transmitted stimulus (any
+        :class:`repro.patterns.sources.PatternSource`; default: the
+        legacy PRBS — bit-identical to every pre-pattern-engine run).
+        *aggressor* is an optional crosstalk hook whose ``penalty(p)``
+        is charged against the eye half-width each bit period;
+        *checker* is an optional
+        :class:`repro.patterns.checker.PatternChecker` fed the received
+        bit stream."""
         self.params = params or LinkParams()
         p = self.params
         self.pd = AlexanderPD(p)
@@ -103,6 +112,9 @@ class SynchronizerLoop:
         self.fsm = CoarseFSM(p, self.window, self.pump, self.ring,
                              self.lock_detector)
         self.prbs = PRBS(order=prbs_order, seed=seed)
+        self.source = source if source is not None else self.prbs
+        self.aggressor = aggressor
+        self.checker = checker
 
     # ------------------------------------------------------------------
     def sampling_phase(self) -> Optional[float]:
@@ -143,7 +155,7 @@ class SynchronizerLoop:
 
         for cycle in range(max_cycles):
             t = cycle * dt
-            bit = self.prbs.next_bit()
+            bit = self.source.next_bit()
             phase = self.sampling_phase()
 
             # data correctness: a sample outside the open eye region
@@ -152,12 +164,19 @@ class SynchronizerLoop:
                 sample_ok = False
             else:
                 e_sample = wrap_phase(phase - p.eye_center, p.bit_time)
-                sample_ok = abs(e_sample) < p.eye_half_width
+                margin = p.eye_half_width
+                if self.aggressor is not None:
+                    margin = margin - self.aggressor.penalty(p)
+                sample_ok = abs(e_sample) < margin
             if not sample_ok:
                 if locked:
                     errors_after += 1
                 else:
                     errors_before += 1
+            if self.checker is not None:
+                # a bad sample resolves to the wrong value at the
+                # receiver -- that is what the checker FSM sees
+                self.checker.push(bit if sample_ok else 1 - bit)
 
             if phase is not None and self.fsm.state == "TRACK":
                 up, dn = self.pd.decide(bit, phase)

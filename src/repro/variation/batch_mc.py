@@ -41,7 +41,9 @@ def precompute_die_maps(ctx, tiers, dies: Sequence[int], faults: Dict,
     absent.
     """
     for tier in tiers:
-        screener = _SCREENS.get(tier.name)
+        # parameterised tiers ("bist@isi") share the base tier's
+        # screens: the healthy-die screen stages are all static
+        screener = _SCREENS.get(tier.name.partition("@")[0])
         if screener is None:
             continue
         try:
@@ -121,16 +123,16 @@ def _scan_screens(tier, ctx, dies, backend, out) -> None:
         # stage-by-stage, mirroring the serial screen's early returns
         if isinstance(cap, Exception):
             continue
-        if cap != tier._golden_probe:
-            out[("scan", die)] = False
+        if cap != tier.golden_probe:
+            out[(tier.name, die)] = False
             continue
         if isinstance(sig, Exception):
             continue
-        if sig != tier._golden_receiver:
-            out[("scan", die)] = False
+        if sig != tier.golden_receiver:
+            out[(tier.name, die)] = False
             continue
         if not isinstance(exc, Exception):
-            out[("scan", die)] = exc <= TOGGLE_THRESHOLD
+            out[(tier.name, die)] = exc <= TOGGLE_THRESHOLD
 
 
 def _bist_screens(tier, ctx, dies, backend, out) -> None:
@@ -140,18 +142,18 @@ def _bist_screens(tier, ctx, dies, backend, out) -> None:
 
     rx = [ReceiverDUT(circuit=c, cp=ports.cp, vdd=ports.vdd)
           for ports, c in _die_clones(ctx, dies, build_receiver_dut)]
-    sigs = tier._batched_receiver_checks(rx, backend=backend)
+    sigs = tier.batched_receiver_checks(rx, backend=backend)
     vc = [VCDLDUT(circuit=c, ports=dut.ports)
           for dut, c in _die_clones(ctx, dies, build_vcdl_dut)]
     alive = vcdl_aliveness(vc, backend=backend)
     for die, sig, al in zip(dies, sigs, alive):
         if isinstance(sig, Exception):
             continue
-        if sig != tier._golden:
-            out[("bist", die)] = False
+        if sig != tier.golden_checks:
+            out[(tier.name, die)] = False
             continue
         if not isinstance(al, Exception):
-            out[("bist", die)] = bool(al)
+            out[(tier.name, die)] = bool(al)
 
 
 _SCREENS = {"dc": _dc_screens, "scan": _scan_screens, "bist": _bist_screens}

@@ -127,3 +127,81 @@ class TestABCDHelpers:
         h = abcd_to_transfer(ident, np.array([0j, 0j]),
                              np.array([50 + 0j, 50 + 0j]))
         assert np.allclose(np.abs(h), 1.0)
+
+
+class TestCoupledLines:
+    @pytest.fixture
+    def pair(self):
+        from repro.channel.rc_line import default_coupled_lines
+
+        return default_coupled_lines()
+
+    def test_default_geometry(self, pair):
+        assert pair.length_m == pytest.approx(10e-3)
+        assert pair.total_coupling_c == pytest.approx(
+            0.08 * GLOBAL_MIN.c_per_m * 10e-3)
+
+    def test_coupling_ratio_is_charge_sharing(self, pair):
+        cc = pair.total_coupling_c
+        cg = pair.victim.total_c
+        assert pair.coupling_ratio == pytest.approx(cc / (cc + cg))
+        assert 0.0 < pair.coupling_ratio < 1.0
+
+    def test_far_end_xtalk_scales_with_swing(self, pair):
+        assert pair.far_end_xtalk(0.30) == pytest.approx(
+            pair.coupling_ratio * 0.30)
+        assert pair.far_end_xtalk(0.0) == 0.0
+
+    def test_timing_shift_first_order(self, pair):
+        half = 100e-12
+        shift = pair.victim_timing_shift(0.30, eye_amplitude=0.15,
+                                         eye_half_width=half)
+        expected = pair.far_end_xtalk(0.30) / 0.15 * half
+        assert shift == pytest.approx(expected)
+        assert 0.0 < shift < half
+
+    def test_timing_shift_clamped_to_half_width(self, pair):
+        """A glitch larger than the eye cannot cost more than all of
+        the margin — and a collapsed eye costs exactly all of it."""
+        half = 100e-12
+        assert pair.victim_timing_shift(10.0, 1e-4, half) == half
+        assert pair.victim_timing_shift(0.30, 0.0, half) == half
+        assert pair.victim_timing_shift(0.30, -1.0, half) == half
+
+    def test_mismatched_lengths_rejected(self):
+        from repro.channel.rc_line import CoupledRCLines
+
+        with pytest.raises(ValueError):
+            CoupledRCLines(victim=RCLine(GLOBAL_MIN, 10e-3),
+                           aggressor=RCLine(GLOBAL_MIN, 5e-3),
+                           coupling_c_per_m=1e-12)
+
+    def test_negative_coupling_rejected(self):
+        from repro.channel.rc_line import CoupledRCLines
+
+        lane = RCLine(GLOBAL_MIN, 10e-3)
+        with pytest.raises(ValueError):
+            CoupledRCLines(victim=lane, aggressor=lane,
+                           coupling_c_per_m=-1e-12)
+
+    def test_build_ladder_emits_both_lanes_and_coupling(self, pair):
+        c = Circuit()
+        pair.build_ladder(c, "vin", "vout", "ain", "aout", sections=6,
+                          prefix="x")
+        s = c.summary()
+        assert s["Resistor"] == 12        # 6 per lane
+        assert s["Capacitor"] == 18       # 6 ground caps per lane + 6 Cc
+
+    def test_coupled_ladder_solves_at_dc(self, pair):
+        """Both lanes driven: the coupling caps are open at DC, so each
+        lane behaves as its own ladder."""
+        c = Circuit()
+        c.add_vsource("vin", "0", 0.3, name="Vv")
+        c.add_vsource("ain", "0", 0.0, name="Va")
+        pair.build_ladder(c, "vin", "vout", "ain", "aout", sections=6)
+        c.add_resistor("vout", "0", 1e9)
+        c.add_resistor("aout", "0", 1e9)
+        op = dc_operating_point(c)
+        assert op.converged
+        assert op.v("vout") == pytest.approx(0.3, rel=1e-3)
+        assert op.v("aout") == pytest.approx(0.0, abs=1e-6)

@@ -1,0 +1,124 @@
+"""Seed-contract and maximal-period tests for the PRBS generators.
+
+PRBS7/15 are cheap enough to walk exhaustively; PRBS23 (2^23 - 1
+states) and PRBS31 (2^31 - 1) are proven maximal algebraically
+instead: the feedback trinomial is primitive over GF(2) iff the order
+of x in GF(2)[x]/(p) is exactly 2^n - 1, i.e. x^(2^n-1) = 1 mod p and
+x^((2^n-1)/q) != 1 for every prime divisor q.  Polynomials are plain
+ints (bit i = coefficient of x^i), so the modular exponentiation is a
+handful of carry-less multiplies.
+"""
+
+import pytest
+
+from repro.link import PRBS
+
+
+# ----------------------------------------------------------------------
+# GF(2)[x] helpers
+# ----------------------------------------------------------------------
+def _polymulmod(a: int, b: int, mod: int) -> int:
+    """Carry-less multiply of a*b reduced mod the polynomial *mod*."""
+    deg = mod.bit_length() - 1
+    out = 0
+    while b:
+        if b & 1:
+            out ^= a
+        b >>= 1
+        a <<= 1
+        if a >> deg & 1:
+            a ^= mod
+    return out
+
+
+def _polypowmod(base: int, exp: int, mod: int) -> int:
+    out = 1
+    while exp:
+        if exp & 1:
+            out = _polymulmod(out, base, mod)
+        base = _polymulmod(base, base, mod)
+        exp >>= 1
+    return out
+
+
+def _prime_factors(n: int):
+    out = set()
+    d = 2
+    while d * d <= n:
+        while n % d == 0:
+            out.add(d)
+            n //= d
+        d += 1
+    if n > 1:
+        out.add(n)
+    return sorted(out)
+
+
+def _feedback_poly(order: int) -> int:
+    """x^order + x^tap + 1 for the generator's registered tap pair."""
+    t1, t2 = PRBS.TAPS[order]
+    assert t1 == order
+    return (1 << t1) | (1 << t2) | 1
+
+
+@pytest.mark.parametrize("order", [23, 31])
+def test_large_orders_are_maximal_length(order):
+    poly = _feedback_poly(order)
+    period = (1 << order) - 1
+    x = 0b10
+    assert _polypowmod(x, period, poly) == 1
+    for q in _prime_factors(period):
+        assert _polypowmod(x, period // q, poly) != 1, \
+            f"x^(period/{q}) = 1: PRBS{order} polynomial is not primitive"
+
+
+def test_algebraic_check_agrees_with_walk():
+    """The GF(2) criterion and the exhaustive walk agree on PRBS7."""
+    poly = _feedback_poly(7)
+    assert _polypowmod(0b10, 127, poly) == 1
+    for q in _prime_factors(127):
+        assert _polypowmod(0b10, 127 // q, poly) != 1
+    g = PRBS(order=7)
+    states = set()
+    for _ in range(127):
+        states.add(g.state)
+        g.next_bit()
+    assert len(states) == 127
+
+
+def test_algebraic_check_rejects_reducible_poly():
+    """Sanity: x^4 + x^2 + 1 = (x^2 + x + 1)^2 fails the criterion."""
+    poly = 0b10101
+    assert _polypowmod(0b10, 15, poly) != 1 or any(
+        _polypowmod(0b10, 15 // q, poly) == 1 for q in _prime_factors(15))
+
+
+# ----------------------------------------------------------------------
+# seed contract
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("order", sorted(PRBS.TAPS))
+def test_out_of_range_seed_rejected(order):
+    with pytest.raises(ValueError, match="outside"):
+        PRBS(order=order, seed=1 << order)
+    with pytest.raises(ValueError):
+        PRBS(order=order, seed=-1)
+
+
+def test_max_seed_accepted():
+    for order in sorted(PRBS.TAPS):
+        g = PRBS(order=order, seed=(1 << order) - 1)
+        assert g.state == (1 << order) - 1
+
+
+def test_zero_seed_coerces_to_one():
+    """The single documented coercion: the all-zero fixed point."""
+    g = PRBS(order=23, seed=0)
+    assert g.state == 1
+
+
+def test_equal_seed_streams_differ_across_orders():
+    """The rationale for rejection: same in-range seed, different
+    orders, different streams — reduction would have hidden this."""
+    a = PRBS(order=7, seed=0x55).bits(64)
+    b = PRBS(order=15, seed=0x55).bits(64)
+    assert a != b

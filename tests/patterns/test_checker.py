@@ -1,0 +1,124 @@
+"""Checker FSM round-trip tests: clean streams, burst errors, sectors."""
+
+import pytest
+
+from repro.patterns.checker import (
+    SECTOR_BITS,
+    PatternChecker,
+    run_checker,
+)
+from repro.patterns.sources import (
+    BurstErrorSource,
+    ISISource,
+    PRBSSource,
+    ScramblerSource,
+)
+
+
+def _take(source, n):
+    return [source.next_bit() for _ in range(n)]
+
+
+class TestCleanRoundTrip:
+    @pytest.mark.parametrize("make", [
+        lambda: PRBSSource(7),
+        lambda: PRBSSource(23),
+        lambda: ScramblerSource(),
+        lambda: ISISource(),
+    ])
+    def test_zero_errors(self, make):
+        received = _take(make(), 3 * SECTOR_BITS + 17)
+        report = run_checker(make(), received)
+        assert report.errors == 0
+        assert report.sectors_in_error == 0
+        assert report.ber == 0.0
+        assert report.bits == 3 * SECTOR_BITS + 17
+        assert report.sectors == 4  # partial final sector rounds up
+
+    def test_empty_run(self):
+        report = run_checker(PRBSSource(7), [])
+        assert report.bits == 0
+        assert report.sectors == 0
+        assert report.ber == 0.0
+
+
+class TestBurstRoundTrip:
+    def test_burst_counted_once_per_sector(self):
+        """Each burst lands inside one sector and bumps
+        ``sectors_in_error`` exactly once however many bits it hit."""
+        burst, gap = 4, SECTOR_BITS
+        channel = BurstErrorSource(PRBSSource(7), burst=burst, gap=gap)
+        n_sectors = 5
+        received = _take(channel, n_sectors * SECTOR_BITS)
+        report = run_checker(PRBSSource(7), received)
+        # one burst starts at the head of each sector
+        assert report.errors == n_sectors * burst
+        assert report.sectors_in_error == n_sectors
+        assert report.sector_errors == {i: burst for i in range(n_sectors)}
+
+    def test_straddling_burst_counts_both_sectors(self):
+        """A burst across a sector boundary marks both sectors — error
+        *bits* are still counted exactly once each."""
+        checker = PatternChecker(ISISource(), sector_bits=8)
+        checker.start()
+        source = ISISource()
+        for i in range(16):
+            bit = source.next_bit()
+            if i in (6, 7, 8, 9):
+                bit ^= 1
+            checker.push(bit)
+        report = checker.tally()
+        assert report.errors == 4
+        assert report.sector_errors == {0: 2, 1: 2}
+        assert report.sectors_in_error == 2
+
+    def test_ber_matches_injection_rate(self):
+        burst, gap = 2, 64
+        channel = BurstErrorSource(ScramblerSource(), burst=burst, gap=gap)
+        received = _take(channel, 64 * gap)
+        report = run_checker(ScramblerSource(), received)
+        assert report.ber == pytest.approx(burst / gap)
+
+
+class TestDriverShape:
+    def test_poll_turns_true_at_sector_boundary(self):
+        checker = PatternChecker(PRBSSource(7), sector_bits=16)
+        checker.start()
+        source = PRBSSource(7)
+        for _ in range(15):
+            checker.push(source.next_bit())
+        assert not checker.poll()
+        checker.push(source.next_bit())
+        assert checker.poll()
+
+    def test_restart_clears_counters(self):
+        checker = PatternChecker(PRBSSource(7), sector_bits=8)
+        checker.start()
+        for _ in range(8):
+            checker.push(1)  # garbage: errors accumulate
+        assert checker.tally().errors > 0
+        checker.start()
+        source = PRBSSource(7)
+        for _ in range(8):
+            checker.push(source.next_bit())
+        report = checker.tally()
+        assert report.errors == 0
+        assert report.bits == 8
+
+    def test_push_self_arms(self):
+        checker = PatternChecker(PRBSSource(7))
+        checker.push(PRBSSource(7).next_bit())
+        assert checker.tally().errors == 0
+
+    def test_sector_bits_validated(self):
+        with pytest.raises(ValueError):
+            PatternChecker(PRBSSource(7), sector_bits=0)
+
+    def test_report_to_dict_round_trips(self):
+        channel = BurstErrorSource(PRBSSource(7), burst=1, gap=100)
+        report = run_checker(PRBSSource(7), _take(channel, 300))
+        d = report.to_dict()
+        assert d["errors"] == 3
+        assert d["sectors_in_error"] == report.sectors_in_error
+        assert set(d) == {"bits", "errors", "sectors", "sectors_in_error",
+                          "sector_errors", "ber"}

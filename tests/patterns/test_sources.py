@@ -1,0 +1,193 @@
+"""Tests for the pattern-source classes and their registry."""
+
+import pytest
+
+from repro.link import transition_density
+from repro.patterns.sources import (
+    AGGRESSOR_SWING,
+    AggressorSource,
+    BurstErrorSource,
+    ClockSource,
+    CrosstalkAggressor,
+    ISISource,
+    ISI_RUN_LENGTH,
+    PATTERN_NAMES,
+    PRBSSource,
+    ScramblerSource,
+    build_stimulus,
+    create_source,
+)
+
+
+def _take(source, n):
+    return [source.next_bit() for _ in range(n)]
+
+
+class TestPRBSSource:
+    def test_reproduces_loop_legacy_stream(self):
+        """PRBSSource(7) is the synchronizer loop's historical stimulus:
+        PRBS(order=7, seed=7)."""
+        from repro.link import PRBS
+
+        assert _take(PRBSSource(7), 260) == PRBS(order=7, seed=7).bits(260)
+
+    def test_period_property(self):
+        assert PRBSSource(7).period == 127
+        assert PRBSSource(31).period == 2 ** 31 - 1
+
+    def test_reset_rewinds(self):
+        s = PRBSSource(15)
+        first = _take(s, 100)
+        s.reset()
+        assert _take(s, 100) == first
+
+
+class TestScramblerSource:
+    def test_period_property(self):
+        assert ScramblerSource().period == 2 ** 16 - 1
+
+    def test_state_cycle_is_maximal(self):
+        """The SATA polynomial is primitive: the keystream state walks
+        all 2^16 - 1 nonzero contexts before repeating."""
+        s = ScramblerSource()
+        seen = set()
+        for _ in range(2 ** 16 - 1):
+            seen.add(s._state)
+            s.next_bit()
+        assert len(seen) == 2 ** 16 - 1
+        assert s._state == 0xFFFF  # back at the init context
+
+    def test_random_like_transition_density(self):
+        bits = _take(ScramblerSource(), 4000)
+        assert transition_density(bits) == pytest.approx(0.5, abs=0.05)
+
+    def test_differs_from_every_prbs(self):
+        bits = _take(ScramblerSource(), 500)
+        for order in (7, 15, 23, 31):
+            assert bits != _take(PRBSSource(order), 500)
+
+    def test_zero_context_rejected(self):
+        with pytest.raises(ValueError):
+            ScramblerSource(init=0)
+        with pytest.raises(ValueError):
+            ScramblerSource(init=0x10000)
+
+    def test_reset_rewinds(self):
+        s = ScramblerSource()
+        first = _take(s, 64)
+        s.reset()
+        assert _take(s, 64) == first
+
+
+class TestISISource:
+    def test_template_shape(self):
+        s = ISISource(run_length=3)
+        assert _take(s, 8) == [0, 0, 0, 1, 1, 1, 1, 0]
+        assert s.period == 8
+
+    def test_default_name_and_period(self):
+        s = ISISource()
+        assert s.name == "isi"
+        assert s.period == 2 * ISI_RUN_LENGTH + 2
+
+    def test_nondefault_run_length_named(self):
+        assert ISISource(run_length=4).name == "isi4"
+
+    def test_transition_density(self):
+        """1 / (run_length + 1) — two edges per period: the starvation
+        the template exists for."""
+        s = ISISource()
+        bits = _take(s, s.period * 50)
+        assert transition_density(bits) == pytest.approx(
+            1 / (ISI_RUN_LENGTH + 1), abs=0.01)
+
+    def test_lock_budget_scale(self):
+        assert ISISource().lock_budget_scale == (ISI_RUN_LENGTH + 1) / 2
+        assert ISISource(run_length=1).lock_budget_scale == 1.0
+
+    def test_run_length_validated(self):
+        with pytest.raises(ValueError):
+            ISISource(run_length=0)
+
+
+class TestBurstErrorSource:
+    def test_flips_exact_burst(self):
+        base = ISISource(run_length=3)
+        clean = _take(base, 40)
+        base.reset()
+        burst = BurstErrorSource(base, burst=4, gap=10)
+        dirty = _take(burst, 40)
+        flips = [i for i, (a, b) in enumerate(zip(clean, dirty)) if a != b]
+        assert flips == [0, 1, 2, 3, 10, 11, 12, 13,
+                         20, 21, 22, 23, 30, 31, 32, 33]
+
+    def test_parameters_validated(self):
+        with pytest.raises(ValueError):
+            BurstErrorSource(PRBSSource(7), burst=0)
+        with pytest.raises(ValueError):
+            BurstErrorSource(PRBSSource(7), burst=4, gap=4)
+
+    def test_reset_rewinds_base_and_phase(self):
+        s = BurstErrorSource(PRBSSource(7), burst=2, gap=9)
+        first = _take(s, 30)
+        s.reset()
+        assert _take(s, 30) == first
+
+
+class TestAggressor:
+    def test_clock_source_toggles_every_bit(self):
+        assert _take(ClockSource(), 6) == [1, 0, 1, 0, 1, 0]
+
+    def test_victim_stream_is_prbs7(self):
+        assert _take(AggressorSource(), 127) == _take(PRBSSource(7), 127)
+
+    def test_penalty_only_on_toggle(self):
+        from repro.link import LinkParams
+
+        params = LinkParams()
+        agg = CrosstalkAggressor(pattern=ISISource(run_length=3))
+        # template 0001 1110: after the priming bit, the first two
+        # periods are run interiors (no toggle) and then edges appear
+        penalties = [agg.penalty(params) for _ in range(8)]
+        toggles = [p > 0.0 for p in penalties]
+        assert any(toggles) and not all(toggles)
+
+    def test_clock_aggressor_always_penalises(self):
+        from repro.link import LinkParams
+
+        agg = CrosstalkAggressor()
+        penalties = [agg.penalty(LinkParams()) for _ in range(16)]
+        assert all(p > 0.0 for p in penalties)
+
+    def test_penalty_deterministic_after_reset(self):
+        from repro.link import LinkParams
+
+        params = LinkParams()
+        agg = CrosstalkAggressor()
+        first = [agg.penalty(params) for _ in range(32)]
+        agg.reset()
+        assert [agg.penalty(params) for _ in range(32)] == first
+
+    def test_swing_default(self):
+        assert AggressorSource().aggressor.swing == AGGRESSOR_SWING
+
+
+class TestRegistry:
+    def test_all_names_buildable(self):
+        for name in PATTERN_NAMES:
+            source = create_source(name)
+            assert source.name == name
+            assert {source.next_bit(), source.next_bit()} <= {0, 1}
+
+    def test_unknown_name_lists_choices(self):
+        with pytest.raises(KeyError, match="prbs7"):
+            create_source("morse")
+
+    def test_build_stimulus_aggressor_hook(self):
+        source, aggressor = build_stimulus("aggressor")
+        assert aggressor is source.aggressor
+        for name in PATTERN_NAMES:
+            if name == "aggressor":
+                continue
+            _, hook = build_stimulus(name)
+            assert hook is None
