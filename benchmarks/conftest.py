@@ -24,30 +24,37 @@ Environment knobs:
   campaign bench (default ``on``: one simulated representative per
   structural equivalence class; verdicts match the uncollapsed run).
 
-Every session writes ``BENCH_PR8.json`` next to this file: per-bench
-wall time, per-bench ``lu_factor`` deltas, and the engine's profiling
-counters (including the batched-solver counters — ``batched_solves``,
-``batch_fill``, ``woodbury_hits``, ``batch_fallbacks``), so performance
-PRs have a before/after record.  The newest *older* ``BENCH_PR*.json``
-found beside it is referenced as the baseline; older baselines may lack
-counters the current engine emits (and vice versa), so consumers —
-``repro bench --compare`` included — must treat absent keys as absent,
-never as zero-vs-N regressions.
+Every session writes a ``BENCH_PR<N>.json`` artifact next to this file
+(name from ``REPRO_BENCH_OUTPUT``, default ``BENCH_PR9.json``):
+per-bench wall time, per-bench ``lu_factor`` deltas, and the engine's
+profiling counters (including the batched-solver counters —
+``batched_solves``, ``batch_fill``, ``woodbury_hits``,
+``batch_fallbacks``), so performance PRs have a before/after record.
+An output name that would overwrite an *older* PR's artifact is
+refused at collection time — the whole point of the artifacts is the
+history, and a stale hardcoded name silently destroying it is exactly
+the bug this guard closes.  The newest *older* ``BENCH_PR*.json``
+found beside it is referenced as the baseline (numeric ``PR<N>``
+ordering shared with ``repro bench --compare`` via
+``repro.core.artifacts``); older baselines may lack counters the
+current engine emits (and vice versa), so consumers must treat absent
+keys as absent, never as zero-vs-N regressions.
 """
 
 from __future__ import annotations
 
-import glob
 import json
 import os
 import random
-import re
 import time
 
 import pytest
 
 _HERE = os.path.dirname(__file__)
-_OUTPUT_NAME = "BENCH_PR8.json"
+#: this PR's artifact — also the anchor for the no-clobber guard: any
+#: existing BENCH_PR<N> with N below this default's is history
+_DEFAULT_OUTPUT = "BENCH_PR9.json"
+_OUTPUT_NAME = os.environ.get("REPRO_BENCH_OUTPUT", _DEFAULT_OUTPUT)
 
 _campaign_cache = {}
 _mc_cache = {}
@@ -124,18 +131,43 @@ def mc_result():
 
 def _baseline_name() -> str:
     """Newest BENCH_PR*.json beside this file, excluding this PR's own
-    output — the before/after reference for performance work."""
+    output — the before/after reference for performance work.
 
-    def pr_number(path):
-        m = re.search(r"BENCH_PR(\d+)\.json$", path)
-        return int(m.group(1)) if m else -1
+    Uses the same numeric ``PR<N>`` ordering as ``repro bench
+    --compare`` (:mod:`repro.core.artifacts`), so the artifact this
+    session names as its baseline is the artifact the CLI will diff
+    it against.
+    """
+    from repro.core.artifacts import bench_artifacts
 
-    candidates = [p for p in glob.glob(os.path.join(_HERE, "BENCH_PR*.json"))
-                  if os.path.basename(p) != _OUTPUT_NAME
-                  and pr_number(p) >= 0]
+    candidates = [p for p in bench_artifacts(_HERE)
+                  if os.path.basename(p) != _OUTPUT_NAME]
     if not candidates:
         return None
-    return os.path.basename(max(candidates, key=pr_number))
+    return os.path.basename(candidates[-1])
+
+
+def pytest_configure(config):
+    """Refuse an output name that would clobber an older PR's artifact.
+
+    Rewriting this PR's own artifact (a rerun of ``BENCH_PR9.json`` or
+    newer) is fine; silently destroying the performance history —
+    any existing ``BENCH_PR<N>`` below this PR's number — is not.
+    """
+    from repro.core.artifacts import bench_pr_number
+
+    ours = bench_pr_number(_OUTPUT_NAME)
+    if ours is None:
+        return                      # custom name, no artifact at risk
+    if not os.path.exists(os.path.join(_HERE, _OUTPUT_NAME)):
+        return
+    current = bench_pr_number(_DEFAULT_OUTPUT)
+    if ours < current:
+        raise pytest.UsageError(
+            f"REPRO_BENCH_OUTPUT={_OUTPUT_NAME} would overwrite an "
+            f"older PR's benchmark artifact (this PR writes "
+            f"{_DEFAULT_OUTPUT}); pick a name that is not part of "
+            f"the history")
 
 
 @pytest.hookimpl(hookwrapper=True)

@@ -14,6 +14,9 @@ summary table (CI fails on any non-OK row).  Checks:
 7. collapse-parity — collapsed verdicts match per-fault verdicts
 8. pattern-parity  — coverage-vs-pattern JSON identical for
                      ``--workers 1`` and ``--workers 4``
+9. service-parity  — sharded service jobs (campaign, mc, patterns)
+                     merge byte-identical to the direct exports, and
+                     resubmission is a store cache hit (zero shards)
 
 Run locally: ``python scripts/guard_suite.py`` (from the repo root).
 Select a subset: ``python scripts/guard_suite.py mc-parity pattern-parity``.
@@ -52,6 +55,23 @@ def _run(argv: List[str], cwd: str) -> None:
 def _repro(args: str, cwd: str) -> None:
     """Run ``python -m repro`` with the space-separated *args*."""
     _run([sys.executable, "-m", "repro", *args.split()], cwd=cwd)
+
+
+def _repro_out(args: str, cwd: str) -> str:
+    """Like :func:`_repro` but returns the command's stdout."""
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", *args.split()],
+        cwd=cwd,
+        env=ENV,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    if proc.returncode != 0:
+        raise RuntimeError(
+            f"repro {args} exited {proc.returncode}\n{proc.stdout}"
+        )
+    return proc.stdout
 
 
 def _script(name: str, cwd: str) -> None:
@@ -176,6 +196,72 @@ def check_pattern_parity(tmp: str) -> str:
     )
 
 
+def check_service_parity(tmp: str) -> str:
+    """Sharded service runs vs direct CLI exports, plus the cache-hit
+    contract: the resubmitted spec must run zero shards."""
+    jobs = []
+    for kind, submit_args, direct_args in (
+        (
+            "campaign",
+            "campaign --sample 24 --seed 2016 --shards 4 --workers 2",
+            "campaign --sample 24 --seed 2016 --export direct-campaign.json",
+        ),
+        (
+            "mc",
+            "mc --dies 8 --seed 2016 --shards 4 --workers 2",
+            "mc --dies 8 --seed 2016 --export direct-mc.json",
+        ),
+        (
+            "patterns",
+            "patterns --sample 12 --patterns prbs7,isi --shards 4"
+            " --workers 2",
+            "patterns --sample 12 --patterns prbs7,isi --no-ber-sweep"
+            " --export direct-patterns.json",
+        ),
+    ):
+        out = _repro_out(f"submit {submit_args} --root svc", cwd=tmp)
+        jobs.append((kind, out.split()[1]))
+        _repro(direct_args, cwd=tmp)
+    _repro("serve --root svc --once", cwd=tmp)
+    for kind, job_id in jobs:
+        status = json.loads(
+            _repro_out(f"status {job_id} --root svc --json", cwd=tmp)
+        )
+        if status["state"] != "done" or status["cache_hit"]:
+            raise RuntimeError(f"{kind} job unexpected status: {status}")
+        _repro(
+            f"result {job_id} --root svc -o service-{kind}.json", cwd=tmp
+        )
+        if _read(tmp, f"service-{kind}.json") != _read(
+            tmp, f"direct-{kind}.json"
+        ):
+            raise RuntimeError(
+                f"sharded {kind} artifact differs from the direct export"
+            )
+
+    # resubmission: same result-determining spec, different execution
+    # knobs -> must be served from the store with zero new shards
+    out = _repro_out(
+        "submit campaign --sample 24 --seed 2016 --shards 2 --root svc",
+        cwd=tmp,
+    )
+    resubmit_id = out.split()[1]
+    if "cache hit" not in out:
+        raise RuntimeError("submit did not anticipate the store hit")
+    _repro("serve --root svc --once", cwd=tmp)
+    status = json.loads(
+        _repro_out(f"status {resubmit_id} --root svc --json", cwd=tmp)
+    )
+    if not status["cache_hit"] or status["shards_run"] != 0:
+        raise RuntimeError(
+            f"resubmission was not a zero-shard cache hit: {status}"
+        )
+    _repro(f"result {resubmit_id} --root svc -o resubmit.json", cwd=tmp)
+    if _read(tmp, "resubmit.json") != _read(tmp, "direct-campaign.json"):
+        raise RuntimeError("cached artifact differs from the direct export")
+    return "campaign+mc+patterns byte-identical at 4 shards; resubmit hit"
+
+
 CHECKS: List[Tuple[str, Callable[[str], str]]] = [
     ("private-access", check_private_access),
     ("campaign-resume", check_campaign_resume),
@@ -185,6 +271,7 @@ CHECKS: List[Tuple[str, Callable[[str], str]]] = [
     ("backend-parity", check_backend_parity),
     ("collapse-parity", check_collapse_parity),
     ("pattern-parity", check_pattern_parity),
+    ("service-parity", check_service_parity),
 ]
 
 

@@ -73,6 +73,12 @@ _FIELDS = (
     "delta_reassemblies",    # Woodbury difference scans narrowed by a
                              # recorded PlanDelta rows hint
     "audit_checks",          # equivalence-audit member re-simulations
+    # campaign service (repro.service)
+    "service_jobs",          # job specs executed by a coordinator
+    "service_shards",        # shard jobs dispatched by a coordinator
+    "store_hits",            # submissions served from the result store
+    "store_misses",          # submissions that had to simulate
+    "store_writes",          # result-store entries published
 )
 
 

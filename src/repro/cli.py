@@ -14,6 +14,10 @@ Commands
 ``bench``      time a sampled campaign and print the engine counters
 ``overhead``   the DFT inventory -> Table II
 ``netlist``    export one of the paper's circuits as a SPICE deck
+``submit``     enqueue a campaign spec for the service coordinator
+``serve``      run the local coordinator over a service root
+``status``     job status (queued/running with ETA/done/failed)
+``result``     fetch a finished job's artifact from the result store
 
 Every command prints plain text suitable for piping; exit status is 0
 on pass/success, 1 on a failing verdict.
@@ -342,18 +346,15 @@ def cmd_bench(args) -> int:
 
 
 def _bench_artifacts(dirpath: str) -> List[str]:
-    """``BENCH_PR<N>.json`` files under *dirpath*, oldest PR first."""
-    import os
-    import re
+    """``BENCH_PR<N>.json`` files under *dirpath*, oldest PR first.
 
-    if not os.path.isdir(dirpath):
-        return []
-    found = []
-    for name in os.listdir(dirpath):
-        m = re.fullmatch(r"BENCH_PR(\d+)\.json", name)
-        if m:
-            found.append((int(m.group(1)), os.path.join(dirpath, name)))
-    return [path for _, path in sorted(found)]
+    Delegates to :func:`repro.core.artifacts.bench_artifacts` — the
+    numeric ``PR<N>`` ordering must match the benchmark suite's
+    baseline discovery exactly.
+    """
+    from .core.artifacts import bench_artifacts
+
+    return bench_artifacts(dirpath)
 
 
 def _bench_compare(dirpath: str) -> int:
@@ -560,6 +561,131 @@ def cmd_netlist(args) -> int:
     return 0
 
 
+def _spec_from_args(args):
+    """Build the service :class:`CampaignSpec` from ``repro submit``'s
+    argparse namespace (comma lists split, CLI units preserved)."""
+    from .service import CampaignSpec
+
+    tiers = tuple(t.strip() for t in args.tiers.split(",") if t.strip())
+    if args.patterns:
+        patterns = tuple(p.strip() for p in args.patterns.split(",")
+                         if p.strip())
+    else:
+        from .patterns.campaign import DEFAULT_CAMPAIGN_PATTERNS
+
+        patterns = DEFAULT_CAMPAIGN_PATTERNS
+    return CampaignSpec(
+        kind=args.kind, seed=args.seed, sample=args.sample,
+        backend=args.backend, collapse=args.collapse,
+        strict_numerics=args.strict_numerics, tiers=tiers,
+        dies=args.dies, corner=args.corner,
+        sigma_vt_mv=args.sigma_vt, sigma_kp_pct=args.sigma_kp,
+        patterns=patterns, shards=args.shards, workers=args.workers)
+
+
+def cmd_submit(args) -> int:
+    from .service import JobQueue
+
+    try:
+        spec = _spec_from_args(args)
+    except ValueError as exc:
+        print(f"invalid spec: {exc}", file=sys.stderr)
+        return 1
+    queue = JobQueue(args.root)
+    job_id = queue.submit(spec)
+    hit = " (already in store: serve will be a cache hit)" \
+        if spec in queue.store else ""
+    print(f"submitted {job_id} -> {args.root}{hit}")
+    print(f"digest: {spec.digest()}")
+    return 0
+
+
+def cmd_serve(args) -> int:
+    from .service import serve
+
+    try:
+        processed = serve(args.root, once=args.once, poll_s=args.poll,
+                          workers=args.workers,
+                          shard_timeout=args.timeout,
+                          max_retries=args.retries, echo=print)
+    except KeyboardInterrupt:  # pragma: no cover - interactive stop
+        print("\nserve loop interrupted")
+        return 0
+    print(f"processed {processed} job(s)")
+    return 0
+
+
+def _format_status(doc) -> str:
+    state = doc.get("state", "?")
+    line = f"{doc.get('id', '?'):<28} {doc.get('kind', '?'):<10} {state}"
+    progress = doc.get("progress")
+    if state == "running" and progress:
+        done, total = progress["shards_done"], progress["shards_total"]
+        eta = progress.get("eta_s")
+        line += (f"  {done}/{total} shards"
+                 + (f", eta {eta:.1f}s" if eta is not None else ""))
+    elif state == "done":
+        if doc.get("cache_hit"):
+            line += "  (cache hit)"
+        elif doc.get("shards_run") is not None:
+            line += (f"  {doc['shards_run']}/{doc.get('shards_total')}"
+                     f" shards, {doc.get('wall_s', 0)}s")
+    elif state == "failed" and doc.get("error"):
+        line += f"  {doc['error']}"
+    return line
+
+
+def cmd_status(args) -> int:
+    import json
+
+    from .service import JobQueue
+    from .service.client import JobError
+
+    queue = JobQueue(args.root)
+    try:
+        docs = ([queue.status(args.job)] if args.job
+                else list(queue.jobs()))
+    except JobError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    if args.json:
+        payload = docs[0] if args.job else docs
+        print(json.dumps(payload, indent=2))
+        return 0
+    if not docs:
+        print(f"no jobs under {args.root}")
+        return 0
+    for doc in docs:
+        print(_format_status(doc))
+    return 0
+
+
+def cmd_result(args) -> int:
+    from .service import JobQueue
+    from .service.client import JobError, format_result
+
+    try:
+        kind, result = JobQueue(args.root).result(args.job)
+    except JobError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    text = format_result(kind, result)
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(text)
+        print(f"wrote {args.output}")
+    else:
+        print(text, end="" if text.endswith("\n") else "\n")
+    return 0
+
+
+def _add_service_root(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--root", default="repro-service", metavar="DIR",
+                   help="service root directory holding the job queue, "
+                        "traces and the content-addressed result store "
+                        "(default: repro-service)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -704,6 +830,83 @@ def build_parser() -> argparse.ArgumentParser:
                                   for k, v in NETLIST_BUILDERS.items()))
     p.add_argument("--output", "-o", default=None)
     p.set_defaults(func=cmd_netlist)
+
+    p = sub.add_parser("submit",
+                       help="enqueue a campaign spec for the service")
+    p.add_argument("kind", choices=("campaign", "mc", "patterns"),
+                   help="campaign kind (matching the direct command of "
+                        "the same name)")
+    _add_service_root(p)
+    p.add_argument("--sample", type=int, default=None,
+                   help="stratified (campaign) / deterministic "
+                        "(patterns) sample size")
+    p.add_argument("--seed", type=int, default=2016)
+    p.add_argument("--tiers", default="dc,scan,bist",
+                   help="comma-separated ordered tier names, for the "
+                        "campaign and mc kinds (default: dc,scan,bist)")
+    p.add_argument("--patterns", default=None,
+                   help="comma-separated stimulus names, for the "
+                        "patterns kind (default: "
+                        "prbs7,prbs15,scrambler,isi,aggressor)")
+    p.add_argument("--dies", type=int, default=64,
+                   help="mc kind: number of sampled dies (default 64)")
+    p.add_argument("--corner", default="TT",
+                   choices=("TT", "SS", "FF", "SF", "FS"),
+                   help="mc kind: global corner (default TT)")
+    p.add_argument("--sigma-vt", type=float, default=5.0, metavar="MV",
+                   help="mc kind: V_T sigma [mV] (default 5.0)")
+    p.add_argument("--sigma-kp", type=float, default=2.0, metavar="PCT",
+                   help="mc kind: relative KP sigma [%%] (default 2.0)")
+    p.add_argument("--strict-numerics", action="store_true",
+                   help="escalate degraded solves to unsolvable "
+                        "outcomes (part of the store key)")
+    p.add_argument("--shards", type=int, default=1,
+                   help="independent shard jobs to split the campaign "
+                        "into (execution-only: does not change the "
+                        "artifact or the store key; default 1)")
+    p.add_argument("--workers", type=int, default=None,
+                   help="shard worker processes (execution-only; "
+                        "default: the serve loop's setting)")
+    _add_backend(p)
+    _add_collapse(p)
+    p.set_defaults(func=cmd_submit)
+
+    p = sub.add_parser("serve",
+                       help="run the local coordinator over a root")
+    _add_service_root(p)
+    p.add_argument("--once", action="store_true",
+                   help="drain the queue and exit instead of polling")
+    p.add_argument("--poll", type=float, default=0.2, metavar="S",
+                   help="queue poll interval in seconds (default 0.2)")
+    p.add_argument("--workers", type=int, default=None,
+                   help="default shard worker processes for jobs that "
+                        "do not set their own (default: 1)")
+    p.add_argument("--timeout", type=float, default=None, metavar="S",
+                   help="per-shard wall-clock budget; an exceeded "
+                        "shard fails its job (default: unbounded)")
+    p.add_argument("--retries", type=int, default=1, metavar="N",
+                   help="re-dispatches of a shard whose worker died "
+                        "(the fresh worker resumes the shard's "
+                        "checkpoint; default 1)")
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser("status", help="job status for a service root")
+    p.add_argument("job", nargs="?", default=None,
+                   help="job id (default: list every job)")
+    _add_service_root(p)
+    p.add_argument("--json", action="store_true",
+                   help="print the raw status document(s) as JSON")
+    p.set_defaults(func=cmd_status)
+
+    p = sub.add_parser("result",
+                       help="fetch a finished job's artifact")
+    p.add_argument("job", help="job id (see 'repro status')")
+    _add_service_root(p)
+    p.add_argument("--output", "-o", default=None, metavar="PATH",
+                   help="write the artifact to PATH (byte-identical "
+                        "to the matching direct command's --export) "
+                        "instead of stdout")
+    p.set_defaults(func=cmd_result)
     return parser
 
 

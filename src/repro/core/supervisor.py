@@ -49,7 +49,6 @@ tier loops' ``except Exception`` capture cannot swallow it.
 
 from __future__ import annotations
 
-import json
 import multiprocessing
 import os
 import signal
@@ -58,10 +57,11 @@ import time
 from contextlib import contextmanager
 from dataclasses import dataclass
 from multiprocessing.connection import wait as _wait_ready
-from typing import (Any, Callable, Dict, IO, Iterator, List, Optional,
+from typing import (Any, Callable, Dict, Iterator, List, Optional,
                     Sequence)
 
 from .._profiling import COUNTERS
+from .jsonl import DurableJsonlWriter
 
 __all__ = [
     "OUTCOME_OK", "OUTCOME_TIMEOUT", "OUTCOME_QUARANTINED",
@@ -151,32 +151,42 @@ class RunTrace:
 
     One JSON object per line: ``{"event": ..., "t": <seconds since the
     trace opened>, ...event fields...}``.  Events are flushed as they
-    are emitted so a killed run still leaves a complete prefix, and
-    every emit also bumps the ``trace_events`` profiling counter.
+    are emitted so a killed run still leaves a complete prefix — and
+    ``fsync``\\ ed on close and every few lines (the shared
+    :class:`~repro.core.jsonl.DurableJsonlWriter` contract), so the
+    prefix survives power loss too.  Every emit also bumps the
+    ``trace_events`` profiling counter.
+
+    ``context`` fields are merged into every emitted event: the
+    service coordinator opens one trace per job with
+    ``context={"job": <id>}``, so its shard-level dispatch/completion
+    events stay attributable after traces are aggregated.
     """
 
-    def __init__(self, path: str):
+    def __init__(self, path: str,
+                 context: Optional[Dict[str, Any]] = None):
         self.path = path
-        self._fh: Optional[IO[str]] = open(path, "a")
+        self.context: Dict[str, Any] = dict(context or {})
+        self._out: Optional[DurableJsonlWriter] = DurableJsonlWriter(path)
         self._t0 = time.monotonic()
         self.emit("trace_open", pid=os.getpid())
 
     def emit(self, event: str, **fields: Any) -> None:
-        if self._fh is None:  # pragma: no cover - emit after close
+        if self._out is None:  # pragma: no cover - emit after close
             return
         payload: Dict[str, Any] = {
             "event": event,
             "t": round(time.monotonic() - self._t0, 6),
         }
+        payload.update(self.context)
         payload.update(fields)
-        self._fh.write(json.dumps(payload) + "\n")
-        self._fh.flush()
+        self._out.write_line(payload)
         COUNTERS.trace_events += 1
 
     def close(self) -> None:
-        if self._fh is not None:
-            self._fh.close()
-            self._fh = None
+        if self._out is not None:
+            self._out.close()
+            self._out = None
 
     def __enter__(self) -> "RunTrace":
         return self

@@ -34,12 +34,13 @@ import json
 import os
 from contextlib import ExitStack
 from dataclasses import dataclass
-from typing import (Callable, Dict, IO, List, Mapping, Optional, Sequence,
-                    Set, Tuple, Union)
+from typing import (Callable, Dict, Iterable, List, Mapping, Optional,
+                    Sequence, Set, Tuple, Union)
 
 from .._profiling import COUNTERS
 from ..analog.resilience import numerics_policy
 from ..analog.solver import SolverError
+from ..core.jsonl import DurableJsonlWriter
 from ..core.supervisor import (OUTCOME_UNSOLVABLE, SUPERVISOR_TIER, RunTrace,
                                SupervisorPolicy, run_supervised)
 from .model import DetectionRecord, StructuralFault
@@ -496,6 +497,45 @@ class FaultCampaign:
                                errors=[(SUPERVISOR_TIER, detail)])
 
 
+def merge_checkpoints(paths: Iterable[str],
+                      universe: Sequence[StructuralFault],
+                      tier_names: Sequence[str],
+                      collapse: str = "off") -> CampaignResult:
+    """Assemble one :class:`CampaignResult` from shard checkpoints.
+
+    The service layer (:mod:`repro.service`) splits a campaign into
+    fault-index-range shards, each running through :meth:`FaultCampaign.run`
+    with its own JSONL checkpoint; this is the merge-on-read side.  Every
+    shard file is validated exactly like a resume (same tier pipeline,
+    same collapse policy, torn-tail tolerance), records are keyed by
+    fault identity, and the result orders them by *universe* — so the
+    merged artifact is byte-identical to what one unsharded run over
+    the same universe would have exported.
+
+    Raises :class:`ValueError` when any universe fault has no record
+    (an incomplete shard must never silently deflate coverage) and on
+    duplicate records with diverging content (two shards evaluated the
+    same fault differently — a sharding bug worth failing loudly for).
+    """
+    done: Dict[Tuple[str, str, str, str], DetectionRecord] = {}
+    for path in paths:
+        shard = _load_checkpoint(path, tier_names, collapse)
+        for key, rec in shard.items():
+            prev = done.get(key)
+            if prev is not None and prev.to_dict() != rec.to_dict():
+                raise ValueError(
+                    f"{path}: record for fault {key} diverges from an "
+                    f"earlier shard's; refusing to merge")
+            done[key] = rec
+    missing = [f for f in universe if f.key() not in done]
+    if missing:
+        raise ValueError(
+            f"shard checkpoints cover {len(done)} fault(s) but the "
+            f"universe has {len(universe)}; first missing: {missing[0]}")
+    return CampaignResult(records=[done[f.key()] for f in universe],
+                          tier_order=tuple(tier_names))
+
+
 # ----------------------------------------------------------------------
 # checkpoint file helpers (JSONL: one header line, then one record/line)
 # ----------------------------------------------------------------------
@@ -583,32 +623,30 @@ def _load_checkpoint(path: str, tier_names: Sequence[str],
 
 
 class _CheckpointWriter:
-    """Appends records to a JSONL checkpoint, one flushed line each.
+    """Appends records to a durable JSONL checkpoint.
 
     A context manager so interrupted runs (``KeyboardInterrupt``, a
     worker failure propagating out) still close the stream
-    deterministically: every record line is written in a single
-    ``write`` + ``flush``, so the file never holds a half-written
-    record beyond the last flushed line.
+    deterministically.  Durability is the shared
+    :class:`~repro.core.jsonl.DurableJsonlWriter` contract: every
+    record line is a single ``write`` + ``flush`` (the file never
+    holds a half-written record beyond the last flushed line), and the
+    stream is ``fsync``\\ ed on close and every few lines — a record
+    acknowledged to the progress callback survives power loss, not
+    just a killed process.
     """
 
     def __init__(self, path: str, tier_names: Sequence[str],
                  collapse: str = "off"):
-        fresh = not os.path.exists(path) or os.path.getsize(path) == 0
-        self._fh: Optional[IO[str]] = open(path, "a")
-        if fresh:
-            self._fh.write(
-                json.dumps(_checkpoint_header(tier_names, collapse)) + "\n")
-            self._fh.flush()
+        self._out = DurableJsonlWriter(path)
+        if self._out.fresh:
+            self._out.write_line(_checkpoint_header(tier_names, collapse))
 
     def write(self, record: DetectionRecord) -> None:
-        self._fh.write(json.dumps(record.to_dict()) + "\n")
-        self._fh.flush()
+        self._out.write_line(record.to_dict())
 
     def close(self) -> None:
-        if self._fh is not None:
-            self._fh.close()
-            self._fh = None
+        self._out.close()
 
     def __enter__(self) -> "_CheckpointWriter":
         return self

@@ -120,6 +120,21 @@ def healthy_lock_summary(pattern: str) -> Dict[str, object]:
             "phases": phases}
 
 
+def sampled_universe(universe: Sequence[StructuralFault],
+                     sample: Optional[int]) -> List[StructuralFault]:
+    """Deterministic subsample shared by :meth:`PatternCampaign.run`
+    and the service layer's sharder — one rule, so a sharded service
+    run sees exactly the faults an unsharded ``--sample`` run sees."""
+    import random
+
+    universe = list(universe)
+    if sample is not None and sample < len(universe):
+        picks = sorted(random.Random(0).sample(range(len(universe)),
+                                               sample))
+        universe = [universe[i] for i in picks]
+    return universe
+
+
 @dataclass
 class PatternCampaignResult:
     """Per-pattern detection sets over one shared fault universe."""
@@ -248,15 +263,9 @@ class PatternCampaign:
             progress=None) -> PatternCampaignResult:
         """Run the sweep; ``sample`` keeps a deterministic subset of the
         universe (identical for every worker count)."""
-        import random
-
         if universe is None:
             universe = bist_universe()
-        universe = list(universe)
-        if sample is not None and sample < len(universe):
-            picks = sorted(random.Random(0).sample(
-                range(len(universe)), sample))
-            universe = [universe[i] for i in picks]
+        universe = sampled_universe(universe, sample)
         campaign = self.build()
         result = campaign.run(universe, workers=workers,
                               checkpoint=checkpoint, timeout=timeout,

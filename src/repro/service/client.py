@@ -1,0 +1,249 @@
+"""Job queue and serve loop: the ``repro submit/serve/status/result``
+machinery.
+
+The queue is a plain directory tree under one service root — no
+daemon, no sockets, no database — so it composes with the rest of the
+repo's artifact discipline (everything is a JSON/JSONL file a test can
+open):
+
+.. code-block:: text
+
+    <root>/
+      queue/<job>.json     submitted specs, waiting to be claimed
+      active/<job>.json    specs a coordinator has claimed (atomic
+                           rename out of queue/ — claiming is the
+                           rename, so two coordinators cannot run the
+                           same job)
+      jobs/<job>.json      status documents (atomically replaced)
+      trace/<job>.jsonl    per-job RunTrace event stream
+      shards/<digest>/     per-shard JSONL checkpoints
+      store/               the content-addressed ResultStore
+
+``repro status`` reads ``jobs/<job>.json`` and, for a running job,
+augments it with :func:`~repro.service.coordinator.derive_progress`
+over the trace — the ETA is *derived* from the event stream, never
+stored, so it cannot go stale.  ``repro result`` resolves the job's
+spec digest in the store and re-serializes the artifact with
+:func:`format_result`, whose output is byte-identical to the matching
+direct CLI export (pinned by the ``service-parity`` guard).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from .coordinator import Coordinator, JobOutcome, derive_progress
+from .spec import CampaignSpec
+from .store import ResultStore
+
+_QUEUE, _ACTIVE, _JOBS, _TRACE = "queue", "active", "jobs", "trace"
+
+
+class JobError(ValueError):
+    """A job id that cannot be resolved, or a job in the wrong state
+    for the requested operation (e.g. ``result`` on a failed job)."""
+
+
+def format_result(kind: str, result: Dict[str, object]) -> str:
+    """Serialize a stored artifact exactly like the direct CLI export.
+
+    ``repro campaign/mc --export`` write ``result.to_json(indent=2)``
+    (insertion order, no trailing newline); ``repro patterns
+    --no-ber-sweep --export`` writes the result dict plus an empty
+    ``ber_sweep`` with ``sort_keys=True`` and a trailing newline.  The
+    store round-trips artifacts through JSON, which preserves dict
+    order and float repr, so re-dumping here reproduces the direct
+    export byte for byte.
+    """
+    if kind == "patterns":
+        payload = dict(result)
+        payload["ber_sweep"] = []
+        return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    return json.dumps(result, indent=2)
+
+
+class JobQueue:
+    """Directory-backed job queue over one service root."""
+
+    def __init__(self, root: str):
+        self.root = str(root)
+        for sub in (_QUEUE, _ACTIVE, _JOBS, _TRACE):
+            os.makedirs(os.path.join(self.root, sub), exist_ok=True)
+        self.store = ResultStore(os.path.join(self.root, "store"))
+
+    # -- paths ---------------------------------------------------------
+    def _spec_path(self, state: str, job_id: str) -> str:
+        return os.path.join(self.root, state, f"{job_id}.json")
+
+    def status_path(self, job_id: str) -> str:
+        return self._spec_path(_JOBS, job_id)
+
+    def trace_path(self, job_id: str) -> str:
+        return os.path.join(self.root, _TRACE, f"{job_id}.jsonl")
+
+    # -- submission ----------------------------------------------------
+    def submit(self, spec: CampaignSpec) -> str:
+        """Enqueue *spec*; returns the new job id.
+
+        Ids are ``<kind>-<digest prefix>`` — human-readable and stable
+        for identical work — with a numeric suffix when that id is
+        already taken (resubmitting while the original is still
+        queued/running, or after it finished, gets a fresh job that
+        will simply hit the store).
+        """
+        base = f"{spec.kind}-{spec.digest()[:10]}"
+        job_id, n = base, 1
+        while (os.path.exists(self._spec_path(_QUEUE, job_id))
+               or os.path.exists(self._spec_path(_ACTIVE, job_id))
+               or os.path.exists(self.status_path(job_id))):
+            job_id = f"{base}-{n}"
+            n += 1
+        self._atomic_json(self._spec_path(_QUEUE, job_id),
+                          spec.to_dict())
+        self.write_status(job_id, {"id": job_id, "kind": spec.kind,
+                                   "digest": spec.digest(),
+                                   "state": "queued",
+                                   "shards": spec.shards})
+        return job_id
+
+    def claim(self) -> Optional[Tuple[str, CampaignSpec]]:
+        """Claim the oldest queued job, or ``None`` when idle.
+
+        Claiming is ``os.replace(queue/x, active/x)`` — atomic on one
+        filesystem — so concurrent coordinators polling the same root
+        can never both run a job: the loser's rename fails with
+        ``FileNotFoundError`` and it moves on.
+        """
+        qdir = os.path.join(self.root, _QUEUE)
+        names = sorted(
+            (n for n in os.listdir(qdir) if n.endswith(".json")),
+            key=lambda n: os.path.getmtime(os.path.join(qdir, n)))
+        for name in names:
+            src = os.path.join(qdir, name)
+            dst = self._spec_path(_ACTIVE, name[:-5])
+            try:
+                os.replace(src, dst)
+            except FileNotFoundError:
+                continue        # another coordinator won the rename
+            with open(dst) as fh:
+                spec = CampaignSpec.from_dict(json.load(fh))
+            return name[:-5], spec
+        return None
+
+    # -- status --------------------------------------------------------
+    def _atomic_json(self, path: str, payload: Dict[str, object]) -> None:
+        tmp = f"{path}.tmp.{os.getpid()}"
+        with open(tmp, "w") as fh:
+            json.dump(payload, fh, indent=2)
+        os.replace(tmp, path)
+
+    def write_status(self, job_id: str,
+                     payload: Dict[str, object]) -> None:
+        self._atomic_json(self.status_path(job_id), payload)
+
+    def status(self, job_id: str) -> Dict[str, object]:
+        """The job's status document, with live progress when running."""
+        path = self.status_path(job_id)
+        if not os.path.exists(path):
+            raise JobError(f"unknown job: {job_id}")
+        with open(path) as fh:
+            doc = json.load(fh)
+        if doc.get("state") == "running":
+            doc["progress"] = derive_progress(self.trace_path(job_id))
+        return doc
+
+    def jobs(self) -> Iterator[Dict[str, object]]:
+        """Status documents of every known job, oldest first."""
+        jdir = os.path.join(self.root, _JOBS)
+        names = sorted(
+            (n for n in os.listdir(jdir) if n.endswith(".json")),
+            key=lambda n: os.path.getmtime(os.path.join(jdir, n)))
+        for name in names:
+            yield self.status(name[:-5])
+
+    def result(self, job_id: str) -> Tuple[str, Dict[str, object]]:
+        """The finished job's ``(kind, artifact)`` from the store."""
+        doc = self.status(job_id)
+        if doc.get("state") != "done":
+            raise JobError(f"job {job_id} is {doc.get('state')!r}, "
+                           f"not done")
+        spec_path = self._spec_path(_ACTIVE, job_id)
+        if not os.path.exists(spec_path):
+            raise JobError(f"job {job_id}: spec record is missing")
+        with open(spec_path) as fh:
+            spec = CampaignSpec.from_dict(json.load(fh))
+        entry = self.store.get(spec)
+        if entry is None:
+            raise JobError(f"job {job_id}: artifact missing from store "
+                           f"(digest {spec.digest()})")
+        return spec.kind, entry["result"]
+
+
+def serve(root: str, *, once: bool = False, poll_s: float = 0.2,
+          workers: Optional[int] = None,
+          shard_timeout: Optional[float] = None,
+          max_retries: int = 1,
+          echo=None) -> int:
+    """Run the coordinator loop over *root*; returns jobs processed.
+
+    ``once=True`` drains the queue and returns (the guard-suite and
+    test mode); otherwise the loop polls every ``poll_s`` seconds until
+    interrupted.  Each claimed job runs through
+    :meth:`Coordinator.run_spec` with its status document updated on
+    every settled shard, so a concurrent ``repro status`` always sees
+    current progress.
+    """
+    queue = JobQueue(root)
+    coordinator = Coordinator(queue.store, default_workers=workers,
+                              shard_timeout=shard_timeout,
+                              max_retries=max_retries)
+    processed = 0
+    while True:
+        claimed = queue.claim()
+        if claimed is None:
+            if once:
+                return processed
+            time.sleep(poll_s)
+            continue
+        job_id, spec = claimed
+        if echo is not None:
+            echo(f"job {job_id}: {spec.kind} x{spec.shards} shard(s)")
+        base = {"id": job_id, "kind": spec.kind,
+                "digest": spec.digest(), "state": "running",
+                "shards": spec.shards}
+        queue.write_status(job_id, base)
+
+        def on_status(done: int, total: int,
+                      eta: Optional[float]) -> None:
+            queue.write_status(job_id, dict(
+                base, shards_done=done, shards_total=total, eta_s=eta))
+
+        outcome = coordinator.run_spec(
+            spec, job_id=job_id,
+            shards_dir=os.path.join(queue.root, "shards",
+                                    spec.digest()),
+            trace_path=queue.trace_path(job_id),
+            on_status=on_status)
+        queue.write_status(job_id, outcome.to_dict())
+        if echo is not None:
+            echo(_describe(outcome))
+        processed += 1
+
+
+def _describe(outcome: JobOutcome) -> str:
+    if outcome.cache_hit:
+        return (f"job {outcome.job_id}: done (cache hit, "
+                f"0 shards run, {outcome.wall_s:.3f}s)")
+    if outcome.state == "done":
+        return (f"job {outcome.job_id}: done "
+                f"({outcome.shards_run}/{outcome.shards_total} shards, "
+                f"{outcome.wall_s:.3f}s)")
+    return f"job {outcome.job_id}: FAILED — {outcome.error}"
+
+
+def list_jobs(root: str) -> List[Dict[str, object]]:
+    """Status documents of every job under *root* (CLI helper)."""
+    return list(JobQueue(root).jobs())

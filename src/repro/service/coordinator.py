@@ -1,0 +1,251 @@
+"""The local coordinator: store lookup, shard dispatch, merge, publish.
+
+One :meth:`Coordinator.run_spec` call is one job:
+
+1. **store lookup** — a spec whose content address is already
+   published is served from the :class:`~repro.service.store.ResultStore`
+   with zero simulations (``store_hits`` ticks, the job reports
+   ``cache_hit``);
+2. **shard dispatch** — otherwise the spec's
+   :class:`~repro.service.shard.ShardedJob` is built once (tiers,
+   golden signatures, resolved universe) and its index ranges are
+   dispatched through the PR-4 supervisor
+   (:func:`repro.core.supervisor.run_supervised`), so per-shard
+   timeouts, crash isolation with bounded retries and graceful serial
+   degradation carry over unchanged — a retried shard worker *resumes*
+   its durable checkpoint instead of re-simulating finished items;
+3. **merge-on-read** — every shard checkpoint is re-read and merged
+   into one artifact, byte-identical to an unsharded run;
+4. **publish** — the artifact is written to the store under the spec's
+   content address (atomic, durable), making the next identical
+   submission a hit.
+
+Every job streams shard-level events to a per-job
+:class:`~repro.core.supervisor.RunTrace` (``job_start``,
+``shard_plan``, the supervisor's ``dispatch`` / ``item_done`` per
+shard, ``cache_hit``, ``job_end``), and :func:`derive_progress` turns
+that event stream into the done/total/ETA numbers ``repro status``
+reports — the trace file is the single source of progress truth.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from contextlib import ExitStack
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from .._profiling import COUNTERS
+from ..core.supervisor import (RunTrace, SupervisorPolicy, run_supervised)
+from .shard import build_job, shard_ranges
+from .spec import CampaignSpec
+from .store import ResultStore
+
+#: status callback: (shards_done, shards_total, eta_seconds or None)
+StatusCallback = Callable[[int, int, Optional[float]], None]
+
+
+@dataclass
+class JobOutcome:
+    """What one coordinated job settled to."""
+
+    job_id: str
+    digest: str
+    kind: str
+    state: str                       # "done" | "failed"
+    cache_hit: bool = False
+    shards_total: int = 0
+    shards_run: int = 0
+    wall_s: float = 0.0
+    error: Optional[str] = None
+    result: Optional[Dict[str, object]] = field(default=None, repr=False)
+
+    def to_dict(self) -> Dict[str, object]:
+        """Status-file form (the artifact itself stays in the store)."""
+        return {"id": self.job_id, "digest": self.digest,
+                "kind": self.kind, "state": self.state,
+                "cache_hit": self.cache_hit,
+                "shards_total": self.shards_total,
+                "shards_run": self.shards_run,
+                "wall_s": round(self.wall_s, 3), "error": self.error}
+
+
+def derive_progress(trace_path: str) -> Dict[str, object]:
+    """Progress numbers from a job's RunTrace event stream.
+
+    Reads the JSONL trace (tolerating a torn final line — the trace is
+    append-only and may be mid-write), finds the latest ``run_start``,
+    counts the ``item_done`` / ``timeout`` / ``quarantine`` events
+    after it, and projects the remaining wall time from the observed
+    completion rate: ``eta_s = elapsed * remaining / done``.  With no
+    completed shard yet the ETA is unknown (``None``).
+    """
+    items = done = 0
+    t_start = t_last = 0.0
+    if os.path.exists(trace_path):
+        with open(trace_path) as fh:
+            for line in fh:
+                try:
+                    event = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                name = event.get("event")
+                t = float(event.get("t", 0.0))
+                t_last = max(t_last, t)
+                if name == "run_start":
+                    items = int(event.get("items", 0))
+                    done = 0
+                    t_start = t
+                elif name in ("item_done", "timeout", "quarantine"):
+                    done += 1
+    elapsed = max(0.0, t_last - t_start)
+    remaining = max(0, items - done)
+    eta = (elapsed * remaining / done) if done and remaining else (
+        0.0 if items and not remaining else None)
+    return {"shards_total": items, "shards_done": done,
+            "elapsed_s": round(elapsed, 3),
+            "eta_s": None if eta is None else round(eta, 3)}
+
+
+class Coordinator:
+    """Runs campaign specs against a result store, shard by shard."""
+
+    def __init__(self, store: ResultStore,
+                 default_workers: Optional[int] = None,
+                 shard_timeout: Optional[float] = None,
+                 max_retries: int = 1):
+        self.store = store
+        self.default_workers = default_workers
+        self.shard_timeout = shard_timeout
+        self.max_retries = max_retries
+
+    # ------------------------------------------------------------------
+    def run_spec(self, spec: CampaignSpec,
+                 job_id: Optional[str] = None,
+                 shards_dir: Optional[str] = None,
+                 trace_path: Optional[str] = None,
+                 on_status: Optional[StatusCallback] = None) -> JobOutcome:
+        """Execute (or serve from cache) one spec; returns the outcome.
+
+        ``shards_dir`` receives the per-shard JSONL checkpoints (a
+        temp-style working directory; re-running a failed job with the
+        same directory resumes its completed shards).  ``trace_path``
+        receives the job's run-event stream; ``on_status`` is called
+        after every settled shard with ``(done, total, eta_s)``.
+        """
+        COUNTERS.service_jobs += 1
+        job_id = job_id or f"{spec.kind}-{spec.digest()[:10]}"
+        digest = spec.digest()
+        t0 = time.monotonic()
+        with ExitStack() as stack:
+            trace: Optional[RunTrace] = None
+            if trace_path is not None:
+                trace = stack.enter_context(
+                    RunTrace(trace_path, context={"job": job_id}))
+
+            cached = self.store.get(spec)
+            if cached is not None:
+                if trace is not None:
+                    trace.emit("cache_hit", digest=digest)
+                return JobOutcome(
+                    job_id=job_id, digest=digest, kind=spec.kind,
+                    state="done", cache_hit=True,
+                    wall_s=time.monotonic() - t0,
+                    result=cached["result"])
+
+            job = build_job(spec)
+            ranges = shard_ranges(job.items, spec.shards)
+            COUNTERS.service_shards += len(ranges)
+            if shards_dir is None:
+                shards_dir = os.path.join(self.store.root, "shards",
+                                          digest)
+            os.makedirs(shards_dir, exist_ok=True)
+            checkpoints = [os.path.join(shards_dir,
+                                        f"shard-{i:03d}.jsonl")
+                           for i in range(len(ranges))]
+            if trace is not None:
+                trace.emit("job_start", kind=spec.kind, digest=digest,
+                           items=job.items, shards=len(ranges))
+                for i, (lo, hi) in enumerate(ranges):
+                    trace.emit("shard_plan", shard=i, lo=lo, hi=hi,
+                               checkpoint=os.path.basename(
+                                   checkpoints[i]))
+
+            outcome = self._run_shards(spec, job, ranges, checkpoints,
+                                       trace, trace_path, on_status)
+            if outcome is not None:        # a shard failed for good
+                outcome.job_id, outcome.digest = job_id, digest
+                outcome.wall_s = time.monotonic() - t0
+                if trace is not None:
+                    trace.emit("job_end", state=outcome.state,
+                               error=outcome.error)
+                return outcome
+
+            artifact = job.merge(checkpoints)
+            wall = time.monotonic() - t0
+            self.store.put(spec, artifact,
+                           meta={"job": job_id, "shards": len(ranges),
+                                 "wall_s": round(wall, 3)})
+            if trace is not None:
+                trace.emit("job_end", state="done", digest=digest,
+                           shards=len(ranges))
+            return JobOutcome(job_id=job_id, digest=digest,
+                              kind=spec.kind, state="done",
+                              shards_total=len(ranges),
+                              shards_run=len(ranges), wall_s=wall,
+                              result=artifact)
+
+    # ------------------------------------------------------------------
+    def _run_shards(self, spec: CampaignSpec, job,
+                    ranges: List[Tuple[int, int]],
+                    checkpoints: List[str],
+                    trace: Optional[RunTrace],
+                    trace_path: Optional[str],
+                    on_status: Optional[StatusCallback]
+                    ) -> Optional[JobOutcome]:
+        """Dispatch every shard through the supervisor.
+
+        Returns ``None`` on full success, or a failed
+        :class:`JobOutcome` naming the shard(s) the supervisor gave up
+        on (quarantined / timed out) — a partial merge would silently
+        deflate coverage, so an incomplete shard set fails the job.
+        """
+
+        def evaluate(i: int) -> Dict[str, object]:
+            lo, hi = ranges[i]
+            job.run_shard(lo, hi, checkpoints[i])
+            return {"shard": i, "items": hi - lo, "ok": True}
+
+        def fallback(i: int, outcome: str, detail: str
+                     ) -> Dict[str, object]:
+            return {"shard": i, "ok": False, "outcome": outcome,
+                    "detail": detail}
+
+        def on_record(index: int, item: int, rec, outcome: str) -> None:
+            if on_status is not None:
+                progress = (derive_progress(trace_path)
+                            if trace_path is not None else {})
+                on_status(index + 1 if not progress
+                          else progress["shards_done"],
+                          len(ranges), progress.get("eta_s"))
+
+        workers = spec.workers or self.default_workers or 1
+        results = run_supervised(
+            list(range(len(ranges))), evaluate,
+            workers=min(workers, len(ranges)),
+            policy=SupervisorPolicy(timeout=self.shard_timeout,
+                                    max_retries=self.max_retries),
+            fallback=fallback, on_record=on_record, trace=trace)
+        failed = [r for r in results if not (r and r.get("ok"))]
+        if failed:
+            detail = "; ".join(
+                f"shard {r.get('shard', '?')}: {r.get('outcome', '?')}"
+                f" ({r.get('detail', '')})" for r in failed if r)
+            return JobOutcome(job_id="", digest="", kind=spec.kind,
+                              state="failed",
+                              shards_total=len(ranges),
+                              shards_run=len(ranges) - len(failed),
+                              error=detail or "shard worker lost")
+        return None

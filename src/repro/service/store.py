@@ -1,0 +1,119 @@
+"""Content-addressed result store: repeated submissions hit cache.
+
+Entries live under ``<root>/<digest[:2]>/<digest>.json``, keyed by the
+spec's :meth:`~repro.service.spec.CampaignSpec.digest` — a hash over
+the netlist digest, the result-determining campaign config (tiers or
+patterns, collapse policy, backend, numerics policy, sample, die
+population, corner, sigmas) and the seed.  Anything that could move a
+verdict changes the key; anything that only changes scheduling
+(shards, workers) does not.
+
+Writes are atomic and durable: the entry is serialized to a unique
+temp file in the same directory, ``fsync``\\ ed, and ``os.replace``\\ d
+into place.  Two writers racing on one key therefore cannot interleave
+bytes — the loser's complete entry simply replaces the winner's
+complete (and, by the parity contract, identical) entry, so readers
+always see exactly one valid JSON document.
+
+Reads verify the stored key against the requesting spec's key — a
+digest collision (or a corrupted entry) is treated as a miss-with-
+error rather than silently returning the wrong campaign's records.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Iterator, Optional, Tuple
+
+from .._profiling import COUNTERS
+from .spec import SERVICE_VERSION, CampaignSpec
+
+_ENTRY_FORMAT = "repro-store-entry"
+
+
+class StoreEntryError(ValueError):
+    """A store entry exists but cannot serve the request (corrupt JSON,
+    wrong format, or a key mismatch under the same digest)."""
+
+
+class ResultStore:
+    """Filesystem content-addressed store for campaign artifacts."""
+
+    def __init__(self, root: str):
+        self.root = str(root)
+        os.makedirs(self.root, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    def path_for(self, digest: str) -> str:
+        return os.path.join(self.root, digest[:2], f"{digest}.json")
+
+    def get(self, spec: CampaignSpec) -> Optional[Dict[str, object]]:
+        """The stored entry for *spec*, or ``None`` on a miss.
+
+        A hit returns the full entry dict (``key``, ``kind``,
+        ``result``); hits and misses tick the ``store_hits`` /
+        ``store_misses`` profiling counters — the service's
+        "zero new simulations" claim is audited against them.
+        """
+        path = self.path_for(spec.digest())
+        if not os.path.exists(path):
+            COUNTERS.store_misses += 1
+            return None
+        try:
+            with open(path) as fh:
+                entry = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise StoreEntryError(f"{path}: unreadable store entry: "
+                                  f"{exc}") from exc
+        if entry.get("format") != _ENTRY_FORMAT:
+            raise StoreEntryError(f"{path}: not a store entry "
+                                  f"(format={entry.get('format')!r})")
+        if entry.get("key") != spec.store_key():
+            raise StoreEntryError(
+                f"{path}: stored key does not match the requested "
+                f"spec's (digest collision or corrupted entry)")
+        COUNTERS.store_hits += 1
+        return entry
+
+    def put(self, spec: CampaignSpec, result: Dict[str, object],
+            meta: Optional[Dict[str, object]] = None) -> str:
+        """Publish *result* under *spec*'s content address; returns the
+        digest.  Atomic (temp + ``os.replace``) and durable (temp file
+        fsynced before the rename), so a concurrent reader never sees
+        a torn entry and a published entry survives power loss."""
+        digest = spec.digest()
+        path = self.path_for(digest)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        entry: Dict[str, object] = {
+            "format": _ENTRY_FORMAT,
+            "version": SERVICE_VERSION,
+            "digest": digest,
+            "kind": spec.kind,
+            "key": spec.store_key(),
+            "result": result,
+        }
+        if meta:
+            entry["meta"] = dict(meta)
+        tmp = f"{path}.tmp.{os.getpid()}"
+        with open(tmp, "w") as fh:
+            json.dump(entry, fh)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+        COUNTERS.store_writes += 1
+        return digest
+
+    # ------------------------------------------------------------------
+    def __contains__(self, spec: CampaignSpec) -> bool:
+        return os.path.exists(self.path_for(spec.digest()))
+
+    def entries(self) -> Iterator[Tuple[str, str]]:
+        """(digest, path) pairs of every stored entry."""
+        for sub in sorted(os.listdir(self.root)):
+            subdir = os.path.join(self.root, sub)
+            if not os.path.isdir(subdir):
+                continue
+            for name in sorted(os.listdir(subdir)):
+                if name.endswith(".json"):
+                    yield name[:-5], os.path.join(subdir, name)

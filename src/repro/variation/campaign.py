@@ -34,13 +34,14 @@ import json
 import os
 from contextlib import ExitStack
 from dataclasses import dataclass, field
-from typing import (Callable, Dict, IO, List, Mapping, Optional, Sequence,
-                    Tuple, Union)
+from typing import (Callable, Dict, Iterable, List, Mapping, Optional,
+                    Sequence, Tuple, Union)
 
 from .._profiling import COUNTERS
 from ..analog.corners import ProcessCorner, get_corner
 from ..analog.resilience import numerics_policy
 from ..analog.solver import SolverError
+from ..core.jsonl import DurableJsonlWriter
 from ..core.supervisor import (OUTCOME_UNSOLVABLE, SUPERVISOR_TIER, RunTrace,
                                SupervisorPolicy, run_supervised)
 from ..faults.model import StructuralFault
@@ -425,7 +426,7 @@ class MonteCarloCampaign:
         return DieRecord(die=die_index, fault=fault, healthy=healthy,
                          detected=detected, errors=errors, outcome=outcome)
 
-    def run(self, dies: int,
+    def run(self, dies: Union[int, Sequence[int]],
             progress: Optional[Callable[[int, int], None]] = None,
             workers: Optional[int] = None,
             checkpoint: Optional[str] = None,
@@ -433,7 +434,14 @@ class MonteCarloCampaign:
             max_retries: int = 1,
             trace: Optional[Union[str, RunTrace]] = None,
             backend: Optional[object] = None) -> MCResult:
-        """Evaluate dies ``0..dies-1`` and assemble the result.
+        """Evaluate the dies and assemble the result.
+
+        ``dies`` is either a count (evaluate dies ``0..dies-1``, the
+        historical form) or an explicit sequence of die indices — the
+        service layer shards a population by die-index range, and each
+        die is a pure function of ``(seed, die_index)``, so a shard's
+        records are identical to the same dies' records in an
+        unsharded run.
 
         ``backend`` selects the linear-solve path (a
         :class:`repro.analog.backend.LinearBackend`, a registry name,
@@ -460,7 +468,8 @@ class MonteCarloCampaign:
         finished dies append to a JSONL file and are skipped on resume;
         ``trace`` streams the structured run-event log.
         """
-        indices = list(range(int(dies)))
+        indices = (list(range(int(dies))) if isinstance(dies, int)
+                   else [int(d) for d in dies])
         n = len(indices)
         done: Dict[int, DieRecord] = {}
         config = _config_dict(self.seed, self.corner.name,
@@ -585,6 +594,48 @@ class MonteCarloCampaign:
                             f"(via representative {rep}) says "
                             f"{recorded}")
 
+    def merge_checkpoints(self, paths: Iterable[str],
+                          dies: Union[int, Sequence[int]]) -> MCResult:
+        """Assemble one :class:`MCResult` from shard checkpoints.
+
+        The merge-on-read side of die-range sharding
+        (:mod:`repro.service`): every shard file is validated exactly
+        like a resume (the full campaign config must match), records
+        are keyed by die index, and the result orders them by the
+        requested *dies* — byte-identical to what one unsharded
+        :meth:`run` over the same population would have exported.
+
+        Raises :class:`ValueError` on a missing die (an incomplete
+        shard must never silently move a rate) or on duplicate records
+        with diverging content.
+        """
+        config = _config_dict(self.seed, self.corner.name,
+                              self.tier_names, self.model,
+                              self.strict_numerics, self.collapse)
+        done: Dict[int, DieRecord] = {}
+        for path in paths:
+            shard = _load_checkpoint(path, config)
+            for die, rec in shard.items():
+                prev = done.get(die)
+                if prev is not None and prev.to_dict() != rec.to_dict():
+                    raise ValueError(
+                        f"{path}: record for die {die} diverges from an "
+                        f"earlier shard's; refusing to merge")
+                done[die] = rec
+        indices = (list(range(int(dies))) if isinstance(dies, int)
+                   else [int(d) for d in dies])
+        missing = [i for i in indices if i not in done]
+        if missing:
+            raise ValueError(
+                f"shard checkpoints cover {len(done)} die(s) but the "
+                f"population has {len(indices)}; first missing: "
+                f"{missing[0]}")
+        return MCResult(records=[done[i] for i in indices],
+                        tier_order=self.tier_names, seed=self.seed,
+                        corner=self.corner.name, model=self.model,
+                        strict_numerics=self.strict_numerics,
+                        collapse="off" if self.collapse == "off" else "on")
+
     def _fallback_record(self, die: int, outcome: str,
                          detail: str) -> DieRecord:
         """First-class record for a die the supervisor gave up on.
@@ -669,29 +720,26 @@ def _load_checkpoint(path: str, config: Mapping[str, object]
 
 
 class _CheckpointWriter:
-    """Appends die records to a JSONL checkpoint, one flushed line each.
+    """Appends die records to a durable JSONL checkpoint.
 
     A context manager so interrupted runs still close the stream
-    deterministically; every record line is a single ``write`` +
-    ``flush``, so the file never holds a half-written record beyond the
-    last flushed line.
+    deterministically.  Durability is the shared
+    :class:`~repro.core.jsonl.DurableJsonlWriter` contract: one
+    ``write`` + ``flush`` per record line, plus ``fsync`` on close and
+    every few lines, so acknowledged records survive power loss — not
+    just a killed process.
     """
 
     def __init__(self, path: str, config: Mapping[str, object]):
-        fresh = not os.path.exists(path) or os.path.getsize(path) == 0
-        self._fh: Optional[IO[str]] = open(path, "a")
-        if fresh:
-            self._fh.write(json.dumps(_checkpoint_header(config)) + "\n")
-            self._fh.flush()
+        self._out = DurableJsonlWriter(path)
+        if self._out.fresh:
+            self._out.write_line(_checkpoint_header(config))
 
     def write(self, record: DieRecord) -> None:
-        self._fh.write(json.dumps(record.to_dict()) + "\n")
-        self._fh.flush()
+        self._out.write_line(record.to_dict())
 
     def close(self) -> None:
-        if self._fh is not None:
-            self._fh.close()
-            self._fh = None
+        self._out.close()
 
     def __enter__(self) -> "_CheckpointWriter":
         return self
