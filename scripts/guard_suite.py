@@ -17,6 +17,9 @@ summary table (CI fails on any non-OK row).  Checks:
 9. service-parity  — sharded service jobs (campaign, mc, patterns)
                      merge byte-identical to the direct exports, and
                      resubmission is a store cache hit (zero shards)
+10. service-chaos  — SIGKILLed serve loops resume to byte-identical
+                     artifacts with zero re-simulated items
+                     (chaos_smoke kill matrix + stale-lease reclaim)
 
 Run locally: ``python scripts/guard_suite.py`` (from the repo root).
 Select a subset: ``python scripts/guard_suite.py mc-parity pattern-parity``.
@@ -262,6 +265,11 @@ def check_service_parity(tmp: str) -> str:
     return "campaign+mc+patterns byte-identical at 4 shards; resubmit hit"
 
 
+def check_service_chaos(tmp: str) -> str:
+    _script("chaos_smoke.py", tmp)
+    return "kill matrix resumed byte-identical; stale lease reclaimed"
+
+
 CHECKS: List[Tuple[str, Callable[[str], str]]] = [
     ("private-access", check_private_access),
     ("campaign-resume", check_campaign_resume),
@@ -272,6 +280,7 @@ CHECKS: List[Tuple[str, Callable[[str], str]]] = [
     ("collapse-parity", check_collapse_parity),
     ("pattern-parity", check_pattern_parity),
     ("service-parity", check_service_parity),
+    ("service-chaos", check_service_chaos),
 ]
 
 

@@ -76,9 +76,15 @@ _FIELDS = (
     # campaign service (repro.service)
     "service_jobs",          # job specs executed by a coordinator
     "service_shards",        # shard jobs dispatched by a coordinator
+    "service_shards_resumed",     # shards skipped on restart because
+                                  # their checkpoint was already complete
+    "service_shard_retries",      # failed-shard re-dispatch rounds
+                                  # (coordinator backoff retry)
+    "service_lease_reclaims",     # stale-leased active jobs requeued
     "store_hits",            # submissions served from the result store
     "store_misses",          # submissions that had to simulate
     "store_writes",          # result-store entries published
+    "store_evictions",       # entries removed by store gc
 )
 
 

@@ -18,6 +18,7 @@ Commands
 ``serve``      run the local coordinator over a service root
 ``status``     job status (queued/running with ETA/done/failed)
 ``result``     fetch a finished job's artifact from the result store
+``store gc``   evict result-store entries older than a TTL
 
 Every command prints plain text suitable for piping; exit status is 0
 on pass/success, 1 on a failing verdict.
@@ -607,7 +608,10 @@ def cmd_serve(args) -> int:
         processed = serve(args.root, once=args.once, poll_s=args.poll,
                           workers=args.workers,
                           shard_timeout=args.timeout,
-                          max_retries=args.retries, echo=print)
+                          max_retries=args.retries,
+                          shard_retries=args.shard_retries,
+                          retry_backoff_s=args.retry_backoff,
+                          lease_ttl_s=args.lease_ttl, echo=print)
     except KeyboardInterrupt:  # pragma: no cover - interactive stop
         print("\nserve loop interrupted")
         return 0
@@ -676,6 +680,47 @@ def cmd_result(args) -> int:
         print(f"wrote {args.output}")
     else:
         print(text, end="" if text.endswith("\n") else "\n")
+    return 0
+
+
+_TTL_UNITS = {"s": 1.0, "m": 60.0, "h": 3600.0, "d": 86400.0}
+
+
+def _parse_ttl(text: str) -> float:
+    """A TTL in seconds from ``90``, ``30m``, ``12h``, ``7d`` forms."""
+    raw = text.strip().lower()
+    unit = 1.0
+    if raw and raw[-1] in _TTL_UNITS:
+        unit = _TTL_UNITS[raw[-1]]
+        raw = raw[:-1]
+    try:
+        value = float(raw)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"bad TTL {text!r} (use seconds or a 30m/12h/7d suffix)")
+    if value < 0:
+        raise argparse.ArgumentTypeError("TTL must be >= 0")
+    return value * unit
+
+
+def cmd_store_gc(args) -> int:
+    from .service import JobQueue
+
+    queue = JobQueue(args.root)
+    referenced = queue.referenced_digests()
+    report = queue.store.gc(args.ttl, referenced=referenced)
+    for digest in report.refused:
+        print(f"REFUSED to evict {digest}: a job in queue/ or active/ "
+              f"still references it", file=sys.stderr)
+    if args.json:
+        import json
+
+        print(json.dumps(report.to_dict(), indent=2))
+        return 0
+    print(f"store gc (ttl {args.ttl:g}s): evicted "
+          f"{len(report.evicted)}, kept {report.kept}, refused "
+          f"{len(report.refused)}, stale temp files removed "
+          f"{report.tmp_removed}")
     return 0
 
 
@@ -888,6 +933,21 @@ def build_parser() -> argparse.ArgumentParser:
                    help="re-dispatches of a shard whose worker died "
                         "(the fresh worker resumes the shard's "
                         "checkpoint; default 1)")
+    p.add_argument("--shard-retries", type=int, default=1, metavar="N",
+                   help="backoff retry rounds for shards the "
+                        "supervisor gave up on before the job is "
+                        "marked failed (each round resumes the "
+                        "shard's checkpoint; default 1)")
+    p.add_argument("--retry-backoff", type=float, default=0.25,
+                   metavar="S",
+                   help="base delay of the exponential shard-retry "
+                        "backoff; the jitter is deterministic per "
+                        "spec digest (default 0.25)")
+    p.add_argument("--lease-ttl", type=float, default=30.0,
+                   metavar="S",
+                   help="claim lease time-to-live; a coordinator that "
+                        "stops heartbeating for this long has its "
+                        "job reclaimed and requeued (default 30)")
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("status", help="job status for a service root")
@@ -907,6 +967,21 @@ def build_parser() -> argparse.ArgumentParser:
                         "to the matching direct command's --export) "
                         "instead of stdout")
     p.set_defaults(func=cmd_result)
+
+    p = sub.add_parser("store", help="result-store maintenance")
+    store_sub = p.add_subparsers(dest="store_command", required=True)
+    g = store_sub.add_parser(
+        "gc", help="evict store entries older than a TTL")
+    _add_service_root(g)
+    g.add_argument("--ttl", type=_parse_ttl, required=True,
+                   metavar="AGE",
+                   help="maximum entry age before eviction: plain "
+                        "seconds or a 30m / 12h / 7d suffix; entries "
+                        "referenced by queued/active jobs are never "
+                        "evicted (refusals are printed loudly)")
+    g.add_argument("--json", action="store_true",
+                   help="print the gc report as JSON")
+    g.set_defaults(func=cmd_store_gc)
     return parser
 
 

@@ -19,6 +19,8 @@ import json
 import os
 from typing import Any, IO, Mapping, Optional
 
+from .failpoints import failpoint
+
 #: lines between durability barriers; every K-th ``write_line`` also
 #: fsyncs, so at most K-1 acknowledged lines are exposed to power loss
 FSYNC_EVERY_LINES = 16
@@ -50,11 +52,15 @@ class DurableJsonlWriter:
         return self._fh is not None and self._fh.tell() == 0
 
     def write_line(self, payload: Mapping[str, Any]) -> None:
+        # chaos seams: the harness kills the process here to prove an
+        # interrupted run leaves either a complete line or a torn tail
+        failpoint("jsonl.pre_line", path=self.path, payload=payload)
         self._fh.write(json.dumps(payload) + "\n")
         self._fh.flush()
         self._since_sync += 1
         if self._since_sync >= self._fsync_every:
             self._sync()
+        failpoint("jsonl.post_line", path=self.path, payload=payload)
 
     def _sync(self) -> None:
         os.fsync(self._fh.fileno())

@@ -61,6 +61,7 @@ from typing import (Any, Callable, Dict, Iterator, List, Optional,
                     Sequence)
 
 from .._profiling import COUNTERS
+from .failpoints import failpoint
 from .jsonl import DurableJsonlWriter
 
 __all__ = [
@@ -250,6 +251,7 @@ def _worker_main(evaluate: Callable[[Any], Any], items: Sequence[Any],
             break
         index = message
         try:
+            failpoint("supervisor.pre_evaluate", index=index)
             record = evaluate(items[index])
         except BaseException as exc:  # noqa: BLE001 - reported to parent
             try:
@@ -539,6 +541,7 @@ def run_serial(items: Sequence[Any], evaluate: Callable[[Any], Any],
     for position, item in enumerate(items):
         started = time.monotonic()
         try:
+            failpoint("supervisor.pre_evaluate", index=position)
             with _deadline(policy.timeout):
                 record = evaluate(item)
             outcome = record_outcome(record)

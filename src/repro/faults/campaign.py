@@ -536,6 +536,23 @@ def merge_checkpoints(paths: Iterable[str],
                           tier_order=tuple(tier_names))
 
 
+def read_checkpoint(path: str, tier_names: Sequence[str],
+                    collapse: str = "off"
+                    ) -> Dict[Tuple[str, str, str, str], DetectionRecord]:
+    """Records a previous (possibly interrupted) run left at *path*.
+
+    The public face of the resume loader, for callers that need to
+    *inspect* durable progress without running anything — the service
+    coordinator's shard-level resume scan counts these records to
+    decide which shards still need dispatching.  Semantics are exactly
+    the resume contract: an empty or missing file is an empty map, a
+    torn final line is discarded and physically truncated (so later
+    appends land on a clean boundary), and a mismatched tier pipeline /
+    collapse policy or mid-file corruption raises ``ValueError``.
+    """
+    return _load_checkpoint(path, tier_names, collapse)
+
+
 # ----------------------------------------------------------------------
 # checkpoint file helpers (JSONL: one header line, then one record/line)
 # ----------------------------------------------------------------------

@@ -12,22 +12,39 @@ artifact byte-identical to an unsharded run, and publishes it to a
 is a cache hit instead of a re-simulation.  :class:`JobQueue` is the
 filesystem job front end behind ``repro serve`` / ``repro submit`` /
 ``repro status`` / ``repro result``.
+
+The layer is crash-resilient and testably so: claims carry
+heartbeat-refreshed leases (a dead coordinator's job is reclaimed, not
+deadlocked), restarts resume at shard *and* item granularity from the
+durable checkpoints, failed shards retry under deterministic backoff
+before the job escalates to a first-class ``failed`` state, and
+:mod:`repro.service.chaos` SIGKILLs real serve loops at seeded
+breakpoints to prove the resumed artifact is byte-identical with zero
+re-simulated items.
 """
 
+from .chaos import (ChaosReport, KillPoint, run_kill_matrix,
+                    seeded_kill_matrix, stale_lease_demo)
 from .coordinator import Coordinator, JobOutcome, derive_progress
 from .client import JobQueue, serve
 from .shard import shard_ranges
 from .spec import CampaignSpec, netlist_digest
-from .store import ResultStore
+from .store import ResultStore, StoreGcReport
 
 __all__ = [
     "CampaignSpec",
+    "ChaosReport",
     "Coordinator",
     "JobOutcome",
     "JobQueue",
+    "KillPoint",
     "ResultStore",
+    "StoreGcReport",
     "derive_progress",
     "netlist_digest",
+    "run_kill_matrix",
+    "seeded_kill_matrix",
     "serve",
     "shard_ranges",
+    "stale_lease_demo",
 ]

@@ -19,7 +19,7 @@ campaign workers do.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from .spec import CampaignSpec
 
@@ -54,7 +54,11 @@ class ShardedJob:
     shard worker and must leave a complete checkpoint at the given
     path; ``merge`` runs in the coordinator after every shard settled
     and returns the artifact dict the matching CLI export would have
-    produced.
+    produced.  ``completed_items`` is the crash-recovery scan: it
+    counts the shard's durably checkpointed records *without running
+    anything*, so a restarted coordinator can dispatch only the
+    unfinished shards (and the shard's own in-run resume then skips
+    its already-checkpointed items).
     """
 
     spec: CampaignSpec
@@ -63,7 +67,11 @@ class ShardedJob:
     def items(self) -> int:
         raise NotImplementedError
 
-    def run_shard(self, lo: int, hi: int, checkpoint: str) -> None:
+    def run_shard(self, lo: int, hi: int, checkpoint: str,
+                  trace: Optional[str] = None) -> None:
+        raise NotImplementedError
+
+    def completed_items(self, lo: int, hi: int, checkpoint: str) -> int:
         raise NotImplementedError
 
     def merge(self, checkpoints: Sequence[str]) -> Dict[str, object]:
@@ -95,9 +103,17 @@ class FaultCampaignJob(ShardedJob):
     def items(self) -> int:
         return len(self.universe)
 
-    def run_shard(self, lo: int, hi: int, checkpoint: str) -> None:
+    def run_shard(self, lo: int, hi: int, checkpoint: str,
+                  trace: Optional[str] = None) -> None:
         self.campaign.run(self.universe[lo:hi], checkpoint=checkpoint,
-                          backend=self.spec.backend)
+                          backend=self.spec.backend, trace=trace)
+
+    def completed_items(self, lo: int, hi: int, checkpoint: str) -> int:
+        from ..faults.campaign import read_checkpoint
+
+        done = read_checkpoint(checkpoint, self.campaign.tier_names,
+                               self.campaign.collapse)
+        return sum(1 for f in self.universe[lo:hi] if f.key() in done)
 
     def merge(self, checkpoints: Sequence[str]) -> Dict[str, object]:
         from ..faults.campaign import merge_checkpoints
@@ -130,9 +146,14 @@ class MonteCarloJob(ShardedJob):
     def items(self) -> int:
         return self.spec.dies
 
-    def run_shard(self, lo: int, hi: int, checkpoint: str) -> None:
+    def run_shard(self, lo: int, hi: int, checkpoint: str,
+                  trace: Optional[str] = None) -> None:
         self.campaign.run(range(lo, hi), checkpoint=checkpoint,
-                          backend=self.spec.backend)
+                          backend=self.spec.backend, trace=trace)
+
+    def completed_items(self, lo: int, hi: int, checkpoint: str) -> int:
+        done = self.campaign.read_checkpoint(checkpoint)
+        return sum(1 for die in range(lo, hi) if die in done)
 
     def merge(self, checkpoints: Sequence[str]) -> Dict[str, object]:
         return self.campaign.merge_checkpoints(
@@ -156,8 +177,17 @@ class PatternCampaignJob(ShardedJob):
     def items(self) -> int:
         return len(self.universe)
 
-    def run_shard(self, lo: int, hi: int, checkpoint: str) -> None:
-        self.campaign.run(self.universe[lo:hi], checkpoint=checkpoint)
+    def run_shard(self, lo: int, hi: int, checkpoint: str,
+                  trace: Optional[str] = None) -> None:
+        self.campaign.run(self.universe[lo:hi], checkpoint=checkpoint,
+                          trace=trace)
+
+    def completed_items(self, lo: int, hi: int, checkpoint: str) -> int:
+        from ..faults.campaign import read_checkpoint
+
+        done = read_checkpoint(checkpoint, self.campaign.tier_names,
+                               self.campaign.collapse)
+        return sum(1 for f in self.universe[lo:hi] if f.key() in done)
 
     def merge(self, checkpoints: Sequence[str]) -> Dict[str, object]:
         from ..faults.campaign import merge_checkpoints

@@ -24,9 +24,12 @@ from __future__ import annotations
 
 import json
 import os
-from typing import Dict, Iterator, Optional, Tuple
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from .._profiling import COUNTERS
+from ..core.failpoints import failpoint
 from .spec import SERVICE_VERSION, CampaignSpec
 
 _ENTRY_FORMAT = "repro-store-entry"
@@ -100,6 +103,10 @@ class ResultStore:
             json.dump(entry, fh)
             fh.flush()
             os.fsync(fh.fileno())
+        # chaos seam: a crash here leaves a complete temp file but no
+        # published entry — the resumed job must re-merge and publish
+        # exactly one valid entry (the chaos harness pins this)
+        failpoint("store.pre_replace", path=path, tmp=tmp)
         os.replace(tmp, path)
         COUNTERS.store_writes += 1
         return digest
@@ -117,3 +124,86 @@ class ResultStore:
             for name in sorted(os.listdir(subdir)):
                 if name.endswith(".json"):
                     yield name[:-5], os.path.join(subdir, name)
+
+    # ------------------------------------------------------------------
+    def gc(self, ttl_s: float,
+           referenced: Iterable[str] = (),
+           now: Optional[float] = None) -> "StoreGcReport":
+        """Evict entries older than *ttl_s* seconds; returns the report.
+
+        Age is the entry file's mtime (set by the atomic publication
+        rename), so a re-published entry's clock restarts.  An expired
+        entry whose digest appears in *referenced* — the digests of
+        jobs still queued or actively running (see
+        :meth:`~repro.service.client.JobQueue.referenced_digests`) —
+        is **refused**, never evicted: deleting it would turn a
+        just-claimed job's guaranteed cache hit into a silent
+        re-simulation, or strand a ``repro result`` between the status
+        doc saying ``done`` and the artifact existing.  Refusals are
+        first-class in the report so the CLI can shout about them.
+
+        Eviction is a plain ``os.remove``: concurrent writers are safe
+        (publication is an atomic rename, so the file is always a
+        complete entry or absent), and a writer racing the eviction is
+        re-checked via a last-instant mtime stat — an entry that became
+        fresh between the scan and the unlink is kept.  A loser's
+        ``FileNotFoundError`` (another gc got there first) is counted
+        as evicted by whoever saw it.  Stale publication temp files
+        (``*.tmp.<pid>`` left by a writer killed before its rename)
+        older than the TTL are removed too.
+        """
+        if ttl_s < 0:
+            raise ValueError("ttl_s must be >= 0")
+        now = time.time() if now is None else now
+        referenced = frozenset(referenced)
+        report = StoreGcReport(ttl_s=ttl_s)
+        for digest, path in list(self.entries()):
+            try:
+                age = now - os.path.getmtime(path)
+            except OSError:
+                continue                      # vanished mid-scan
+            if age <= ttl_s:
+                report.kept += 1
+                continue
+            if digest in referenced:
+                report.refused.append(digest)
+                continue
+            try:
+                if now - os.path.getmtime(path) <= ttl_s:
+                    report.kept += 1          # re-published mid-gc
+                    continue
+                os.remove(path)
+            except FileNotFoundError:
+                pass                          # concurrent gc won
+            except OSError:
+                continue
+            report.evicted.append(digest)
+            COUNTERS.store_evictions += 1
+        for root, _dirs, names in os.walk(self.root):
+            for name in names:
+                if ".json.tmp." not in name:
+                    continue
+                tmp = os.path.join(root, name)
+                try:
+                    if now - os.path.getmtime(tmp) > ttl_s:
+                        os.remove(tmp)
+                        report.tmp_removed += 1
+                except OSError:
+                    continue
+        return report
+
+
+@dataclass
+class StoreGcReport:
+    """What one :meth:`ResultStore.gc` sweep did (and refused to do)."""
+
+    ttl_s: float
+    evicted: List[str] = field(default_factory=list)
+    refused: List[str] = field(default_factory=list)
+    kept: int = 0
+    tmp_removed: int = 0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"ttl_s": self.ttl_s, "evicted": list(self.evicted),
+                "refused": list(self.refused), "kept": self.kept,
+                "tmp_removed": self.tmp_removed}

@@ -594,6 +594,23 @@ class MonteCarloCampaign:
                             f"(via representative {rep}) says "
                             f"{recorded}")
 
+    def read_checkpoint(self, path: str) -> Dict[int, DieRecord]:
+        """Die records a previous (possibly interrupted) run left at
+        *path*, keyed by die index.
+
+        The public face of the resume loader, for callers that need to
+        inspect durable progress without simulating — the service
+        coordinator's shard-level resume scan counts these records to
+        decide which die-range shards still need dispatching.  Resume
+        semantics apply unchanged: empty/missing file → empty map,
+        torn final line discarded and truncated, config mismatch or
+        mid-file corruption → ``ValueError``.
+        """
+        config = _config_dict(self.seed, self.corner.name,
+                              self.tier_names, self.model,
+                              self.strict_numerics, self.collapse)
+        return _load_checkpoint(path, config)
+
     def merge_checkpoints(self, paths: Iterable[str],
                           dies: Union[int, Sequence[int]]) -> MCResult:
         """Assemble one :class:`MCResult` from shard checkpoints.

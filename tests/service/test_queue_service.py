@@ -29,10 +29,49 @@ class TestDeriveProgress:
                 fh.write(json.dumps(event) + "\n")
         return path
 
-    def test_missing_trace_is_empty(self, tmp_path):
+    def test_missing_trace_is_unknown(self, tmp_path):
         p = derive_progress(str(tmp_path / "nope.jsonl"))
         assert p == {"shards_total": 0, "shards_done": 0,
-                     "elapsed_s": 0.0, "eta_s": None}
+                     "elapsed_s": 0.0, "eta_s": None,
+                     "state": "unknown"}
+
+    def test_none_path_is_unknown(self):
+        assert derive_progress(None)["state"] == "unknown"
+
+    def test_binary_garbage_is_unknown_not_a_crash(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        with open(path, "wb") as fh:
+            fh.write(b"\x00\xff\xfe garbage \x80\x81\n\x00")
+        p = derive_progress(path)
+        assert p["state"] == "unknown"
+        assert (p["shards_total"], p["shards_done"]) == (0, 0)
+
+    def test_surviving_events_reported_despite_garbage(self, tmp_path):
+        """Torn/corrupt lines are skipped; whatever parses still
+        yields progress, with state ok."""
+        path = str(tmp_path / "trace.jsonl")
+        with open(path, "wb") as fh:
+            fh.write(json.dumps(
+                {"event": "run_start", "t": 0.0, "items": 4}
+            ).encode() + b"\n")
+            fh.write(b"\xc3(not json\n")          # invalid utf-8 line
+            fh.write(json.dumps(
+                {"event": "item_done", "t": 1.0}).encode() + b"\n")
+            fh.write(b'{"event": "item_do')       # torn tail
+        p = derive_progress(path)
+        assert p["state"] == "ok"
+        assert (p["shards_total"], p["shards_done"]) == (4, 1)
+
+    def test_non_dict_and_bad_field_events_are_skipped(self, tmp_path):
+        path = self._trace(tmp_path, [
+            {"event": "run_start", "t": "bogus", "items": "many"},
+            {"event": "item_done", "t": 1.0},
+        ])
+        with open(path, "a") as fh:
+            fh.write(json.dumps([1, 2, 3]) + "\n")
+        p = derive_progress(path)
+        assert p["state"] == "ok"
+        assert (p["shards_total"], p["shards_done"]) == (0, 1)
 
     def test_eta_projected_from_rate(self, tmp_path):
         path = self._trace(tmp_path, [
